@@ -1,0 +1,180 @@
+(* Benchmark driver: regenerates every table/figure of the paper plus a
+   Bechamel micro-benchmark suite of per-operation reclamation costs.
+
+   Usage:
+     dune exec bench/main.exe                 # standard scaled suite
+     dune exec bench/main.exe -- --quick      # fast sanity pass
+     dune exec bench/main.exe -- --only fig3a,fig4c
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel section
+
+   Figure experiments run on the simulated multicore (DESIGN.md §1);
+   micro-benchmarks run single-threaded on the native runtime, measuring
+   the per-operation overhead each scheme adds — the "what does a guarded
+   read / a retire cost" dimension of the paper's P1/P3 discussion. *)
+
+module E = Nbr_workload.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks.                                          *)
+
+module Nat = Nbr_runtime.Native_rt
+
+module Micro
+    (Smr : Nbr_core.Smr_intf.S
+             with type aint = Nat.aint
+              and type pool = Nbr_pool.Pool.Make(Nat).t) =
+struct
+  module P = Nbr_pool.Pool.Make (Nat)
+  module L = Nbr_ds.Lazy_list.Make (Nat) (Smr)
+
+  let state =
+    lazy
+      (let pool =
+         P.create ~capacity:150_000 ~data_fields:L.data_fields
+           ~ptr_fields:L.ptr_fields ~nthreads:1 ()
+       in
+       let smr =
+         Smr.create pool ~nthreads:1
+           (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+              256)
+       in
+       let t = L.create pool in
+       let ctx = Smr.register smr ~tid:0 in
+       for k = 0 to 199 do
+         if k mod 2 = 0 then ignore (L.insert t ctx k)
+       done;
+       (t, ctx))
+
+  let contains_one =
+    let i = ref 0 in
+    fun () ->
+      let t, ctx = Lazy.force state in
+      incr i;
+      ignore (L.contains t ctx (!i * 7 mod 200))
+
+  (* Pay the pool/structure construction before measurement begins. *)
+  let warm () = ignore (Lazy.force state)
+
+  let update_one =
+    let i = ref 0 in
+    fun () ->
+      let t, ctx = Lazy.force state in
+      incr i;
+      let k = (!i * 13 mod 99 * 2) + 1 in
+      if !i land 1 = 0 then ignore (L.insert t ctx k)
+      else ignore (L.delete t ctx k)
+end
+
+let micro_tests () =
+  let open Bechamel in
+  let module M_nbr = Micro (Nbr_core.Nbr.Make (Nat)) in
+  let module M_nbrp = Micro (Nbr_core.Nbr_plus.Make (Nat)) in
+  let module M_debra = Micro (Nbr_core.Debra.Make (Nat)) in
+  let module M_qsbr = Micro (Nbr_core.Qsbr.Make (Nat)) in
+  let module M_rcu = Micro (Nbr_core.Rcu.Make (Nat)) in
+  let module M_ibr = Micro (Nbr_core.Ibr.Make (Nat)) in
+  let module M_hp = Micro (Nbr_core.Hp.Make (Nat)) in
+  List.iter
+    (fun w -> w ())
+    [
+      M_nbr.warm; M_nbrp.warm; M_debra.warm; M_qsbr.warm; M_rcu.warm;
+      M_ibr.warm; M_hp.warm;
+    ];
+  let mk name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"micro"
+    [
+      mk "contains/nbr" M_nbr.contains_one;
+      mk "contains/nbr+" M_nbrp.contains_one;
+      mk "contains/debra" M_debra.contains_one;
+      mk "contains/qsbr" M_qsbr.contains_one;
+      mk "contains/rcu" M_rcu.contains_one;
+      mk "contains/ibr" M_ibr.contains_one;
+      mk "contains/hp" M_hp.contains_one;
+      mk "update/nbr" M_nbr.update_one;
+      mk "update/nbr+" M_nbrp.update_one;
+      mk "update/debra" M_debra.update_one;
+      mk "update/qsbr" M_qsbr.update_one;
+      mk "update/rcu" M_rcu.update_one;
+      mk "update/ibr" M_ibr.update_one;
+      mk "update/hp" M_hp.update_one;
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "\n## Micro-benchmarks (native runtime, 1 thread, ns/op)";
+  print_endline
+    "Per-operation cost on a 200-key lazy list: the per-read overhead of \
+     each scheme (HP's fenced publishes vs NBR's phase bookkeeping vs EBR's \
+     epoch announcements).";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let res = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) res [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Printf.printf "  %-22s %10.1f ns/op\n%!" name est
+      | _ -> Printf.printf "  %-22s (no estimate)\n%!" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let only =
+    let with_eq =
+      List.find_map
+        (fun a ->
+          if String.length a > 7 && String.sub a 0 7 = "--only=" then
+            Some (String.split_on_char ',' (String.sub a 7 (String.length a - 7)))
+          else None)
+        args
+    in
+    match with_eq with
+    | Some o -> Some o
+    | None ->
+        let rec pair = function
+          | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+          | _ :: rest -> pair rest
+          | [] -> None
+        in
+        pair args
+  in
+  if has "--list" then begin
+    List.iter (fun (id, d, _) -> Printf.printf "%-18s %s\n" id d) E.all;
+    exit 0
+  end;
+  let quick = has "--quick" in
+  let selected =
+    match only with
+    | None -> E.all
+    | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) E.all
+  in
+  Printf.printf
+    "# NBR reproduction benchmarks (%s profile)\n\
+     # Simulated 16-core machine; throughput in simulated Mops/s.\n\
+     # Shapes (ordering, crossovers, bounded-vs-unbounded memory) are what \
+     reproduce\n\
+     # the paper; absolute numbers do not — see DESIGN.md / EXPERIMENTS.md.\n\
+     %!"
+    (if quick then "quick" else "standard");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (id, descr, run) ->
+      Printf.printf "\n=== %s: %s ===\n%!" id descr;
+      let t = Unix.gettimeofday () in
+      run quick;
+      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t))
+    selected;
+  if not (has "--no-micro") then run_micro ();
+  let ok = E.summary () in
+  Printf.printf "[total %.1fs]\n%!" (Unix.gettimeofday () -. t0);
+  if not ok then exit 1

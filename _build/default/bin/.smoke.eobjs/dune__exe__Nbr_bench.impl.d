@@ -1,0 +1,1 @@
+bin/nbr_bench.ml: Arg Cmd Cmdliner Format List Nbr_core Nbr_runtime Nbr_workload Printf Term

@@ -1,0 +1,1 @@
+bin/nbr_bench.mli:

@@ -1,0 +1,1 @@
+bin/smoke.ml: Format List Nbr_core Nbr_runtime Nbr_workload

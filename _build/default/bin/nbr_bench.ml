@@ -1,0 +1,170 @@
+(* Command-line interface to the reproduction harness.
+
+   Run single experiments or ad-hoc trials with tunable parameters:
+
+     nbr_bench list
+     nbr_bench figure fig3a --quick
+     nbr_bench trial --scheme nbr+ --structure dgt-tree --threads 32 \
+       --range 65536 --ins 50 --del 50 --duration-ms 2 --cores 16
+     nbr_bench trial --runtime native --scheme debra --structure lazy-list \
+       --threads 4 --duration-ms 500 *)
+
+open Cmdliner
+
+module Sim = Nbr_runtime.Sim_rt
+module Nat = Nbr_runtime.Native_rt
+module H_sim = Nbr_workload.Harness.Make (Sim)
+module H_nat = Nbr_workload.Harness.Make (Nat)
+module T = Nbr_workload.Trial
+module E = Nbr_workload.Experiments
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let doc = "List available experiments (one per paper table/figure)." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (id, d, _) -> Printf.printf "%-18s %s\n" id d)
+            E.all)
+      $ const ())
+
+(* ---------------- figure ---------------- *)
+
+let figure_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,list)).")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster profile.")
+  in
+  let run id quick =
+    match List.find_opt (fun (i, _, _) -> i = id) E.all with
+    | None ->
+        Printf.eprintf "unknown experiment %s (try `nbr_bench list')\n" id;
+        exit 2
+    | Some (_, descr, f) ->
+        Printf.printf "=== %s: %s ===\n%!" id descr;
+        f quick;
+        if not (E.summary ()) then exit 1
+  in
+  let doc = "Regenerate one paper figure/table." in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ id_arg $ quick_arg)
+
+(* ---------------- trial ---------------- *)
+
+let trial_cmd =
+  let scheme =
+    Arg.(
+      value
+      & opt string "nbr+"
+      & info [ "scheme" ] ~docv:"S"
+          ~doc:"Reclamation scheme: nbr, nbr+, debra, qsbr, rcu, ibr, hp, \
+                none.")
+  in
+  let structure =
+    Arg.(
+      value
+      & opt string "dgt-tree"
+      & info [ "structure" ] ~docv:"D"
+          ~doc:"Data structure: lazy-list, dgt-tree, harris-list, ab-tree.")
+  in
+  let runtime =
+    Arg.(
+      value
+      & opt string "sim"
+      & info [ "runtime" ] ~doc:"Execution runtime: sim or native.")
+  in
+  let threads =
+    Arg.(value & opt int 16 & info [ "threads" ] ~doc:"Worker threads.")
+  in
+  let cores =
+    Arg.(value & opt int 16 & info [ "cores" ] ~doc:"Simulated cores (sim).")
+  in
+  let granularity =
+    Arg.(
+      value & opt int 1
+      & info [ "granularity" ]
+          ~doc:"Sim cycles between scheduler yields (1 = every access).")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 200_000
+      & info [ "quantum" ] ~doc:"Sim time-slice length in cycles.")
+  in
+  let range =
+    Arg.(value & opt int 16384 & info [ "range" ] ~doc:"Key range.")
+  in
+  let ins = Arg.(value & opt int 25 & info [ "ins" ] ~doc:"Insert %.") in
+  let del = Arg.(value & opt int 25 & info [ "del" ] ~doc:"Delete %.") in
+  let duration_ms =
+    Arg.(
+      value & opt int 2
+      & info [ "duration-ms" ]
+          ~doc:"Trial duration in ms (virtual for sim, wall for native).")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 512
+      & info [ "bag-threshold" ] ~doc:"Limbo bag HiWatermark.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let stall_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "stall-ms" ]
+          ~doc:"Stall thread 1 inside an operation for this long (E2).")
+  in
+  let run scheme structure runtime threads cores granularity quantum range
+      ins del duration_ms threshold seed stall_ms =
+    let duration_ns = duration_ms * 1_000_000 in
+    let stall =
+      if stall_ms > 0 then
+        Some { T.stall_tid = 1; stall_ns = stall_ms * 1_000_000 }
+      else None
+    in
+    let cfg =
+      T.mk ~nthreads:threads ~duration_ns ~key_range:range ~ins_pct:ins
+        ~del_pct:del
+        ~smr:
+          (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+             threshold)
+        ~seed ?stall ()
+    in
+    let r =
+      match runtime with
+      | "sim" ->
+          Sim.set_config
+            { Sim.default_config with cores; seed; granularity; quantum };
+          H_sim.run ~scheme ~structure cfg
+      | "native" -> H_nat.run ~scheme ~structure cfg
+      | other ->
+          Printf.eprintf "unknown runtime %s\n" other;
+          exit 2
+    in
+    Format.printf "%a@." T.pp_row r;
+    Format.printf
+      "ops=%d freed=%d retired=%d reclaim_events=%d lo_reclaims=%d \
+       final_in_use=%d uaf=%d size=%d/%d valid=%b@."
+      r.T.total_ops r.T.smr_stats.freed r.T.smr_stats.retires
+      r.T.smr_stats.reclaim_events r.T.smr_stats.lo_reclaims r.T.final_in_use
+      r.T.uaf_reads r.T.final_size r.T.expected_size (T.valid r);
+    if not (T.valid r) then exit 1
+  in
+  let doc = "Run one ad-hoc trial with explicit parameters." in
+  Cmd.v (Cmd.info "trial" ~doc)
+    Term.(
+      const run $ scheme $ structure $ runtime $ threads $ cores
+      $ granularity $ quantum $ range $ ins $ del $ duration_ms $ threshold
+      $ seed $ stall_ms)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "NBR (PPoPP'21) reproduction benchmarks" in
+  let info = Cmd.info "nbr_bench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; trial_cmd ]))

@@ -1,0 +1,42 @@
+(* Development smoke test: every scheme × structure pair on the simulator,
+   plus NBR+ on the native runtime, with set-semantics validation. *)
+
+module Sim = Nbr_runtime.Sim_rt
+module Nat = Nbr_runtime.Native_rt
+module H_sim = Nbr_workload.Harness.Make (Sim)
+module H_nat = Nbr_workload.Harness.Make (Nat)
+
+let check r =
+  let ok = Nbr_workload.Trial.valid r in
+  Format.printf "%a%s@." Nbr_workload.Trial.pp_row r
+    (if ok then "" else "  <-- FAILED");
+  ok
+
+let () =
+  Sim.set_config { Sim.default_config with cores = 4 };
+  let ok = ref true in
+  let cfg =
+    Nbr_workload.Trial.mk ~nthreads:6 ~duration_ns:1_500_000 ~key_range:256
+      ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 64)
+      ()
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun structure ->
+          if H_sim.supported ~scheme ~structure then
+            ok := check (H_sim.run ~scheme ~structure cfg) && !ok)
+        H_sim.structure_names)
+    H_sim.scheme_names;
+  (* Native spot-checks. *)
+  let ncfg = Nbr_workload.Trial.mk ~nthreads:4 ~duration_ns:300_000_000 () in
+  List.iter
+    (fun (s, d) -> ok := check (H_nat.run ~scheme:s ~structure:d ncfg) && !ok)
+    [
+      ("nbr+", "lazy-list");
+      ("nbr+", "dgt-tree");
+      ("nbr", "harris-list");
+      ("debra", "ab-tree");
+      ("hp", "dgt-tree");
+    ];
+  if !ok then print_endline "smoke OK" else (print_endline "smoke FAILED"; exit 1)

@@ -1,0 +1,1 @@
+examples/bounded_memory.ml: List Nbr_core Nbr_runtime Nbr_workload Printf

@@ -1,0 +1,1 @@
+examples/bounded_memory.mli:

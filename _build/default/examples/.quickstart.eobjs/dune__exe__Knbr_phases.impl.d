@@ -1,0 +1,1 @@
+examples/knbr_phases.ml: Array Nbr_core Nbr_ds Nbr_pool Nbr_runtime Nbr_sync Printf

@@ -1,0 +1,1 @@
+examples/knbr_phases.mli:

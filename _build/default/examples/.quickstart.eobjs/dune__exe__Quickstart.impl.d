@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Atomic Nbr_core Nbr_ds Nbr_pool Nbr_runtime Nbr_sync Printf

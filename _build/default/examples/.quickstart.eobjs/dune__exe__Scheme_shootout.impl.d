@@ -1,0 +1,1 @@
+examples/scheme_shootout.ml: List Nbr_core Nbr_runtime Nbr_workload Printf Sys

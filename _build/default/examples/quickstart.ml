@@ -1,0 +1,53 @@
+(* Quickstart: a concurrent set with NBR+ reclamation in ~40 lines.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The recipe, bottom to top:
+   1. pick a runtime       (here: real OCaml domains),
+   2. create a record pool (the manual-memory arena records live in),
+   3. create a reclamation scheme over that pool (NBR+),
+   4. create a data structure (lazy list) and per-thread contexts,
+   5. hammer it from several domains. *)
+
+module Rt = Nbr_runtime.Native_rt
+module Pool = Nbr_pool.Pool.Make (Rt)
+module Smr = Nbr_core.Nbr_plus.Make (Rt)
+module List_set = Nbr_ds.Lazy_list.Make (Rt) (Smr)
+
+let nthreads = 4
+
+let () =
+  (* A pool shaped for lazy-list nodes: key + marked flag, one link. *)
+  let pool =
+    Pool.create ~capacity:1_000_000 ~data_fields:List_set.data_fields
+      ~ptr_fields:List_set.ptr_fields ~nthreads ()
+  in
+  let smr = Smr.create pool ~nthreads Nbr_core.Smr_config.default in
+  let set = List_set.create pool in
+  let ctxs = Array.init nthreads (fun tid -> Smr.register smr ~tid) in
+
+  (* Prefill from the main thread (tid 0's context). *)
+  for k = 0 to 511 do
+    if k mod 2 = 0 then ignore (List_set.insert set ctxs.(0) k)
+  done;
+
+  let hits = Atomic.make 0 and updates = Atomic.make 0 in
+  Rt.run ~nthreads (fun tid ->
+      let ctx = ctxs.(tid) in
+      let rng = Nbr_sync.Rng.for_thread ~seed:2024 ~tid in
+      for _ = 1 to 50_000 do
+        let k = Nbr_sync.Rng.below rng 512 in
+        match Nbr_sync.Rng.below rng 10 with
+        | 0 -> if List_set.insert set ctx k then Atomic.incr updates
+        | 1 -> if List_set.delete set ctx k then Atomic.incr updates
+        | _ -> if List_set.contains set ctx k then Atomic.incr hits
+      done);
+
+  let stats = Pool.stats pool in
+  Printf.printf
+    "quickstart: %d domains did 200k ops: %d hits, %d updates\n\
+     memory: %d records live, peak %d unreclaimed, %d recycled through NBR+\n"
+    nthreads (Atomic.get hits) (Atomic.get updates) stats.Pool.s_in_use
+    stats.Pool.s_peak_in_use stats.Pool.s_frees;
+  assert (stats.Pool.s_uaf_reads = 0);
+  print_endline "no use-after-free reads, as promised."

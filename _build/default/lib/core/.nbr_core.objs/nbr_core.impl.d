@@ -1,0 +1,1 @@
+lib/core/nbr_core.ml: Debra Hazard_eras Hp Ibr Leaky Limbo_bag Nbr Nbr_base Nbr_plus Nbr_runtime Qsbr Rcu Smr_config Smr_intf Smr_stats Unsafe_free

@@ -1,0 +1,1 @@
+lib/core/leaky.ml: Array Nbr_pool Nbr_runtime Smr_stats

@@ -1,0 +1,1 @@
+lib/core/limbo_bag.ml: Array

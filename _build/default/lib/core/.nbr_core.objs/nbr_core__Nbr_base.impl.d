@@ -1,0 +1,1 @@
+lib/core/nbr_base.ml: Array Limbo_bag Nbr_pool Nbr_runtime Smr_config Smr_stats

@@ -1,0 +1,1 @@
+lib/core/nbr_plus.ml: Array Limbo_bag Nbr_base Nbr_runtime Smr_config

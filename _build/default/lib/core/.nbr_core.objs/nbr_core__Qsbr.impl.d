@@ -1,0 +1,1 @@
+lib/core/qsbr.ml: Array List Nbr_pool Nbr_runtime Nbr_sync Smr_config Smr_stats

@@ -1,0 +1,1 @@
+lib/core/rcu.ml: Array Limbo_bag Nbr_pool Nbr_runtime Smr_config Smr_stats

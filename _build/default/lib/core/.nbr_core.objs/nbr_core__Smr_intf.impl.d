@@ -1,0 +1,1 @@
+lib/core/smr_intf.ml: Smr_config Smr_stats

@@ -1,0 +1,1 @@
+lib/core/smr_stats.ml: Format

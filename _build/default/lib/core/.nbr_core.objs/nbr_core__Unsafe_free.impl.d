@@ -1,0 +1,1 @@
+lib/core/unsafe_free.ml: Array Nbr_pool Nbr_runtime Smr_stats

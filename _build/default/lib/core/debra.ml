@@ -1,0 +1,149 @@
+(** DEBRA: distributed epoch-based reclamation (Brown, PODC'15).
+
+    The fastest known EBR variant and the paper's strongest baseline.
+    Threads announce (epoch, quiescent-bit) pairs; the global epoch
+    advances when every thread is either quiescent or has announced the
+    current epoch, and the advance scan is {e amortized} — each operation
+    checks only a few threads, resuming where it left off.  Each thread
+    keeps three limbo bags indexed by epoch mod 3: on observing a new
+    epoch [e], everything retired in epoch [e-2] is freed wholesale, with
+    no per-record scan.
+
+    Not bounded: a thread stalled inside an operation pins the epoch, all
+    bags grow without limit, and when the stall ends the backlog is freed
+    in a burst — the "delayed thread vulnerability" the paper blames for
+    DEBRA's throughput collapse at high thread counts (§7). *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type t = {
+    pool : P.t;
+    n : int;
+    cfg : Smr_config.t;
+    epoch : Rt.aint;
+    announce : Rt.aint array;  (** (epoch lsl 1) lor quiescent-bit *)
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = {
+    b : t;
+    tid : int;
+    bags : Limbo_bag.t array;  (** three, indexed by epoch mod 3 *)
+    st : Smr_stats.t;
+    mutable local_epoch : int;
+    mutable check_next : int;  (** next thread index in the advance scan *)
+    mutable checked : int;  (** threads validated for the current epoch *)
+  }
+
+  let scheme_name = "debra"
+  let bounded_garbage = false
+
+  let create pool ~nthreads cfg =
+    {
+      pool;
+      n = nthreads;
+      cfg;
+      epoch = Rt.make 0;
+      announce = Array.init nthreads (fun _ -> Rt.make 1 (* quiescent *));
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
+
+  let register b ~tid =
+    let c =
+      {
+        b;
+        tid;
+        bags = Array.init 3 (fun _ -> Limbo_bag.create ());
+        st = Smr_stats.zero ();
+        local_epoch = 0;
+        check_next = 0;
+        checked = 0;
+      }
+    in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let free_bag c bag =
+    let freed =
+      Limbo_bag.sweep bag ~upto:(Limbo_bag.abs_tail bag)
+        ~keep:(fun _ -> false)
+        ~free:(fun slot -> P.free c.b.pool slot)
+    in
+    if freed > 0 then begin
+      c.st.freed <- c.st.freed + freed;
+      c.st.reclaim_events <- c.st.reclaim_events + 1
+    end
+
+  (* leaveQstate *)
+  let begin_op c =
+    let e = Rt.load c.b.epoch in
+    if e <> c.local_epoch then begin
+      (* Entering epoch [e]: records retired in epoch [e-2] (bag index
+         (e+1) mod 3) are safe — every thread is in e-1 or e. *)
+      free_bag c c.bags.((e + 1) mod 3);
+      c.local_epoch <- e;
+      c.check_next <- 0;
+      c.checked <- 0
+    end;
+    Rt.store c.b.announce.(c.tid) (e lsl 1);
+    (* Amortized advance scan: DEBRA's low per-operation overhead comes
+       from checking only a couple of threads per op, resuming where the
+       previous op left off. *)
+    let quota = ref (max 1 (c.b.cfg.Smr_config.epoch_freq / 8)) in
+    let blocked = ref false in
+    while (not !blocked) && !quota > 0 && c.checked < c.b.n do
+      let j = c.check_next in
+      let a = Rt.load c.b.announce.(j) in
+      if a land 1 = 1 || a lsr 1 >= e then begin
+        c.check_next <- (j + 1) mod c.b.n;
+        c.checked <- c.checked + 1
+      end
+      else blocked := true;
+      decr quota
+    done;
+    if c.checked >= c.b.n then begin
+      ignore (Rt.cas c.b.epoch e (e + 1));
+      c.checked <- 0
+    end
+
+  (* enterQstate *)
+  let end_op c = Rt.store c.b.announce.(c.tid) ((c.local_epoch lsl 1) lor 1)
+
+  let alloc c = P.alloc c.b.pool
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Limbo_bag.push c.bags.(c.local_epoch mod 3) slot
+
+  (* EBR has no phase discipline: both phases run unguarded. *)
+  let phase _c ~read ~write =
+    let payload, _recs = read () in
+    write payload
+
+  let read_only _c f = f ()
+
+  let read_root c root =
+    let v = Rt.load root in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_ptr c ~src ~field =
+    let v = Rt.load (P.ptr_cell c.b.pool src field) in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_raw _c cell = Rt.load cell
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

@@ -1,0 +1,205 @@
+(** Hazard Eras (Ramalhete & Correia, SPAA'17).
+
+    The scheme that seeded the interval-based family the paper benchmarks
+    (IBR descends from it, WFE builds on it; §2).  Hazard-pointer shaped,
+    but slots publish {e eras} instead of pointers: every record carries
+    birth and retire eras; a dereference publishes the current global era
+    in one of the thread's era slots (validating that the era did not move
+    during the read, like HP's re-read); a record may be freed only if no
+    published era falls within its [birth, retire] lifetime.
+
+    Compared to {!Ibr} (2GEIBR) a thread pins a set of discrete eras
+    rather than one interval — cheaper when an operation dereferences few
+    records, and a slot-for-slot drop-in for HP code.  Like HP and IBR it
+    cannot protect traversals through unlinked records (the paper's P5
+    objection): [read_raw] only ratchets the era and is unsafe for
+    mark-traversing structures, which the benchmarks never pair it with.
+
+    Bounded: a stalled thread pins at most its published eras' records. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type t = {
+    pool : P.t;
+    n : int;
+    cfg : Smr_config.t;
+    window : int;
+    era : Rt.aint;
+    slots : Rt.aint array array;  (** published eras; -1 = empty *)
+    birth : Rt.aint array;
+    retire_era : Rt.aint array;
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = {
+    b : t;
+    tid : int;
+    bag : Limbo_bag.t;
+    st : Smr_stats.t;
+    mutable hpi : int;
+    mutable alloc_count : int;
+    scratch : int array;  (** collected eras at reclamation *)
+  }
+
+  let scheme_name = "he"
+  let bounded_garbage = true
+  let empty_slot = -1
+
+  let create pool ~nthreads cfg =
+    let window = cfg.Smr_config.max_reservations + 2 in
+    {
+      pool;
+      n = nthreads;
+      cfg;
+      window;
+      era = Rt.make 1;
+      slots =
+        Array.init nthreads (fun _ ->
+            Array.init window (fun _ -> Rt.make empty_slot));
+      birth = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
+      retire_era = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
+
+  let register b ~tid =
+    let c =
+      {
+        b;
+        tid;
+        bag = Limbo_bag.create ();
+        st = Smr_stats.zero ();
+        hpi = 0;
+        alloc_count = 0;
+        scratch = Array.make (b.n * b.window) 0;
+      }
+    in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let begin_op _c = ()
+
+  let end_op c =
+    let sl = c.b.slots.(c.tid) in
+    for i = 0 to c.b.window - 1 do
+      Rt.store sl.(i) empty_slot
+    done
+
+  let alloc c =
+    let slot = P.alloc c.b.pool in
+    c.alloc_count <- c.alloc_count + 1;
+    if c.alloc_count mod c.b.cfg.Smr_config.epoch_freq = 0 then
+      ignore (Rt.faa c.b.era 1);
+    Rt.store c.b.birth.(slot) (Rt.load c.b.era);
+    slot
+
+  (* Protect-by-era: publish the current era in the next rotation slot,
+     then read; if the era moved during the read, republish and re-read —
+     the value finally returned was read under a published covering era.
+     Like HP, the era covers the target only if the target was still
+     linked when the era was published: a record born and retired entirely
+     inside our operation can be reached through a stale interior edge
+     with every published era outside its lifetime, so the target's
+     lifecycle state must be validated too (see Hp.protect_from). *)
+  exception Validation_failed
+
+  let protected_read c cell =
+    let sl = c.b.slots.(c.tid) in
+    let i = c.hpi in
+    c.hpi <- (c.hpi + 1) mod c.b.window;
+    let rec go prev_e tries =
+      if tries > 64 then raise Rt.Neutralized;
+      let v = Rt.load cell in
+      let e = Rt.load c.b.era in
+      if e = prev_e then
+        if v < 0 || P.live c.b.pool v then v
+        else begin
+          (* Target already unlinked: behave like a failed protection. *)
+          raise Validation_failed
+        end
+      else begin
+        ignore (Rt.xchg sl.(i) e) (* fenced publish, as in HP *);
+        go e (tries + 1)
+      end
+    in
+    let e0 = Rt.load c.b.era in
+    ignore (Rt.xchg sl.(i) e0);
+    match go e0 0 with
+    | v ->
+        if v >= 0 then P.record_read c.b.pool v;
+        v
+    | exception Validation_failed -> raise Rt.Neutralized
+
+  let read_root c root = protected_read c root
+  let read_ptr c ~src ~field = protected_read c (P.ptr_cell c.b.pool src field)
+
+  (* Unlinked-record traversal cannot be protected by eras; unsafe with
+     mark-traversing structures (never benchmarked together). *)
+  let read_raw _c cell = Rt.load cell
+
+  let phase c ~read ~write =
+    let attempts = ref 0 in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          let payload, _recs = read () in
+          write payload)
+    in
+    c.st.restarts <- c.st.restarts + !attempts - 1;
+    out
+
+  let read_only c f =
+    let attempts = ref 0 in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          f ())
+    in
+    c.st.restarts <- c.st.restarts + !attempts - 1;
+    out
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+      let k = ref 0 in
+      for t = 0 to c.b.n - 1 do
+        for i = 0 to c.b.window - 1 do
+          let e = Rt.load c.b.slots.(t).(i) in
+          if e >= 0 then begin
+            c.scratch.(!k) <- e;
+            incr k
+          end
+        done
+      done;
+      let pinned s =
+        let birth = Rt.plain_load c.b.birth.(s) in
+        let death = Rt.plain_load c.b.retire_era.(s) in
+        let hit = ref false in
+        for j = 0 to !k - 1 do
+          if (not !hit) && c.scratch.(j) >= birth && c.scratch.(j) <= death
+          then hit := true
+        done;
+        !hit
+      in
+      let freed =
+        Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag) ~keep:pinned
+          ~free:(fun s -> P.free c.b.pool s)
+      in
+      c.st.freed <- c.st.freed + freed;
+      c.st.reclaim_events <- c.st.reclaim_events + 1
+    end
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

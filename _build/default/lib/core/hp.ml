@@ -1,0 +1,188 @@
+(** Hazard pointers (Michael, TPDS'04).
+
+    Every dereference announces the target in a single-writer multi-reader
+    hazard slot with a fenced publish (the paper models this with [xchg],
+    whose implicit fence is cheaper than [mfence]; we do the same), then
+    validates that the link it was read from is unchanged — in our
+    structures every unlink modifies the link that was followed, so an
+    unchanged link proves the target is not yet retired and the
+    announcement was made in time.  Validation failure aborts the read
+    phase through the checkpoint (the "restart" obligation HP imposes on
+    data structures, paper §2/§5.3).
+
+    Hazard slots rotate through a window of [max_reservations + 2], which
+    preserves hand-over-hand protection for list/tree traversals and keeps
+    the reservations passed to [phase]'s write stage protected.
+
+    Bounded: at most (window × threads) records can be pinned. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type t = {
+    pool : P.t;
+    n : int;
+    cfg : Smr_config.t;
+    window : int;
+    hazards : Rt.aint array array;  (** [hazards.(tid).(i)] *)
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = {
+    b : t;
+    tid : int;
+    bag : Limbo_bag.t;
+    st : Smr_stats.t;
+    mutable hpi : int;  (** rotation index *)
+    scratch : int array;
+  }
+
+  let scheme_name = "hp"
+  let bounded_garbage = true
+  let max_validate_retries = 64
+
+  let create pool ~nthreads cfg =
+    let window = cfg.Smr_config.max_reservations + 2 in
+    {
+      pool;
+      n = nthreads;
+      cfg;
+      window;
+      hazards =
+        Array.init nthreads (fun _ ->
+            Array.init window (fun _ -> Rt.make P.nil));
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
+
+  let register b ~tid =
+    let c =
+      {
+        b;
+        tid;
+        bag = Limbo_bag.create ();
+        st = Smr_stats.zero ();
+        hpi = 0;
+        scratch = Array.make (b.n * b.window) 0;
+      }
+    in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let begin_op _c = ()
+
+  let end_op c =
+    let hz = c.b.hazards.(c.tid) in
+    for i = 0 to c.b.window - 1 do
+      Rt.store hz.(i) P.nil
+    done
+
+  let alloc c = P.alloc c.b.pool
+
+  (* Announce-and-validate: publish [target] read from [cell], then check
+     that [cell] still holds it, that the target has not been unlinked,
+     and that the slot was not recycled under us.  The link re-read alone
+     is insufficient for structures whose unlink splices an ancestor edge
+     (DGT delete leaves the interior parent->leaf edge intact while both
+     records retire) — the "check whether the record has already been
+     unlinked" obligation the paper ascribes to HP (§2).  Failure aborts
+     the read phase through the checkpoint. *)
+  let protect_from c cell =
+    let hz = c.b.hazards.(c.tid) in
+    let slot = c.hpi in
+    c.hpi <- (c.hpi + 1) mod c.b.window;
+    let rec go tries =
+      let p = Rt.load cell in
+      if p < 0 then p
+      else begin
+        let s0 = P.stamp c.b.pool p in
+        ignore (Rt.xchg hz.(slot) p) (* fenced publish *);
+        let p' = Rt.load cell in
+        if p = p' && P.live c.b.pool p && P.stamp c.b.pool p = s0 then begin
+          P.record_read c.b.pool p;
+          p
+        end
+        else if tries >= max_validate_retries then raise Rt.Neutralized
+        else go (tries + 1)
+      end
+    in
+    go 0
+
+  let read_root c root = protect_from c root
+  let read_ptr c ~src ~field = protect_from c (P.ptr_cell c.b.pool src field)
+
+  (* HP cannot protect through a mark-tagged word (it does not know the
+     encoding) — the P5 limitation the paper describes.  Structures that
+     need [read_raw] (Harris list, traversal over marked nodes) must not be
+     paired with HP; the benchmarks never do. *)
+  let read_raw _c cell = Rt.load cell
+
+  (* The reservations passed by the data structure are the last few records
+     it protected; the rotation window is sized so they are still live, so
+     the write phase needs no further publication. *)
+  let phase c ~read ~write =
+    let attempts = ref 0 in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          let payload, _recs = read () in
+          write payload)
+    in
+    c.st.restarts <- c.st.restarts + !attempts - 1;
+    out
+
+  let read_only c f =
+    let attempts = ref 0 in
+    let out = Rt.checkpoint (fun () -> incr attempts; f ()) in
+    c.st.restarts <- c.st.restarts + !attempts - 1;
+    out
+
+  let mem_sorted a n x =
+    let rec go lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = x then true
+        else if a.(mid) < x then go (mid + 1) hi
+        else go lo mid
+    in
+    go 0 n
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+      let k = ref 0 in
+      for t = 0 to c.b.n - 1 do
+        if t <> c.tid then
+          for i = 0 to c.b.window - 1 do
+            let v = Rt.load c.b.hazards.(t).(i) in
+            if v >= 0 then begin
+              c.scratch.(!k) <- v;
+              incr k
+            end
+          done
+      done;
+      let a = Array.sub c.scratch 0 !k in
+      Array.sort compare a;
+      Array.blit a 0 c.scratch 0 !k;
+      let freed =
+        Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag)
+          ~keep:(fun s -> mem_sorted c.scratch !k s)
+          ~free:(fun s -> P.free c.b.pool s)
+      in
+      c.st.freed <- c.st.freed + freed;
+      c.st.reclaim_events <- c.st.reclaim_events + 1
+    end
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

@@ -1,0 +1,178 @@
+(** 2GEIBR: two-global-epoch interval-based reclamation (Wen et al.,
+    PPoPP'18) — the IBR variant the paper benchmarks.
+
+    Every record carries two eras of metadata: the global era at
+    allocation (birth) and at retirement.  Every thread announces an
+    interval [lower, upper]: [lower] is the era at operation start and
+    [upper] is ratcheted up to the current era at {e every dereference of a
+    new record} — the per-read overhead the paper charges against P1/P3.
+    A reclaimer frees a record iff its [birth, retire] interval intersects
+    no announced interval.
+
+    Bounded: a stalled thread pins a fixed interval, so only records whose
+    lifetime overlaps it leak — everything born after the stall reclaims
+    normally. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type t = {
+    pool : P.t;
+    n : int;
+    cfg : Smr_config.t;
+    era : Rt.aint;
+    lo : Rt.aint array;
+    hi : Rt.aint array;
+    birth : Rt.aint array;  (** per-record metadata (real algorithm state) *)
+    retire_era : Rt.aint array;
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = {
+    b : t;
+    tid : int;
+    bag : Limbo_bag.t;
+    st : Smr_stats.t;
+    mutable cached_hi : int;
+    mutable alloc_count : int;
+    (* interval snapshot scratch for reclamation *)
+    slo : int array;
+    shi : int array;
+  }
+
+  let scheme_name = "ibr"
+  let bounded_garbage = true
+
+  let inactive_lo = max_int
+  let inactive_hi = -1
+
+  let create pool ~nthreads cfg =
+    {
+      pool;
+      n = nthreads;
+      cfg;
+      era = Rt.make 1;
+      lo = Array.init nthreads (fun _ -> Rt.make inactive_lo);
+      hi = Array.init nthreads (fun _ -> Rt.make inactive_hi);
+      birth = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
+      retire_era = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
+
+  let register b ~tid =
+    let c =
+      {
+        b;
+        tid;
+        bag = Limbo_bag.create ();
+        st = Smr_stats.zero ();
+        cached_hi = 0;
+        alloc_count = 0;
+        slo = Array.make b.n inactive_lo;
+        shi = Array.make b.n inactive_hi;
+      }
+    in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let begin_op c =
+    let e = Rt.load c.b.era in
+    Rt.store c.b.lo.(c.tid) e;
+    Rt.store c.b.hi.(c.tid) e;
+    c.cached_hi <- e
+
+  let end_op c =
+    Rt.store c.b.lo.(c.tid) inactive_lo;
+    Rt.store c.b.hi.(c.tid) inactive_hi
+
+  let alloc c =
+    let slot = P.alloc c.b.pool in
+    c.alloc_count <- c.alloc_count + 1;
+    if c.alloc_count mod c.b.cfg.Smr_config.epoch_freq = 0 then
+      ignore (Rt.faa c.b.era 1);
+    Rt.store c.b.birth.(slot) (Rt.load c.b.era);
+    slot
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+      for t = 0 to c.b.n - 1 do
+        c.slo.(t) <- Rt.load c.b.lo.(t);
+        c.shi.(t) <- Rt.load c.b.hi.(t)
+      done;
+      let pinned s =
+        let birth = Rt.plain_load c.b.birth.(s) in
+        let death = Rt.plain_load c.b.retire_era.(s) in
+        let hit = ref false in
+        for t = 0 to c.b.n - 1 do
+          if (not !hit) && birth <= c.shi.(t) && death >= c.slo.(t) then
+            hit := true
+        done;
+        !hit
+      in
+      let freed =
+        Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag) ~keep:pinned
+          ~free:(fun s -> P.free c.b.pool s)
+      in
+      c.st.freed <- c.st.freed + freed;
+      c.st.reclaim_events <- c.st.reclaim_events + 1
+    end
+
+  let phase _c ~read ~write =
+    let payload, _recs = read () in
+    write payload
+
+  let read_only _c f = f ()
+
+  (* The 2GE per-dereference protocol (Wen et al., fig. 4): read the
+     pointer, then check that the global era still equals the announced
+     upper bound; if not, extend the announcement and re-read.  The value
+     finally returned was read while [hi = era], so its birth era is
+     covered by the announced interval. *)
+  let guarded_read c cell =
+    let rec loop () =
+      let v = Rt.load cell in
+      let e = Rt.plain_load c.b.era in
+      if e <> c.cached_hi then begin
+        Rt.store c.b.hi.(c.tid) e;
+        c.cached_hi <- e;
+        loop ()
+      end
+      else v
+    in
+    let v = loop () in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_root c root = guarded_read c root
+  let read_ptr c ~src ~field = guarded_read c (P.ptr_cell c.b.pool src field)
+
+  (* Mark-tagged links: extend the interval exactly as for a plain pointer
+     (the value is opaque to IBR; only the era ratchet matters). *)
+  let read_raw c cell =
+    let rec loop () =
+      let v = Rt.load cell in
+      let e = Rt.plain_load c.b.era in
+      if e <> c.cached_hi then begin
+        Rt.store c.b.hi.(c.tid) e;
+        c.cached_hi <- e;
+        loop ()
+      end
+      else v
+    in
+    loop ()
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

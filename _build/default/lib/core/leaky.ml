@@ -1,0 +1,64 @@
+(** The "none" baseline: never reclaim.
+
+    Retired records are abandoned; allocation always takes fresh slots from
+    the pool.  This is the paper's leaky upper-bound on throughput (no
+    reclamation costs at all) and the foil for the E2 memory experiments
+    (its footprint grows linearly with updates). *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type t = {
+    pool : P.t;
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = { b : t; st : Smr_stats.t }
+
+  let scheme_name = "none"
+  let bounded_garbage = false
+
+  let create pool ~nthreads _cfg =
+    { pool; done_stats = Smr_stats.zero (); ctxs = Array.make nthreads None }
+
+  let register b ~tid =
+    let c = { b; st = Smr_stats.zero () } in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let begin_op _ = ()
+  let end_op _ = ()
+  let alloc c = P.alloc c.b.pool
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1
+
+  let phase _c ~read ~write =
+    let payload, _recs = read () in
+    write payload
+
+  let read_only _c f = f ()
+
+  let read_root c root =
+    let v = Rt.load root in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_ptr c ~src ~field =
+    let v = Rt.load (P.ptr_cell c.b.pool src field) in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_raw _c cell = Rt.load cell
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

@@ -1,0 +1,47 @@
+(** NBR: Neutralization Based Reclamation (paper Algorithm 1).
+
+    Each thread buffers unlinked records in its limbo bag; when the bag
+    reaches the threshold the thread sends a neutralizing signal to every
+    other thread ([signalAll]), then scans all reservations and frees every
+    unreserved record in its bag.  Readers respond to signals by restarting
+    their read phase; writers are protected by the reservations they
+    published before becoming non-restartable.
+
+    This is the baseline version: every reclamation event costs n-1
+    signals, so a collective round of reclamation costs O(n²) signals —
+    the bottleneck NBR+ removes (§5). *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module B = Nbr_base.Make (Rt)
+
+  type aint = B.aint
+  type pool = B.pool
+  type t = B.t
+  type ctx = B.ctx
+
+  let scheme_name = "nbr"
+  let bounded_garbage = true
+
+  let create = B.create
+  let register = B.register
+  let begin_op = B.begin_op
+  let end_op = B.end_op
+  let alloc = B.alloc
+  let phase = B.phase
+  let read_only = B.read_only
+  let read_root = B.read_root
+  let read_ptr = B.read_ptr
+  let read_raw = B.read_raw
+  let stats = B.stats
+
+  (* Algorithm 1, lines 14–20. *)
+  let retire (c : ctx) slot =
+    B.note_retired c slot;
+    let open Smr_config in
+    if Limbo_bag.size c.bag >= c.b.cfg.bag_threshold then begin
+      B.signal_all c;
+      B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
+      c.st.reclaim_events <- c.st.reclaim_events + 1
+    end;
+    Limbo_bag.push c.bag slot
+end

@@ -1,0 +1,219 @@
+(** Shared machinery of NBR and NBR+ (Algorithm 1 of the paper).
+
+    Contains everything except the [retire] policy, which is where the two
+    schemes differ: reservations, the restartable flag discipline, the
+    reader–reclaimer and writers' handshakes, [signalAll] and
+    [reclaimFreeable].  {!Nbr.Make} and {!Nbr_plus.Make} instantiate this
+    base and plug in Algorithm 1's and Algorithm 2's [retire]. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type t = {
+    pool : P.t;
+    n : int;
+    cfg : Smr_config.t;
+    reservations : Rt.aint array array;
+        (** [reservations.(tid).(i)]: swmr announcement slots (line 5). *)
+    announce_ts : Rt.aint array;
+        (** NBR+ per-thread even/odd broadcast timestamps (Algorithm 2);
+            allocated here so the base can stay scheme-agnostic. *)
+    done_stats : Smr_stats.t;  (** folded in from finished contexts *)
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = {
+    b : t;
+    tid : int;
+    bag : Limbo_bag.t;
+    scratch : int array;  (** collected reservations, sorted in place *)
+    st : Smr_stats.t;
+    (* NBR+ LoWatermark state (unused by plain NBR): *)
+    scan_ts : int array;
+    mutable first_lo : bool;
+    mutable bookmark : int;
+    mutable retires_since_scan : int;
+  }
+
+  let create pool ~nthreads cfg =
+    {
+      pool;
+      n = nthreads;
+      cfg;
+      reservations =
+        Array.init nthreads (fun _ ->
+            Array.init cfg.Smr_config.max_reservations (fun _ ->
+                Rt.make P.nil));
+      announce_ts = Array.init nthreads (fun _ -> Rt.make 0);
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
+
+  let register b ~tid =
+    let c =
+      {
+        b;
+        tid;
+        bag = Limbo_bag.create ~capacity:(b.cfg.Smr_config.bag_threshold + 8) ();
+        scratch = Array.make (b.n * b.cfg.Smr_config.max_reservations) 0;
+        st = Smr_stats.zero ();
+        scan_ts = Array.make b.n 0;
+        first_lo = true;
+        bookmark = 0;
+        retires_since_scan = 0;
+      }
+    in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  (* ------------------------------------------------------------------ *)
+  (* Read/write phase protocol (Algorithm 1, lines 6–13).                *)
+
+  let begin_read c =
+    let res = c.b.reservations.(c.tid) in
+    for i = 0 to Array.length res - 1 do
+      Rt.store res.(i) P.nil
+    done;
+    (* Signals sent while we held no pointers need no action (the paper's
+       "quiescent/preamble" handler case). *)
+    Rt.drain_signals ();
+    (* CAS(&restartable,0,1): the RMW orders the flag before any
+       subsequent read of shared records (paper line 8 discussion). *)
+    Rt.set_restartable true
+
+  let end_read c recs =
+    let res = c.b.reservations.(c.tid) in
+    let r = Array.length recs in
+    assert (r <= Array.length res);
+    for i = 0 to r - 1 do
+      Rt.store res.(i) recs.(i)
+    done;
+    (* CAS(&restartable,1,0): fence broadcasting the reservations before
+       the thread becomes non-restartable (paper line 12 discussion). *)
+    Rt.set_restartable false;
+    (* Polling runtimes: a signal that arrived before the publication
+       completed may have been missed by the sender's scan; restart (no
+       shared write has happened yet, so this is always legal).  The
+       [unsafe_end_read] knob disables this for ablation A2. *)
+    if
+      (not c.b.cfg.Smr_config.unsafe_end_read)
+      && Rt.consume_pending ()
+    then raise Rt.Neutralized
+
+  let phase c ~read ~write =
+    let attempts = ref 0 in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          begin_read c;
+          let payload, recs = read () in
+          end_read c recs;
+          write payload)
+    in
+    c.st.restarts <- c.st.restarts + !attempts - 1;
+    out
+
+  let read_only c f =
+    let attempts = ref 0 in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          begin_read c;
+          let r = f () in
+          end_read c [||];
+          r)
+    in
+    c.st.restarts <- c.st.restarts + !attempts - 1;
+    out
+
+  (* ------------------------------------------------------------------ *)
+  (* Guarded traversal.                                                  *)
+
+  let read_root c root =
+    Rt.poll ();
+    let v = Rt.load root in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_ptr c ~src ~field =
+    Rt.poll ();
+    let v = Rt.load (P.ptr_cell c.b.pool src field) in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_raw _c cell =
+    Rt.poll ();
+    Rt.load cell
+
+  (* ------------------------------------------------------------------ *)
+  (* Reclamation (Algorithm 1, lines 14–24).                             *)
+
+  let signal_all c =
+    for t = 0 to c.b.n - 1 do
+      if t <> c.tid then Rt.send_signal t
+    done
+
+  (* Collect every other thread's reservations into [c.scratch], sorted;
+     returns the count.  Scanned *after* signalling (writers' handshake
+     step 3). *)
+  let collect_reservations c =
+    let k = ref 0 in
+    for t = 0 to c.b.n - 1 do
+      if t <> c.tid then begin
+        let res = c.b.reservations.(t) in
+        for i = 0 to Array.length res - 1 do
+          let v = Rt.load res.(i) in
+          if v >= 0 then begin
+            c.scratch.(!k) <- v;
+            incr k
+          end
+        done
+      end
+    done;
+    let a = Array.sub c.scratch 0 !k in
+    Array.sort compare a;
+    Array.blit a 0 c.scratch 0 !k;
+    !k
+
+  let mem_sorted a n x =
+    let rec go lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = x then true
+        else if a.(mid) < x then go (mid + 1) hi
+        else go lo mid
+    in
+    go 0 n
+
+  (* Free every unreserved record retired before absolute bag position
+     [upto]. *)
+  let reclaim_freeable c ~upto =
+    let k = collect_reservations c in
+    let freed =
+      Limbo_bag.sweep c.bag ~upto
+        ~keep:(fun slot -> mem_sorted c.scratch k slot)
+        ~free:(fun slot -> P.free c.b.pool slot)
+    in
+    c.st.freed <- c.st.freed + freed
+
+  (* ------------------------------------------------------------------ *)
+
+  let begin_op _c = ()
+  let end_op _c = ()
+
+  let alloc c = P.alloc c.b.pool
+
+  let note_retired c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

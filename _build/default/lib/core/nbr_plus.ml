@@ -1,0 +1,102 @@
+(** NBR+: NBR with opportunistic reclamation (paper Algorithm 2).
+
+    The insight: one thread's reclamation event neutralizes {e everyone},
+    so during the resulting {e relaxed grace period} (RGP) every record
+    already in any limbo bag becomes either reserved or safe.  A thread
+    whose bag has crossed the LoWatermark therefore bookmarks its bag tail,
+    snapshots everyone's broadcast timestamps, and waits: if it later
+    observes some other thread's timestamp complete a full begin/end cycle
+    (even → even, +2), an RGP has elapsed and it may free everything up to
+    its bookmark {e without sending a single signal}.  Only a thread whose
+    bag fills to the HiWatermark pays for a broadcast of its own.
+
+    Timestamp parity: a thread increments its [announceTS] to an odd value
+    before broadcasting and to an even value after (lines 7–9).
+
+    Implementation note (parity round-up): Algorithm 2's check
+    [announceTS ≥ scanTS + 2] is taken with the snapshot rounded up to the
+    next even value.  For an odd snapshot (a broadcast was mid-flight when
+    we bookmarked), [+2] alone would accept the completion of that same
+    in-flight broadcast — whose earlier signals may predate our bookmark —
+    plus the {e beginning} of the next; rounding up demands a broadcast
+    that began strictly after the bookmark, which is what the safety
+    argument (Lemma 9) actually needs. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module B = Nbr_base.Make (Rt)
+
+  type aint = B.aint
+  type pool = B.pool
+  type t = B.t
+  type ctx = B.ctx
+
+  let scheme_name = "nbr+"
+  let bounded_garbage = true
+
+  let create = B.create
+  let register = B.register
+  let begin_op = B.begin_op
+  let end_op = B.end_op
+  let alloc = B.alloc
+  let phase = B.phase
+  let read_only = B.read_only
+  let read_root = B.read_root
+  let read_ptr = B.read_ptr
+  let read_raw = B.read_raw
+  let stats = B.stats
+
+  let cleanup (c : ctx) =
+    c.first_lo <- true;
+    c.retires_since_scan <- 0
+
+  (* Algorithm 2, lines 5–26. *)
+  let retire (c : ctx) slot =
+    B.note_retired c slot;
+    let open Smr_config in
+    let cfg = c.b.cfg in
+    let size = Limbo_bag.size c.bag in
+    if size >= cfg.bag_threshold then begin
+      (* HiWatermark: trigger an RGP of our own. *)
+      ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* odd: broadcasting  *);
+      B.signal_all c;
+      ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
+      B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
+      c.st.reclaim_events <- c.st.reclaim_events + 1;
+      cleanup c
+    end
+    else if size >= cfg.lo_watermark then begin
+      if c.first_lo then begin
+        (* First retire past the LoWatermark: bookmark and snapshot
+           (lines 13–16), rounding odd timestamps up — see note above. *)
+        c.bookmark <- Limbo_bag.abs_tail c.bag;
+        for t = 0 to c.b.n - 1 do
+          let v = Rt.load c.b.announce_ts.(t) in
+          c.scan_ts.(t) <- v + (v land 1)
+        done;
+        c.first_lo <- false;
+        c.retires_since_scan <- 0
+      end
+      else begin
+        (* Amortized RGP scan (footnote c). *)
+        c.retires_since_scan <- c.retires_since_scan + 1;
+        if c.retires_since_scan >= cfg.scan_period then begin
+          c.retires_since_scan <- 0;
+          let rgp = ref false in
+          let t = ref 0 in
+          while (not !rgp) && !t < c.b.n do
+            if
+              !t <> c.tid
+              && Rt.load c.b.announce_ts.(!t) >= c.scan_ts.(!t) + 2
+            then rgp := true;
+            incr t
+          done;
+          if !rgp then begin
+            B.reclaim_freeable c ~upto:c.bookmark;
+            c.st.lo_reclaims <- c.st.lo_reclaims + 1;
+            cleanup c
+          end
+        end
+      end
+    end;
+    Limbo_bag.push c.bag slot
+end

@@ -1,0 +1,124 @@
+(** QSBR: quiescent-state-based reclamation.
+
+    Threads flip a per-thread counter odd at operation start and even at
+    operation end, so an even value means "currently quiescent" and any
+    change means "passed through a quiescent state".  A thread whose
+    retire buffer fills snapshots all counters and parks the buffer; a
+    parked buffer is freed once every other thread has either quiesced
+    since the snapshot or is currently quiescent.
+
+    Not bounded: a thread stalled {e inside} an operation freezes its odd
+    counter and blocks every parked buffer behind it. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type parked = { snap : int array; recs : Nbr_sync.Int_vec.t }
+
+  type t = {
+    pool : P.t;
+    n : int;
+    cfg : Smr_config.t;
+    qs : Rt.aint array;
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = {
+    b : t;
+    tid : int;
+    mutable current : Nbr_sync.Int_vec.t;
+    mutable parked : parked list;
+    st : Smr_stats.t;
+  }
+
+  let scheme_name = "qsbr"
+  let bounded_garbage = false
+
+  let create pool ~nthreads cfg =
+    {
+      pool;
+      n = nthreads;
+      cfg;
+      qs = Array.init nthreads (fun _ -> Rt.make 0);
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
+
+  let register b ~tid =
+    let c =
+      {
+        b;
+        tid;
+        current = Nbr_sync.Int_vec.create ();
+        parked = [];
+        st = Smr_stats.zero ();
+      }
+    in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let begin_op c = ignore (Rt.faa c.b.qs.(c.tid) 1) (* odd: active *)
+  let end_op c = ignore (Rt.faa c.b.qs.(c.tid) 1) (* even: quiescent *)
+  let alloc c = P.alloc c.b.pool
+
+  let grace_elapsed c (p : parked) =
+    let ok = ref true in
+    for t = 0 to c.b.n - 1 do
+      if !ok && t <> c.tid then begin
+        let v = Rt.load c.b.qs.(t) in
+        (* Safe if currently quiescent, or advanced since the snapshot. *)
+        if v land 1 = 1 && v = p.snap.(t) then ok := false
+      end
+    done;
+    !ok
+
+  let try_collect c =
+    let ready, waiting = List.partition (grace_elapsed c) c.parked in
+    List.iter
+      (fun p ->
+        Nbr_sync.Int_vec.iter (fun slot -> P.free c.b.pool slot) p.recs;
+        c.st.freed <- c.st.freed + Nbr_sync.Int_vec.length p.recs;
+        c.st.reclaim_events <- c.st.reclaim_events + 1)
+      ready;
+    c.parked <- waiting
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Nbr_sync.Int_vec.push c.current slot;
+    if Nbr_sync.Int_vec.length c.current >= c.b.cfg.Smr_config.bag_threshold
+    then begin
+      let snap = Array.init c.b.n (fun t -> Rt.load c.b.qs.(t)) in
+      c.parked <- { snap; recs = c.current } :: c.parked;
+      c.current <- Nbr_sync.Int_vec.create ();
+      try_collect c
+    end
+
+  let phase _c ~read ~write =
+    let payload, _recs = read () in
+    write payload
+
+  let read_only _c f = f ()
+
+  let read_root c root =
+    let v = Rt.load root in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_ptr c ~src ~field =
+    let v = Rt.load (P.ptr_cell c.b.pool src field) in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_raw _c cell = Rt.load cell
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

@@ -1,0 +1,101 @@
+(** RCU-flavoured epoch reclamation (the IBR benchmark's "RCU" baseline).
+
+    Readers announce the global epoch on entry and withdraw on exit;
+    retired records are stamped with the epoch at retire time; a reclaimer
+    bumps the global epoch and frees records stamped strictly before the
+    minimum announced epoch.  Equivalent to classic EBR without DEBRA's
+    amortized scanning or bag rotation.
+
+    Not bounded: a reader stalled inside an operation pins the minimum
+    epoch. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  let idle = max_int
+
+  type t = {
+    pool : P.t;
+    n : int;
+    cfg : Smr_config.t;
+    epoch : Rt.aint;
+    ann : Rt.aint array;
+    retire_ep : int array;  (** per-slot retire epoch (thread-owned writes) *)
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = { b : t; tid : int; bag : Limbo_bag.t; st : Smr_stats.t }
+
+  let scheme_name = "rcu"
+  let bounded_garbage = false
+
+  let create pool ~nthreads cfg =
+    {
+      pool;
+      n = nthreads;
+      cfg;
+      epoch = Rt.make 1;
+      ann = Array.init nthreads (fun _ -> Rt.make idle);
+      retire_ep = Array.make (P.capacity pool) 0;
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
+
+  let register b ~tid =
+    let c = { b; tid; bag = Limbo_bag.create (); st = Smr_stats.zero () } in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let begin_op c = Rt.store c.b.ann.(c.tid) (Rt.load c.b.epoch)
+  let end_op c = Rt.store c.b.ann.(c.tid) idle
+  let alloc c = P.alloc c.b.pool
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    c.b.retire_ep.(slot) <- Rt.load c.b.epoch;
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+      ignore (Rt.faa c.b.epoch 1);
+      let min_ann = ref max_int in
+      for t = 0 to c.b.n - 1 do
+        let a = Rt.load c.b.ann.(t) in
+        if a < !min_ann then min_ann := a
+      done;
+      let freed =
+        Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag)
+          ~keep:(fun s -> c.b.retire_ep.(s) >= !min_ann)
+          ~free:(fun s -> P.free c.b.pool s)
+      in
+      c.st.freed <- c.st.freed + freed;
+      c.st.reclaim_events <- c.st.reclaim_events + 1
+    end
+
+  let phase _c ~read ~write =
+    let payload, _recs = read () in
+    write payload
+
+  let read_only _c f = f ()
+
+  let read_root c root =
+    let v = Rt.load root in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_ptr c ~src ~field =
+    let v = Rt.load (P.ptr_cell c.b.pool src field) in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_raw _c cell = Rt.load cell
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

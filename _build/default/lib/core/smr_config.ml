@@ -1,0 +1,45 @@
+(** Tuning knobs shared by all reclamation schemes.
+
+    One record serves every scheme so the harness can sweep parameters
+    uniformly; each scheme reads the fields that concern it and ignores the
+    rest. *)
+
+type t = {
+  bag_threshold : int;
+      (** Retired records a thread buffers before triggering a reclamation
+          event (the paper's HiWatermark; 32k in their experiments, scaled
+          down here with the structure sizes). *)
+  lo_watermark : int;
+      (** NBR+ LoWatermark: bag size at which a thread starts watching for
+          relaxed grace periods (paper suggests 1/2 or 1/4 of the bag). *)
+  scan_period : int;
+      (** NBR+ footnote (c): scan announceTS only every [scan_period]
+          retires while at the LoWatermark, to amortize cache misses. *)
+  max_reservations : int;
+      (** R: records a thread may reserve per write phase.  2 suffices for
+          the lazy list, 3 for DGT / Harris / (a,b)-tree (paper §6). *)
+  epoch_freq : int;
+      (** IBR/HE: allocations between global-era bumps; DEBRA: amortization
+          of the epoch-advance scan (checks epoch_freq/8 threads per
+          begin_op, so the default of 16 gives DEBRA its characteristic
+          two-load per-operation overhead). *)
+  unsafe_end_read : bool;
+      (** Ablation A2 (never enable in real use): skip the pending-signal
+          check that closes the reservation-publication race in polling
+          runtimes (see {!Runtime_intf.consume_pending}).  With this on, a
+          signal that lands between a reader's last poll and its
+          reservation publish can be missed by both sides, re-opening the
+          use-after-free window the writers' handshake exists to close. *)
+}
+
+let default =
+  {
+    bag_threshold = 512;
+    lo_watermark = 256;
+    scan_period = 4;
+    max_reservations = 3;
+    epoch_freq = 16;
+    unsafe_end_read = false;
+  }
+
+let with_threshold c n = { c with bag_threshold = n; lo_watermark = n / 2 }

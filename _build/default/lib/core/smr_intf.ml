@@ -1,0 +1,105 @@
+(** The common interface of all safe-memory-reclamation schemes.
+
+    Data structures are written once against this signature and instantiated
+    with any scheme (NBR, NBR+, DEBRA, QSBR, RCU, IBR, HP, leaky...).  The
+    operation protocol mirrors the paper's Figure 1/2b:
+
+    {v
+      begin_op ctx;
+      ... preamble: globals, allocation ...
+      phase ctx
+        ~read:(fun () -> (* Φread: traverse via read_root/read_ptr      *)
+                         (payload, [| reserved records ... |]))
+        ~write:(fun payload -> (* Φwrite: locks, validation, updates,
+                                  access only to reserved records       *) ...);
+      end_op ctx
+    v}
+
+    [phase] encapsulates the whole neutralization discipline: it
+    checkpoints ([sigsetjmp]), runs the read phase restartably, publishes
+    the reservations with the fenced flag flip of Algorithm 1 (lines
+    11–12), and runs the write phase non-restartably.  k-NBR structures
+    (Harris list, (a,b)-tree) simply invoke [phase] several times per
+    operation; each read phase must then re-traverse from the root
+    (paper §5.2).
+
+    Schemes without phases implement [phase] as plain function application,
+    so the same data-structure code runs under every scheme.  For HP,
+    [read_ptr] performs the announce/fence/validate dance and aborts the
+    read phase (via the checkpoint) when validation fails. *)
+
+module type S = sig
+  type aint
+  type pool
+  type t
+  type ctx
+
+  val scheme_name : string
+
+  val bounded_garbage : bool
+  (** Whether the scheme bounds unreclaimed records in the presence of
+      stalled threads (the paper's P2; tested in the E2 suite). *)
+
+  val create : pool -> nthreads:int -> Smr_config.t -> t
+  (** One instance per data structure; [nthreads] worker contexts may
+      register. *)
+
+  val register : t -> tid:int -> ctx
+  (** The context for worker [tid]; must be called by each worker (or
+      before the run) exactly once per instance. *)
+
+  (** {1 Operation lifecycle} *)
+
+  val begin_op : ctx -> unit
+  val end_op : ctx -> unit
+
+  val alloc : ctx -> int
+  (** Allocate a record (pool slot), applying scheme hooks (e.g. IBR birth
+      eras).  Legal in the preamble and in write phases; never in a read
+      phase. *)
+
+  val retire : ctx -> int -> unit
+  (** Hand an {e unlinked} record to the scheme.  May trigger reclamation
+      (and, for NBR/NBR+, neutralization signals).  The caller must not
+      touch the record afterwards. *)
+
+  (** {1 Phases} *)
+
+  val phase : ctx -> read:(unit -> 'a * int array) -> write:('a -> 'b) -> 'b
+  (** Run one Φread/Φwrite pair.  [read] must obey the paper's read-phase
+      rules (§4.1): traverse shared records only through {!read_root} /
+      {!read_ptr} / field reads, no shared writes, no allocation, no
+      locks — it can be abandoned and replayed at any moment.  Its result
+      array lists every record the write phase will access (at most
+      [max_reservations]).  [write] runs exactly once per successful read
+      phase and must only access reserved records (plus records it
+      allocates). *)
+
+  val read_only : ctx -> (unit -> 'a) -> 'a
+  (** A degenerate phase for operations with no write phase (contains):
+      equivalent to [phase ~read:(fun () -> (f (), [||])) ~write:Fun.id]. *)
+
+  (** {1 Guarded traversal} *)
+
+  val read_root : ctx -> aint -> int
+  (** Dereference an entry-point cell (e.g. the anchor's child pointer). *)
+
+  val read_ptr : ctx -> src:int -> field:int -> int
+  (** Follow pointer field [field] of record [src] (which must have been
+      obtained through guarded traversal in the current read phase).  This
+      is the delivery/poll point of the neutralization discipline and the
+      protect point of HP-style schemes. *)
+
+  val read_raw : ctx -> aint -> int
+  (** Guarded load of a shared word that is not a plain record pointer —
+      e.g. a mark-tagged link in the Harris list, where the slot id and the
+      mark share the word.  A delivery/poll point like {!read_ptr}, but
+      hazard-pointer schemes cannot publish protection through it: this is
+      precisely the paper's P5 limitation of HP with structures that
+      traverse marked nodes, and the benchmarks never pair HP with such
+      structures. *)
+
+  (** {1 Introspection} *)
+
+  val stats : t -> Smr_stats.t
+end

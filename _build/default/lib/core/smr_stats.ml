@@ -1,0 +1,30 @@
+(** Per-scheme reclamation statistics.
+
+    Aggregated across thread contexts by [Smr.stats].  Instrumentation
+    only; never read on algorithm hot paths. *)
+
+type t = {
+  mutable retires : int;  (** records handed to [retire] *)
+  mutable freed : int;  (** records returned to the pool *)
+  mutable reclaim_events : int;
+      (** full reclamation events (NBR HiWatermark sweeps, HP/IBR scans,
+          DEBRA bag rotations, ...) *)
+  mutable lo_reclaims : int;  (** NBR+ opportunistic LoWatermark sweeps *)
+  mutable restarts : int;
+      (** read phases restarted by neutralization or protection failure *)
+}
+
+let zero () =
+  { retires = 0; freed = 0; reclaim_events = 0; lo_reclaims = 0; restarts = 0 }
+
+let add into from =
+  into.retires <- into.retires + from.retires;
+  into.freed <- into.freed + from.freed;
+  into.reclaim_events <- into.reclaim_events + from.reclaim_events;
+  into.lo_reclaims <- into.lo_reclaims + from.lo_reclaims;
+  into.restarts <- into.restarts + from.restarts
+
+let pp ppf s =
+  Format.fprintf ppf
+    "retires=%d freed=%d reclaim_events=%d lo_reclaims=%d restarts=%d"
+    s.retires s.freed s.reclaim_events s.lo_reclaims s.restarts

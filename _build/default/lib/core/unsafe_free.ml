@@ -1,0 +1,69 @@
+(** The unsafe foil: free immediately on retire, with no protection.
+
+    Exists to {e demonstrate} the problem SMR solves: under concurrency,
+    readers dereference freed (and recycled) slots, which the pool's
+    instrumentation counts as use-after-free reads, and pointer CAS can
+    succeed spuriously (ABA).  Tests use this scheme — in small, bounded
+    scenarios only — to show that the detectors fire here and stay silent
+    under NBR.  Never use it for anything else: traversals over recycled
+    slots may not terminate. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  type aint = Rt.aint
+  type pool = P.t
+
+  type t = {
+    pool : P.t;
+    done_stats : Smr_stats.t;
+    mutable ctxs : ctx option array;
+  }
+
+  and ctx = { b : t; st : Smr_stats.t }
+
+  let scheme_name = "unsafe-free"
+  let bounded_garbage = true (* trivially: nothing is ever buffered *)
+
+  let create pool ~nthreads _cfg =
+    { pool; done_stats = Smr_stats.zero (); ctxs = Array.make nthreads None }
+
+  let register b ~tid =
+    let c = { b; st = Smr_stats.zero () } in
+    b.ctxs.(tid) <- Some c;
+    c
+
+  let begin_op _ = ()
+  let end_op _ = ()
+  let alloc c = P.alloc c.b.pool
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    c.st.freed <- c.st.freed + 1;
+    P.free c.b.pool slot
+
+  let phase _c ~read ~write =
+    let payload, _recs = read () in
+    write payload
+
+  let read_only _c f = f ()
+
+  let read_root c root =
+    let v = Rt.load root in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_ptr c ~src ~field =
+    let v = Rt.load (P.ptr_cell c.b.pool src field) in
+    if v >= 0 then P.record_read c.b.pool v;
+    v
+
+  let read_raw _c cell = Rt.load cell
+
+  let stats b =
+    let acc = Smr_stats.zero () in
+    Smr_stats.add acc b.done_stats;
+    Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
+    acc
+end

@@ -1,0 +1,1 @@
+lib/ds/nbr_ds.ml: Ab_tree Dgt_bst Harris_list Hash_set Lazy_list Skip_list

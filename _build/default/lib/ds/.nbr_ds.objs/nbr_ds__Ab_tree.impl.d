@@ -1,0 +1,1 @@
+lib/ds/ab_tree.ml: Array List Nbr_core Nbr_pool Nbr_runtime Nbr_sync

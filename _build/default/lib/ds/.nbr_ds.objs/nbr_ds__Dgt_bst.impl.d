@@ -1,0 +1,1 @@
+lib/ds/dgt_bst.ml: List Nbr_core Nbr_pool Nbr_runtime Nbr_sync

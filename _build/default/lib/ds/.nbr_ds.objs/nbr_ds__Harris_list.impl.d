@@ -1,0 +1,1 @@
+lib/ds/harris_list.ml: List Nbr_core Nbr_pool Nbr_runtime Option

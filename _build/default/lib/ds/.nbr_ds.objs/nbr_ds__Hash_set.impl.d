@@ -1,0 +1,1 @@
+lib/ds/hash_set.ml: Array Harris_list List Nbr_core Nbr_pool Nbr_runtime

@@ -1,0 +1,1 @@
+lib/ds/lazy_list.ml: List Nbr_core Nbr_pool Nbr_runtime Nbr_sync

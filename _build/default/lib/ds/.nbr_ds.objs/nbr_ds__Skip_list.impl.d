@@ -1,0 +1,1 @@
+lib/ds/skip_list.ml: Array Hashtbl List Nbr_core Nbr_pool Nbr_runtime Nbr_sync

@@ -1,0 +1,199 @@
+(** External binary search tree with lock-free searches and lock-based,
+    validated updates — in the style of David, Guerraoui and Trigonakis'
+    BST-TK (ASPLOS'15), the "DGT" tree of the paper's E1 experiments.
+
+    Leaves hold the set's keys; internal nodes are routers (keys < router
+    go left, ≥ router go right).  Searches descend with no synchronization
+    at all.  Insert locks the leaf's parent, validates the edge, and swings
+    it to a freshly built router-with-two-leaves.  Delete locks grandparent
+    and parent, validates both edges, and splices the parent out (the leaf
+    and the router retire).
+
+    This is exactly the optimistic pattern the paper calls NBR-compatible
+    and DEBRA+-incompatible (§5.2): a thread holding locks is by
+    construction in its write phase and can never be neutralized.  At most
+    3 records are reserved per operation (grandparent, parent, leaf), the
+    figure the paper reports for DGT (§6).
+
+    Sentinel structure: a root router with key [max_int] whose left child
+    is a leaf with key [min_int] and whose right child is a leaf with key
+    [max_int]; real keys live strictly between, so every reachable leaf has
+    a parent, every parent a grandparent (the root never needs one because
+    its direct leaves — the sentinels — are never deleted).
+
+    Record layout: data0 = key, data1 = marked; ptr0 = left, ptr1 = right.
+    A node is a leaf iff both children are nil. *)
+
+module Make
+    (Rt : Nbr_runtime.Runtime_intf.S)
+    (Smr : Nbr_core.Smr_intf.S
+             with type aint = Rt.aint
+              and type pool = Nbr_pool.Pool.Make(Rt).t) =
+struct
+  module P = Nbr_pool.Pool.Make (Rt)
+  module Lock = Nbr_sync.Spinlock.Make (Rt)
+
+  let name = "dgt-tree"
+
+  let data_fields = 2
+  let ptr_fields = 2
+  let max_reservations = 3
+
+  let f_key = 0
+  let f_marked = 1
+
+  type t = { pool : P.t; root : int }
+
+  let create pool =
+    let root = P.alloc pool in
+    let l = P.alloc pool in
+    let r = P.alloc pool in
+    P.set_data pool root f_key max_int;
+    P.set_data pool l f_key min_int;
+    P.set_data pool r f_key max_int;
+    P.set_ptr pool root 0 l;
+    P.set_ptr pool root 1 r;
+    { pool; root }
+
+  let key t s = P.get_data t.pool s f_key
+  let marked t s = P.get_data t.pool s f_marked = 1
+  let dir t s k = if k < key t s then 0 else 1
+  let is_leaf t s = P.get_ptr t.pool s 0 = P.nil
+
+  (* Φread: descend to the leaf for [k], tracking grandparent and parent.
+     Returns (gparent, gdir, parent, pdir, leaf). The root is its own
+     grandparent for depth-1 leaves; those leaves are sentinels and are
+     never deleted, so the slot is never dereferenced in that case. *)
+  let search t ctx k =
+    let gp = ref t.root and gdir = ref 0 in
+    let p = ref t.root and pdir = ref (dir t t.root k) in
+    let l = ref (Smr.read_ptr ctx ~src:t.root ~field:!pdir) in
+    while not (is_leaf t !l) do
+      gp := !p;
+      gdir := !pdir;
+      p := !l;
+      pdir := dir t !l k;
+      l := Smr.read_ptr ctx ~src:!l ~field:!pdir
+    done;
+    (!gp, !gdir, !p, !pdir, !l)
+
+  let contains t ctx k =
+    Smr.begin_op ctx;
+    let r =
+      Smr.read_only ctx (fun () ->
+          let _, _, _, _, l = search t ctx k in
+          key t l = k)
+    in
+    Smr.end_op ctx;
+    r
+
+  type 'a outcome = Done of 'a | Retry
+
+  let insert t ctx k =
+    Smr.begin_op ctx;
+    let rec attempt () =
+      let out =
+        Smr.phase ctx
+          ~read:(fun () ->
+            let _, _, p, pdir, l = search t ctx k in
+            ((p, pdir, l), [| p; l |]))
+          ~write:(fun (p, pdir, l) ->
+            if key t l = k then Done false
+            else begin
+              let pl = P.lock_cell t.pool p in
+              Lock.lock pl;
+              if marked t p || P.get_ptr t.pool p pdir <> l then begin
+                Lock.unlock pl;
+                Retry
+              end
+              else begin
+                (* Replace the leaf edge by router(max k lk) over the two
+                   leaves, ordered by key. *)
+                let lk = key t l in
+                let leaf = Smr.alloc ctx in
+                P.set_data t.pool leaf f_key k;
+                P.set_data t.pool leaf f_marked 0;
+                P.set_ptr t.pool leaf 0 P.nil;
+                P.set_ptr t.pool leaf 1 P.nil;
+                let router = Smr.alloc ctx in
+                P.set_data t.pool router f_key (max k lk);
+                P.set_data t.pool router f_marked 0;
+                if k < lk then begin
+                  P.set_ptr t.pool router 0 leaf;
+                  P.set_ptr t.pool router 1 l
+                end
+                else begin
+                  P.set_ptr t.pool router 0 l;
+                  P.set_ptr t.pool router 1 leaf
+                end;
+                P.set_ptr t.pool p pdir router;
+                Lock.unlock pl;
+                Done true
+              end
+            end)
+      in
+      match out with Done r -> r | Retry -> attempt ()
+    in
+    let r = attempt () in
+    Smr.end_op ctx;
+    r
+
+  let delete t ctx k =
+    Smr.begin_op ctx;
+    let rec attempt () =
+      let out =
+        Smr.phase ctx
+          ~read:(fun () ->
+            let gp, gdir, p, pdir, l = search t ctx k in
+            ((gp, gdir, p, pdir, l), [| gp; p; l |]))
+          ~write:(fun (gp, gdir, p, pdir, l) ->
+            if key t l <> k then Done false
+            else begin
+              let gpl = P.lock_cell t.pool gp in
+              let pl = P.lock_cell t.pool p in
+              Lock.lock gpl;
+              Lock.lock pl;
+              if
+                marked t gp || marked t p
+                || P.get_ptr t.pool gp gdir <> p
+                || P.get_ptr t.pool p pdir <> l
+              then begin
+                Lock.unlock pl;
+                Lock.unlock gpl;
+                Retry
+              end
+              else begin
+                (* Splice the router [p] out: its other child replaces it
+                   under [gp]. *)
+                let sibling = P.get_ptr t.pool p (1 - pdir) in
+                P.set_data t.pool p f_marked 1;
+                P.set_data t.pool l f_marked 1;
+                P.set_ptr t.pool gp gdir sibling;
+                Lock.unlock pl;
+                Lock.unlock gpl;
+                Smr.retire ctx p;
+                Smr.retire ctx l;
+                Done true
+              end
+            end)
+      in
+      match out with Done r -> r | Retry -> attempt ()
+    in
+    let r = attempt () in
+    Smr.end_op ctx;
+    r
+
+  (** Sequential key list (tests only). *)
+  let to_list t =
+    let rec go s acc =
+      if s = P.nil then acc
+      else if is_leaf t s then begin
+        let k = P.get_data t.pool s f_key in
+        if k = min_int || k = max_int then acc else k :: acc
+      end
+      else go (P.get_ptr t.pool s 0) (go (P.get_ptr t.pool s 1) acc)
+    in
+    go t.root []
+
+  let size t = List.length (to_list t)
+end

@@ -1,0 +1,192 @@
+(** Harris lock-free linked list (DISC'01), integrated with k-NBR.
+
+    The paper's "incompatible pattern" made compatible (§5.2, Algorithm 3):
+    Harris searches perform {e auxiliary updates} — physically unlinking
+    logically-deleted (marked) nodes they encounter — so an operation
+    cannot be a single Φread/Φwrite pair.  Following the paper, each
+    auxiliary unlink is its own write phase, after which the operation
+    starts a {e fresh read phase from the head}; the final insert/delete is
+    a last write phase.  One marked node is unlinked per write phase,
+    keeping the reservation count at the 3 the paper reports for this
+    structure.
+
+    A node's mark lives in the low bit of its [next] word (slot id in the
+    remaining bits), so traversal reads links with [Smr.read_raw] — the
+    mark-tagged access hazard-pointer schemes cannot protect, which is why
+    the paper (and our benches) pair this structure only with k-NBR(+),
+    DEBRA and leaky reclamation.
+
+    Record layout: data0 = key; ptr0 = next (tagged). *)
+
+module Make
+    (Rt : Nbr_runtime.Runtime_intf.S)
+    (Smr : Nbr_core.Smr_intf.S
+             with type aint = Rt.aint
+              and type pool = Nbr_pool.Pool.Make(Rt).t) =
+struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  let name = "harris-list"
+
+  let data_fields = 1
+  let ptr_fields = 1
+  let max_reservations = 3
+
+  let f_key = 0
+  let f_next = 0
+
+  (* Tagged link encoding. *)
+  let enc slot mark = (slot lsl 1) lor mark
+  let dec_slot e = e asr 1
+  let is_marked e = e land 1 = 1
+
+  type t = { pool : P.t; head : int; tail : int }
+
+  let create pool =
+    let head = P.alloc pool and tail = P.alloc pool in
+    P.set_data pool head f_key min_int;
+    P.set_data pool tail f_key max_int;
+    P.set_ptr pool head f_next (enc tail 0);
+    P.set_ptr pool tail f_next (enc P.nil 0);
+    { pool; head; tail }
+
+  let key t s = P.get_data t.pool s f_key
+  let next_cell t s = P.ptr_cell t.pool s f_next
+
+  (* What a read phase discovers: either the target window, or a marked
+     node that must be unlinked first (one auxiliary update per phase). *)
+  type found =
+    | Window of int * int  (** pred (unmarked link to curr), curr ≥ key *)
+    | Marked of int * int * int  (** pred, marked curr, its successor *)
+
+  (* Φread: walk from the head; stop at the first marked node or at the
+     window for [k].  Reads links through [read_raw] and records the
+     dereference for the pool's UAF instrumentation. *)
+  let traverse t ctx k =
+    let pred = ref t.head in
+    let pe = ref (Smr.read_raw ctx (next_cell t t.head)) in
+    (* head is never marked *)
+    let curr = ref (dec_slot !pe) in
+    let result = ref None in
+    while !result = None do
+      P.record_read t.pool !curr;
+      let ce = Smr.read_raw ctx (next_cell t !curr) in
+      if is_marked ce then result := Some (Marked (!pred, !curr, dec_slot ce))
+      else if key t !curr >= k then result := Some (Window (!pred, !curr))
+      else begin
+        pred := !curr;
+        curr := dec_slot ce
+      end
+    done;
+    Option.get !result
+
+  (* Membership traversal: skips marked nodes without helping (Harris's
+     wait-free search; it may walk through unlinked records). *)
+  let contains t ctx k =
+    Smr.begin_op ctx;
+    let r =
+      Smr.read_only ctx (fun () ->
+          let curr = ref (dec_slot (Smr.read_raw ctx (next_cell t t.head))) in
+          while key t !curr < k do
+            P.record_read t.pool !curr;
+            curr := dec_slot (Smr.read_raw ctx (next_cell t !curr))
+          done;
+          key t !curr = k
+          && not (is_marked (Smr.read_raw ctx (next_cell t !curr))))
+    in
+    Smr.end_op ctx;
+    r
+
+  type 'a outcome = Done of 'a | Again
+
+  (* One auxiliary write phase: unlink a marked node, then force a fresh
+     read phase from the head (k-NBR rule: every new Φread forgets all
+     pointers and restarts from the root). *)
+  let unlink_phase t ctx pred curr succ =
+    if Rt.cas (next_cell t pred) (enc curr 0) (enc succ 0) then
+      Smr.retire ctx curr;
+    Again
+
+  let insert t ctx k =
+    Smr.begin_op ctx;
+    let rec attempt () =
+      let out =
+        Smr.phase ctx
+          ~read:(fun () ->
+            match traverse t ctx k with
+            | Window (pred, curr) as w -> (w, [| pred; curr |])
+            | Marked (pred, curr, succ) as m -> (m, [| pred; curr; succ |]))
+          ~write:(function
+            | Marked (pred, curr, succ) -> unlink_phase t ctx pred curr succ
+            | Window (pred, curr) ->
+                if key t curr = k then Done false
+                else begin
+                  let node = Smr.alloc ctx in
+                  P.set_data t.pool node f_key k;
+                  P.set_ptr t.pool node f_next (enc curr 0);
+                  if Rt.cas (next_cell t pred) (enc curr 0) (enc node 0) then
+                    Done true
+                  else begin
+                    (* Never published: plain free, no grace period needed. *)
+                    P.free t.pool node;
+                    Again
+                  end
+                end)
+      in
+      match out with Done r -> r | Again -> attempt ()
+    in
+    let r = attempt () in
+    Smr.end_op ctx;
+    r
+
+  let delete t ctx k =
+    Smr.begin_op ctx;
+    let rec attempt () =
+      let out =
+        Smr.phase ctx
+          ~read:(fun () ->
+            match traverse t ctx k with
+            | Window (pred, curr) as w -> (w, [| pred; curr |])
+            | Marked (pred, curr, succ) as m -> (m, [| pred; curr; succ |]))
+          ~write:(function
+            | Marked (pred, curr, succ) -> unlink_phase t ctx pred curr succ
+            | Window (pred, curr) ->
+                if key t curr <> k then Done false
+                else begin
+                  let ce = Rt.load (next_cell t curr) in
+                  if is_marked ce then Again (* another deleter won *)
+                  else if
+                    (* Logical deletion: mark curr's next word. *)
+                    Rt.cas (next_cell t curr) ce (enc (dec_slot ce) 1)
+                  then begin
+                    (* Physical unlink; on failure a later traversal will
+                       clean up (auxiliary phase). *)
+                    if
+                      Rt.cas (next_cell t pred) (enc curr 0)
+                        (enc (dec_slot ce) 0)
+                    then Smr.retire ctx curr;
+                    Done true
+                  end
+                  else Again
+                end)
+      in
+      match out with Done r -> r | Again -> attempt ()
+    in
+    let r = attempt () in
+    Smr.end_op ctx;
+    r
+
+  (** Sequential snapshot of unmarked keys (tests only). *)
+  let to_list t =
+    let rec go s acc =
+      if s = t.tail then List.rev acc
+      else
+        let e = P.get_ptr t.pool s f_next in
+        let k = P.get_data t.pool s f_key in
+        let acc = if is_marked e then acc else k :: acc in
+        go (dec_slot e) acc
+    in
+    go (dec_slot (P.get_ptr t.pool t.head f_next)) []
+
+  let size t = List.length (to_list t)
+end

@@ -1,0 +1,164 @@
+(** Lazy concurrent list-based set (Heller et al., OPODIS'05).
+
+    The paper's representative list workload (E1, figures 3b/6).  Sorted
+    singly-linked list with sentinel head/tail; wait-free [contains];
+    [insert]/[delete] traverse optimistically, then lock the target window
+    ⟨pred, curr⟩ and validate.  Deletion is lazy: mark [curr], then
+    physically unlink.
+
+    SMR integration is the paper's Figure 2b, verbatim: the traversal is
+    the read phase, ⟨pred, curr⟩ are the (two) reserved records, and
+    everything from lock acquisition on is the write phase.  Operations
+    never span phases, so plain NBR/NBR+ applies (the "compatible
+    pattern", §5.2).
+
+    Record layout: data0 = key, data1 = marked; ptr0 = next. *)
+
+module Make
+    (Rt : Nbr_runtime.Runtime_intf.S)
+    (Smr : Nbr_core.Smr_intf.S
+             with type aint = Rt.aint
+              and type pool = Nbr_pool.Pool.Make(Rt).t) =
+struct
+  module P = Nbr_pool.Pool.Make (Rt)
+  module Lock = Nbr_sync.Spinlock.Make (Rt)
+
+  let name = "lazy-list"
+
+  let data_fields = 2
+  let ptr_fields = 1
+  let max_reservations = 2
+
+  let f_key = 0
+  let f_marked = 1
+  let f_next = 0
+
+  type t = { pool : P.t; head : int; tail : int }
+
+  (** Sentinels are allocated outside any operation and never retired. *)
+  let create pool =
+    let head = P.alloc pool and tail = P.alloc pool in
+    P.set_data pool head f_key min_int;
+    P.set_data pool tail f_key max_int;
+    P.set_ptr pool head f_next tail;
+    P.set_ptr pool tail f_next P.nil;
+    { pool; head; tail }
+
+  let key t s = P.get_data t.pool s f_key
+  let marked t s = P.get_data t.pool s f_marked = 1
+
+  (* Φread: locate the window ⟨pred, curr⟩ with key pred < k ≤ key curr. *)
+  let search t ctx k =
+    let pred = ref t.head in
+    let curr = ref (Smr.read_ptr ctx ~src:t.head ~field:f_next) in
+    while key t !curr < k do
+      pred := !curr;
+      curr := Smr.read_ptr ctx ~src:!curr ~field:f_next
+    done;
+    (!pred, !curr)
+
+  let contains t ctx k =
+    Smr.begin_op ctx;
+    let r =
+      Smr.read_only ctx (fun () ->
+          let _, curr = search t ctx k in
+          key t curr = k && not (marked t curr))
+    in
+    Smr.end_op ctx;
+    r
+
+  (* Φwrite helper: lock the window and validate it is still intact. *)
+  let lock_window t pred curr =
+    Lock.lock (P.lock_cell t.pool pred);
+    Lock.lock (P.lock_cell t.pool curr);
+    (not (marked t pred))
+    && (not (marked t curr))
+    && P.get_ptr t.pool pred f_next = curr
+
+  let unlock_window t pred curr =
+    Lock.unlock (P.lock_cell t.pool curr);
+    Lock.unlock (P.lock_cell t.pool pred)
+
+  type 'a outcome = Done of 'a | Retry
+
+  let insert t ctx k =
+    Smr.begin_op ctx;
+    let rec attempt () =
+      let out =
+        Smr.phase ctx
+          ~read:(fun () ->
+            let pred, curr = search t ctx k in
+            ((pred, curr), [| pred; curr |]))
+          ~write:(fun (pred, curr) ->
+            if not (lock_window t pred curr) then begin
+              unlock_window t pred curr;
+              Retry
+            end
+            else if key t curr = k then begin
+              unlock_window t pred curr;
+              Done false
+            end
+            else begin
+              let node = Smr.alloc ctx in
+              P.set_data t.pool node f_key k;
+              P.set_data t.pool node f_marked 0;
+              P.set_ptr t.pool node f_next curr;
+              P.set_ptr t.pool pred f_next node;
+              unlock_window t pred curr;
+              Done true
+            end)
+      in
+      match out with Done r -> r | Retry -> attempt ()
+    in
+    let r = attempt () in
+    Smr.end_op ctx;
+    r
+
+  let delete t ctx k =
+    Smr.begin_op ctx;
+    let rec attempt () =
+      let out =
+        Smr.phase ctx
+          ~read:(fun () ->
+            let pred, curr = search t ctx k in
+            ((pred, curr), [| pred; curr |]))
+          ~write:(fun (pred, curr) ->
+            if not (lock_window t pred curr) then begin
+              unlock_window t pred curr;
+              Retry
+            end
+            else if key t curr <> k then begin
+              unlock_window t pred curr;
+              Done false
+            end
+            else begin
+              (* Logical then physical deletion. *)
+              P.set_data t.pool curr f_marked 1;
+              let succ = P.get_ptr t.pool curr f_next in
+              P.set_ptr t.pool pred f_next succ;
+              unlock_window t pred curr;
+              Smr.retire ctx curr;
+              Done true
+            end)
+      in
+      match out with Done r -> r | Retry -> attempt ()
+    in
+    let r = attempt () in
+    Smr.end_op ctx;
+    r
+
+  (** Sequential snapshot of the set contents (tests/debugging only; not
+      linearizable under concurrency). *)
+  let to_list t =
+    let rec go s acc =
+      if s = t.tail then List.rev acc
+      else
+        let k = P.get_data t.pool s f_key in
+        let nxt = P.get_ptr t.pool s f_next in
+        go nxt (if P.get_data t.pool s f_marked = 1 then acc else k :: acc)
+    in
+    go (P.get_ptr t.pool t.head f_next) []
+
+  (** Number of unmarked elements (sequential use only). *)
+  let size t = List.length (to_list t)
+end

@@ -1,0 +1,1 @@
+lib/pool/nbr_pool.ml: Pool

@@ -1,0 +1,1 @@
+lib/pool/pool.ml: Array Atomic Nbr_runtime Nbr_sync Printf

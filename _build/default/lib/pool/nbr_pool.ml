@@ -1,0 +1,3 @@
+(** Simulated manual-memory substrate.  See {!Pool.Make}. *)
+
+module Pool = Pool

@@ -1,0 +1,210 @@
+(** Simulated manual memory: a pool of fixed-shape records.
+
+    OCaml is garbage-collected, so "freeing" a record cannot unmap it.  To
+    reproduce an SMR paper we need memory that is explicitly allocated and
+    freed, where a slot freed too early gets recycled under a reader's feet
+    — i.e. real use-after-free dynamics, minus the segfault.  The pool
+    provides exactly that:
+
+    - Records are integer slots into pre-allocated field arrays (an index is
+      the "pointer"; following a stale index is always memory-safe, exactly
+      like reading jemalloc-recycled memory that was never unmapped — the
+      situation the paper's own safety argument leans on).
+    - [alloc] pops a per-thread free list (falling back to a bump allocator
+      over fresh slots); [free] pushes back and bumps the slot's allocation
+      sequence number, so ABA and use-after-free are {e observable}.
+    - Lifecycle instrumentation mirrors the paper's five record states
+      (§3): we track Free / Live / Retired, count reads of freed slots, and
+      maintain the in-use high-water mark that experiment E2 (figures
+      4c/4d) reports as "peak memory usage".
+
+    Instrumentation (states, sequence numbers, counters) is deliberately
+    kept in plain arrays and stdlib [Atomic]s rather than [Rt.aint]s: it
+    must not perturb the simulated cost accounting, because a real
+    implementation has no such checks.  Races on the plain arrays are
+    benign (they only feed detectors and tests). *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  type aint = Rt.aint
+
+  exception Exhausted
+
+  let nil = -1
+
+  type state = Free | Live | Retired
+
+  type t = {
+    capacity : int;
+    data_fields : int;
+    ptr_fields : int;
+    data : aint array array;  (** [data.(f).(slot)] *)
+    ptr : aint array array;  (** [ptr.(f).(slot)] *)
+    lock : aint array;  (** per-record lock word *)
+    (* --- free-space management --- *)
+    free_lists : Nbr_sync.Int_vec.t array;  (** per-thread *)
+    next_fresh : int Atomic.t;  (** bump allocator over never-used slots *)
+    (* --- instrumentation (uncosted) --- *)
+    st : int array;  (** 0 = Free, 1 = Live, 2 = Retired *)
+    seqno : int array;  (** bumped on each free: ABA/UAF witness *)
+    in_use : int Atomic.t;  (** Live + Retired (unreclaimed) slots *)
+    peak_in_use : int Atomic.t;
+    allocs : int Atomic.t;
+    frees : int Atomic.t;
+    uaf_reads : int Atomic.t;  (** guarded reads that hit a Free slot *)
+    c_alloc : int;  (** simulated cycles per malloc/free fast path *)
+    slab_threshold : int;
+        (** free-list length beyond which frees take the slow path.
+            Models the allocator behaviour the paper holds responsible for
+            EBR's throughput collapse (§7): when a delayed thread finally
+            releases epochs, every thread frees its swollen limbo bags in
+            a burst, overflowing per-thread arenas and hitting the
+            allocator's slow paths.  Bounded schemes free in small steady
+            batches and stay on the fast path. *)
+    c_free_slow : int;  (** extra cycles per slow-path free *)
+  }
+
+  let create ?(c_alloc = 30) ?(slab_threshold = 2048) ?(c_free_slow = 150)
+      ~capacity ~data_fields ~ptr_fields ~nthreads () =
+    if capacity <= 0 then invalid_arg "Pool.create: capacity";
+    {
+      capacity;
+      data_fields;
+      ptr_fields;
+      data =
+        Array.init data_fields (fun _ ->
+            Array.init capacity (fun _ -> Rt.make 0));
+      ptr =
+        Array.init ptr_fields (fun _ ->
+            Array.init capacity (fun _ -> Rt.make nil));
+      lock = Array.init capacity (fun _ -> Rt.make 0);
+      free_lists =
+        Array.init nthreads (fun _ -> Nbr_sync.Int_vec.create ~capacity:64 ());
+      next_fresh = Atomic.make 0;
+      st = Array.make capacity 0;
+      seqno = Array.make capacity 0;
+      in_use = Atomic.make 0;
+      peak_in_use = Atomic.make 0;
+      allocs = Atomic.make 0;
+      frees = Atomic.make 0;
+      uaf_reads = Atomic.make 0;
+      c_alloc;
+      slab_threshold;
+      c_free_slow;
+    }
+
+  let capacity t = t.capacity
+
+  (* ---------------- allocation ---------------- *)
+
+  let note_in_use t =
+    let v = Atomic.fetch_and_add t.in_use 1 + 1 in
+    (* Monotone max; a lost race only under-reports by a transient amount. *)
+    if v > Atomic.get t.peak_in_use then Atomic.set t.peak_in_use v
+
+  let alloc t =
+    Rt.work t.c_alloc;
+    let tid = Rt.self () in
+    let fl = t.free_lists.(tid) in
+    let slot =
+      if not (Nbr_sync.Int_vec.is_empty fl) then Nbr_sync.Int_vec.pop fl
+      else begin
+        let s = Atomic.fetch_and_add t.next_fresh 1 in
+        if s >= t.capacity then raise Exhausted;
+        s
+      end
+    in
+    t.st.(slot) <- 1;
+    Atomic.incr t.allocs;
+    note_in_use t;
+    slot
+
+  (** Mark a slot as retired (unlinked, awaiting reclamation).  Called by
+      the SMR layer from [retire]; affects instrumentation only. *)
+  let note_retired t slot = t.st.(slot) <- 2
+
+  (** Return a slot to the calling thread's free list.  Double frees are a
+      programming error and raise. *)
+  let free t slot =
+    Rt.work t.c_alloc;
+    if t.st.(slot) = 0 then
+      invalid_arg (Printf.sprintf "Pool.free: double free of slot %d" slot);
+    t.st.(slot) <- 0;
+    t.seqno.(slot) <- t.seqno.(slot) + 1;
+    Atomic.incr t.frees;
+    Atomic.decr t.in_use;
+    let fl = t.free_lists.(Rt.self ()) in
+    (* Burst reclamation overflows the thread's arena: slow path. *)
+    if Nbr_sync.Int_vec.length fl > t.slab_threshold then
+      Rt.work t.c_free_slow;
+    Nbr_sync.Int_vec.push fl slot
+
+  (* ---------------- field access ---------------- *)
+
+  let data_cell t slot f = t.data.(f).(slot)
+  let ptr_cell t slot f = t.ptr.(f).(slot)
+  let lock_cell t slot = t.lock.(slot)
+
+  let get_data t slot f = Rt.plain_load t.data.(f).(slot)
+  let set_data t slot f v = Rt.store t.data.(f).(slot) v
+  let get_data_sync t slot f = Rt.load t.data.(f).(slot)
+  let cas_data t slot f old v = Rt.cas t.data.(f).(slot) old v
+
+  let get_ptr t slot f = Rt.load t.ptr.(f).(slot)
+  let set_ptr t slot f v = Rt.store t.ptr.(f).(slot) v
+  let cas_ptr t slot f old v = Rt.cas t.ptr.(f).(slot) old v
+
+  (* ---------------- instrumentation ---------------- *)
+
+  let state t slot =
+    match t.st.(slot) with 0 -> Free | 1 -> Live | _ -> Retired
+
+  let seqno t slot = t.seqno.(slot)
+
+  (** Costed lifecycle checks, for protection validation.  Hazard-style
+      schemes must verify, after announcing, that the target "has not
+      already been unlinked" (paper §2): link re-reading alone is not
+      enough for structures where unlinking splices an {e ancestor} edge
+      and leaves interior edges intact (DGT delete removes the parent via
+      the grandparent, so [p -> leaf] survives the leaf's retirement).
+      Real implementations read a mark bit the structure maintains; here
+      the pool's lifecycle state plays that role, and the reads are
+      charged like the cache-hit mark loads they model. *)
+  let live t slot =
+    Rt.work 2;
+    t.st.(slot) = 1
+
+  (** Allocation stamp with an access charge: lets validators detect
+      free-and-recycle (ABA on the slot) between two reads. *)
+  let stamp t slot =
+    Rt.work 2;
+    t.seqno.(slot)
+
+  (** Called by the SMR layer when a guarded dereference lands on [slot];
+      counts reads that hit freed memory.  For a sound scheme under the
+      exact-delivery (sim) runtime this stays at zero; the [unsafe_free]
+      foil drives it up. *)
+  let record_read t slot =
+    if slot >= 0 && slot < t.capacity && t.st.(slot) = 0 then
+      Atomic.incr t.uaf_reads
+
+  type stats = {
+    s_allocs : int;
+    s_frees : int;
+    s_in_use : int;
+    s_peak_in_use : int;
+    s_uaf_reads : int;
+  }
+
+  let stats t =
+    {
+      s_allocs = Atomic.get t.allocs;
+      s_frees = Atomic.get t.frees;
+      s_in_use = Atomic.get t.in_use;
+      s_peak_in_use = Atomic.get t.peak_in_use;
+      s_uaf_reads = Atomic.get t.uaf_reads;
+    }
+
+  (** Reset the high-water mark to the current in-use count (called after
+      prefill so E2 measures steady-state peaks, not setup). *)
+  let reset_peak t = Atomic.set t.peak_in_use (Atomic.get t.in_use)
+end

@@ -1,0 +1,1 @@
+lib/runtime/nbr_runtime.ml: Native_rt Runtime_intf Sim_rt

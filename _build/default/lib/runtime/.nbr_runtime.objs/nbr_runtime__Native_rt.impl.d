@@ -1,0 +1,1 @@
+lib/runtime/native_rt.ml: Array Atomic Domain Unix

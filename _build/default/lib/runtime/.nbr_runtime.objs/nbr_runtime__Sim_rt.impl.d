@@ -1,0 +1,1 @@
+lib/runtime/sim_rt.ml: Array Effect Printf String

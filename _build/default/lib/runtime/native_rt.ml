@@ -1,0 +1,149 @@
+(** Native runtime: real OCaml domains, polling-based neutralization.
+
+    This is the "runs on actual parallel hardware" implementation of
+    {!Runtime_intf.S}.  POSIX signals cannot be used for neutralization in
+    OCaml (long-jumping out of an asynchronous handler would corrupt the
+    runtime), so signals become per-thread monotone counters that the SMR
+    layer consumes at {!poll} points — the top of every guarded dereference
+    and the tail of [end_read].  When a pending signal is observed by a
+    restartable thread, {!Neutralized} unwinds to the innermost
+    {!checkpoint}, which replays the read phase: the [siglongjmp] of the
+    paper, minus the asynchrony.
+
+    Safety under asynchrony-minus: between a victim's last poll and its next
+    access there is a window in which a reclaimer may free a record the
+    victim is about to read.  This is harmless here because records live in
+    a GC-backed {!Pool} whose memory is never unmapped (exactly the
+    jemalloc situation the paper relies on), pointer fields always hold
+    in-bounds slot indices, and no value read in the window can be
+    committed: every subsequent dereference polls and the phase-closing
+    [end_read] polls after its fence, so the operation restarts before it
+    returns a result or performs any shared write.  See DESIGN.md §3. *)
+
+let name = "native"
+
+(* ------------------------------------------------------------------ *)
+
+type aint = int Atomic.t
+
+let make v = Atomic.make v
+let load = Atomic.get
+let plain_load = Atomic.get
+let store = Atomic.set
+
+let cas a expected desired = Atomic.compare_and_set a expected desired
+let faa a d = Atomic.fetch_and_add a d
+let xchg a v = Atomic.exchange a v
+
+(* ------------------------------------------------------------------ *)
+(* Thread identity. *)
+
+let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let self () = Domain.DLS.get tid_key
+
+let n_threads = ref 1
+let nthreads () = !n_threads
+
+(* ------------------------------------------------------------------ *)
+(* Signals. *)
+
+exception Neutralized
+
+(* Sized at [run]; index = tid.  [last_seen] cells are only touched by
+   their owning thread.  [restartable] is per-thread too, but written with
+   a fenced exchange to match the paper's Algorithm 1 (lines 8/12): the
+   RMW orders reservation publication before the flag flip. *)
+let pending : int Atomic.t array ref = ref [||]
+let restartable : bool Atomic.t array ref = ref [||]
+let last_seen : int array ref = ref [||]
+let sigs_sent = Atomic.make 0
+
+let signals_sent () = Atomic.get sigs_sent
+
+let send_signal t =
+  let p = !pending in
+  if t >= 0 && t < Array.length p then begin
+    Atomic.incr p.(t);
+    Atomic.incr sigs_sent
+  end
+
+let set_restartable b =
+  let t = self () in
+  let r = !restartable in
+  if t < Array.length r then ignore (Atomic.exchange r.(t) b)
+
+let is_restartable () =
+  let t = self () in
+  let r = !restartable in
+  t < Array.length r && Atomic.get r.(t)
+
+let poll () =
+  let t = self () in
+  let p = !pending in
+  if t < Array.length p then begin
+    let v = Atomic.get p.(t) in
+    if v > (!last_seen).(t) then begin
+      (!last_seen).(t) <- v;
+      if Atomic.get (!restartable).(t) then raise Neutralized
+    end
+  end
+
+let consume_pending () =
+  let t = self () in
+  let p = !pending in
+  if t < Array.length p then begin
+    let v = Atomic.get p.(t) in
+    if v > (!last_seen).(t) then begin
+      (!last_seen).(t) <- v;
+      true
+    end
+    else false
+  end
+  else false
+
+let drain_signals () =
+  let t = self () in
+  let p = !pending in
+  if t < Array.length p then (!last_seen).(t) <- Atomic.get p.(t)
+
+let checkpoint f =
+  let rec go () = try f () with Neutralized -> go () in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Time. *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let stall_ns ns = Unix.sleepf (float_of_int ns /. 1e9)
+let cpu_relax () = Domain.cpu_relax ()
+let work _ = ()
+
+(* ------------------------------------------------------------------ *)
+
+let running = ref false
+
+let run ~nthreads:n body =
+  if n < 1 then invalid_arg "Native_rt.run: nthreads must be >= 1";
+  if !running then invalid_arg "Native_rt.run: not reentrant";
+  running := true;
+  n_threads := n;
+  pending := Array.init n (fun _ -> Atomic.make 0);
+  restartable := Array.init n (fun _ -> Atomic.make false);
+  last_seen := Array.make n 0;
+  Atomic.set sigs_sent 0;
+  let failure : exn option Atomic.t = Atomic.make None in
+  let wrap tid () =
+    Domain.DLS.set tid_key tid;
+    try body tid
+    with e -> ignore (Atomic.compare_and_set failure None (Some e))
+  in
+  let domains = Array.init (n - 1) (fun i -> Domain.spawn (wrap (i + 1))) in
+  wrap 0 ();
+  Array.iter Domain.join domains;
+  Domain.DLS.set tid_key 0;
+  n_threads := 1;
+  pending := [||];
+  restartable := [||];
+  last_seen := [||];
+  running := false;
+  match Atomic.get failure with None -> () | Some e -> raise e

@@ -1,0 +1,16 @@
+(** Execution substrates for the NBR reproduction.
+
+    - {!Runtime_intf}: the signature all algorithms are written against.
+    - {!Sim_rt}: deterministic simulated multicore (benchmark figures).
+    - {!Native_rt}: real OCaml domains (parallel validation).
+
+    See DESIGN.md §1 and §3 for why two runtimes exist and how the paper's
+    signal semantics map onto each. *)
+
+module Runtime_intf = Runtime_intf
+module Sim_rt = Sim_rt
+module Native_rt = Native_rt
+
+(* Compile-time conformance checks. *)
+module _ : Runtime_intf.S = Sim_rt
+module _ : Runtime_intf.S = Native_rt

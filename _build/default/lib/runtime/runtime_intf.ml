@@ -1,0 +1,157 @@
+(** Execution-substrate signature.
+
+    NBR (Singh, Brown, Mashtizadeh, PPoPP'21) is specified against a raw
+    shared-memory multiprocessor with POSIX signals and
+    [sigsetjmp]/[siglongjmp].  None of those can be used directly from OCaml
+    (asynchronously long-jumping out of an OCaml signal handler would corrupt
+    the runtime), so every algorithm in this repository is written against
+    this signature instead, and we provide two implementations:
+
+    - {!Sim_rt}: a deterministic discrete-event simulation of a multicore
+      machine.  Every shared-memory access is a scheduling point, signals are
+      delivered before the target's next shared access (the paper's
+      Assumption 4, exactly), and time is virtual cycles under a calibrated
+      cost model.  This is what the benchmark figures run on, because it can
+      simulate the paper's 192-thread machine on this container's single
+      core.
+    - {!Native_rt}: real OCaml domains.  Signals become per-thread monotone
+      counters consumed by {!poll}; neutralization is an exception unwinding
+      to the nearest {!checkpoint}.
+
+    The unit of "shared memory" is the atomic integer cell {!aint}.  All
+    shared state in the repository — record fields in the pool, reservation
+    arrays, epochs, locks — is made of [aint]s, which is what lets the
+    simulator interleave and cost every access. *)
+
+module type S = sig
+  val name : string
+  (** Human-readable runtime name ("sim" or "native"). *)
+
+  (** {1 Shared atomic cells} *)
+
+  type aint
+  (** A shared integer cell.  All operations are sequentially consistent
+      (matching OCaml's [Atomic] and close enough to the paper's x86-TSO
+      reasoning; the paper's explicit-fence subtleties are modelled by cost,
+      not by weak ordering). *)
+
+  val make : int -> aint
+  val load : aint -> int
+
+  val plain_load : aint -> int
+  (** A cheaper, non-serializing read.  Same value semantics as {!load} in
+      both runtimes; in the simulator it is charged as a plain load rather
+      than a synchronising one.  Use it where the C implementation would use
+      an ordinary (non-[volatile]) read, e.g. reading your own reservation
+      slots. *)
+
+  val store : aint -> int -> unit
+  val cas : aint -> int -> int -> bool
+  val faa : aint -> int -> int
+  val xchg : aint -> int -> int
+
+  (** {1 Threads} *)
+
+  val self : unit -> int
+  (** Id of the calling worker thread, [0 .. nthreads-1].  Only valid inside
+      the body passed to {!run} (or during setup, where it returns 0). *)
+
+  val nthreads : unit -> int
+  (** Number of worker threads of the current {!run}, 1 during setup. *)
+
+  (** {1 Neutralization signals}
+
+      The paper's signal machinery, distilled: a reclaimer
+      {!send_signal}s a victim; the victim's "handler" runs before its next
+      shared-memory access ({!Sim_rt}) or at its next {!poll}
+      ({!Native_rt}); the handler restarts the victim's current read phase
+      — by raising {!Neutralized}, caught by the innermost {!checkpoint} —
+      iff the victim is restartable. *)
+
+  exception Neutralized
+  (** The [siglongjmp] analogue.  Raised at a delivery point when the thread
+      is restartable.  Never caught by library code except in
+      {!checkpoint}. *)
+
+  val checkpoint : (unit -> 'a) -> 'a
+  (** [checkpoint f] is the [sigsetjmp] analogue: runs [f], and re-runs it
+      from scratch whenever it is aborted by {!Neutralized}.  Nesting is
+      allowed (k-NBR); an abort restarts the innermost live checkpoint.
+      [f] must obey the paper's read-phase rules (no locks held, no
+      allocation, no writes to shared memory before the thread becomes
+      non-restartable) so that abandoning it mid-flight is harmless. *)
+
+  val set_restartable : bool -> unit
+  (** Set the calling thread's restartable flag.  Implements the fenced
+      transitions of Algorithm 1 lines 8 and 12: the flag change is a
+      sequentially-consistent read-modify-write, so reservations published
+      before [set_restartable false] are visible to any thread that
+      subsequently observes the thread as non-restartable, and no read of a
+      shared record can be reordered before [set_restartable true]. *)
+
+  val is_restartable : unit -> bool
+  (** The calling thread's restartable flag (handlers and assertions). *)
+
+  val send_signal : int -> unit
+  (** [send_signal t] sends a neutralization signal to thread [t] (the
+      [pthread_kill] analogue).  Charged with the kernel-crossing cost in the
+      simulator.  Signals coalesce like POSIX signals: what is guaranteed is
+      that [t] executes a handler after the send and before its next
+      dereference of a shared record. *)
+
+  val poll : unit -> unit
+  (** A signal-delivery point.  In {!Native_rt} this is where pending signals
+      are consumed (raising {!Neutralized} when restartable); in {!Sim_rt}
+      every shared access is already a delivery point and [poll] is free.
+      The SMR layer calls this at the top of every guarded dereference and in
+      [end_read]. *)
+
+  val consume_pending : unit -> bool
+  (** Mark pending signals handled and report whether there were any,
+      without restarting.  NBR's [end_read] calls this right after the
+      fenced flag flip: in a polling runtime a signal that arrived before
+      the thread's reservations were published would otherwise be missed by
+      both sides (the reclaimer's scan preceded the publication, and the
+      thread is no longer restartable), so [end_read] restarts the phase
+      itself — legal, since no shared write has happened yet.  In the
+      delivery-exact simulator such signals are already delivered at the
+      flag-flip access, so this always returns [false] there. *)
+
+  val drain_signals : unit -> unit
+  (** Consume any pending signals without restarting, regardless of the
+      restartable flag.  Used when (re-)entering a read phase: the thread
+      holds no shared pointers yet, so signals sent earlier need no action —
+      this is the "handler runs while quiescent" case of the paper. *)
+
+  val signals_sent : unit -> int
+  (** Total signals sent since the current {!run} began (for the O(n) vs
+      O(n²) ablation). *)
+
+  (** {1 Time} *)
+
+  val now_ns : unit -> int
+  (** Monotonic time in nanoseconds — virtual in the simulator, wall-clock in
+      the native runtime.  Trial durations and throughput are measured with
+      this. *)
+
+  val stall_ns : int -> unit
+  (** Stop making progress for the given duration (the "stalled thread" of
+      experiment E2).  The thread does not reach a delivery point while
+      stalled, exactly like a descheduled pthread. *)
+
+  val cpu_relax : unit -> unit
+  (** Spin-wait hint (PAUSE analogue). *)
+
+  val work : int -> unit
+  (** Charge [n] cycles of thread-local computation to the calling thread in
+      the simulator; a no-op natively.  Lets workloads model per-operation
+      local work. *)
+
+  (** {1 Execution} *)
+
+  val run : nthreads:int -> (int -> unit) -> unit
+  (** [run ~nthreads body] executes [body tid] on [nthreads] concurrent
+      threads and returns when all complete.  Shared state ([aint]s, pools,
+      SMR instances) must be created before [run] by the orchestrating
+      (setup) code; creating more during the run is allowed. *)
+end

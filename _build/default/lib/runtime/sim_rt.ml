@@ -1,0 +1,441 @@
+(** Deterministic simulated-multicore runtime.
+
+    This module implements {!Runtime_intf.S} as a discrete-event simulation:
+    worker "threads" are cooperative fibers (OCaml 5 effects) scheduled by
+    virtual time, and every shared-memory access is charged cycles under a
+    small cost model (cache-coherence misses on ownership transfer, dearer
+    read-modify-writes, kernel-crossing costs for signals, context-switch
+    and time-slice modelling for oversubscription).
+
+    Why it exists: the paper evaluates on a 4-socket, 192-hardware-thread
+    Xeon; this container has one core.  The simulator reproduces the
+    {e mechanisms} the paper's results hinge on — per-read fence costs (HP),
+    reclamation bursts caused by delayed threads (EBR variants), O(n) vs
+    O(n²) signal counts (NBR vs NBR+), stalled threads pinning garbage —
+    at any thread count, deterministically.
+
+    Signal semantics: a victim fiber checks its pending-signal counter
+    inline at {e every} shared-memory access, before performing the access,
+    and (when restartable) aborts to the innermost {!checkpoint} by raising
+    {!Neutralized}.  Because the simulation runs on a single domain, the
+    deliver-then-access sequence is atomic, giving the paper's Assumption 4
+    exactly: a signal is always delivered before the victim's next
+    dereference of a shared record.
+
+    Scheduling granularity: fibers yield to the scheduler after accumulating
+    [granularity] cycles of charged work (default: every access).  Larger
+    granularity coarsens interleaving (several accesses execute atomically)
+    but does not weaken signal delivery, which is checked per access
+    regardless.  Tests run at granularity 1; large benchmark sweeps may use a
+    coarser setting for speed.
+
+    The simulator is single-domain and not reentrant: one {!run} at a time. *)
+
+type config = {
+  cores : int;  (** simulated hardware threads *)
+  ghz : float;  (** cycles per nanosecond, for {!now_ns} *)
+  granularity : int;  (** cycles of work between scheduler yields *)
+  quantum : int;  (** cycles per time slice when oversubscribed *)
+  ctx_switch : int;  (** cycles charged per involuntary context switch *)
+  c_plain_load : int;  (** cache-hit plain load *)
+  c_load : int;  (** cache-hit synchronising load *)
+  c_store : int;  (** store to an owned line *)
+  c_atomic : int;  (** CAS/FAA/XCHG on an owned line (incl. fence) *)
+  c_miss : int;  (** extra cycles when the line is owned elsewhere *)
+  c_signal_send : int;  (** pthread_kill: kernel crossing on the sender *)
+  c_signal_handle : int;  (** handler entry on the victim *)
+  c_setjmp : int;  (** sigsetjmp checkpoint cost *)
+  c_longjmp : int;  (** siglongjmp + restart cost *)
+  jitter : int;  (** max extra cycles added per access, from a seeded prng *)
+  seed : int;  (** jitter prng seed *)
+}
+
+let default_config =
+  {
+    cores = 16;
+    ghz = 2.1;
+    granularity = 1;
+    quantum = 200_000;
+    ctx_switch = 3_000;
+    c_plain_load = 2;
+    c_load = 4;
+    c_store = 8;
+    c_atomic = 20;
+    c_miss = 90;
+    c_signal_send = 2_500;
+    c_signal_handle = 1_200;
+    c_setjmp = 30;
+    c_longjmp = 120;
+    jitter = 8;
+    seed = 0x5eed;
+  }
+
+let cfg = ref default_config
+let set_config c = cfg := c
+let get_config () = !cfg
+
+exception Stuck of string
+(** Raised by {!run} when the event budget is exhausted — a watchdog against
+    livelocked workloads (default: unlimited). *)
+
+let max_events = ref 0
+let set_max_events n = max_events := n
+
+let name = "sim"
+
+(* ------------------------------------------------------------------ *)
+(* Shared cells with an ownership tag for the coherence approximation: *)
+(* [owner] is the tid of the last writer, [owner_shared] once a remote *)
+(* thread has read the line, [owner_fresh] before any access.          *)
+
+let owner_shared = -2
+let owner_fresh = -3
+
+type aint = { mutable v : int; mutable owner : int }
+
+(* ------------------------------------------------------------------ *)
+(* Fibers.                                                             *)
+
+exception Neutralized
+
+type _ Effect.t += Yield : unit Effect.t
+
+type fiber = {
+  id : int;
+  mutable clock : int;  (** virtual cycles consumed *)
+  mutable acc : int;  (** cycles since last yield *)
+  mutable qacc : int;  (** cycles in current time slice *)
+  mutable pending : int;  (** signals sent to this fiber *)
+  mutable delivered : int;  (** signals already handled *)
+  mutable restartable : bool;
+  mutable finished : bool;
+  mutable kont : (unit, unit) Effect.Deep.continuation option;
+}
+
+let mk_fiber id =
+  {
+    id;
+    clock = 0;
+    acc = 0;
+    qacc = 0;
+    pending = 0;
+    delivered = 0;
+    restartable = false;
+    finished = id < 0;
+    kont = None;
+  }
+
+let cur : fiber ref = ref (mk_fiber (-1))
+let fibers : fiber array ref = ref [||]
+let live = ref 0
+let n_threads = ref 1
+let sigs_sent = ref 0
+let events = ref 0
+
+let in_fiber () = (!cur).id >= 0
+let self () = if in_fiber () then (!cur).id else 0
+let nthreads () = !n_threads
+let signals_sent () = !sigs_sent
+let total_events () = !events
+
+(* SplitMix-style jitter: cheap enough for the per-access hot path. *)
+let jit_state = ref 0x1e3779b97f4a7c15
+
+let jitter_cycles () =
+  let c = !cfg in
+  if c.jitter = 0 then 0
+  else begin
+    let z = !jit_state + 0x1e3779b97f4a7c15 in
+    jit_state := z;
+    let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+    let z = z lxor (z lsr 27) in
+    (z land max_int) mod c.jitter
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The charge / yield / deliver prologue executed before every access. *)
+
+let deliver_pending f =
+  if f.pending > f.delivered then begin
+    f.delivered <- f.pending;
+    f.clock <- f.clock + !cfg.c_signal_handle;
+    if f.restartable then begin
+      f.clock <- f.clock + !cfg.c_longjmp;
+      raise Neutralized
+    end
+  end
+
+let maybe_slice_end f =
+  let c = !cfg in
+  if f.qacc >= c.quantum then begin
+    f.qacc <- 0;
+    let l = !live in
+    if l > c.cores then
+      (* Round-robin: after a quantum, wait for the other runnable threads
+         to take their slices, plus a context-switch cost.  This is where
+         oversubscription hurts, and where a descheduled thread delays
+         epoch advancement for the EBR family. *)
+      f.clock <- f.clock + c.ctx_switch + (c.quantum * (l - c.cores) / c.cores)
+  end
+
+(* Yield first when the slice is up (so lower-clock fibers run), then
+   deliver pending signals; the caller performs the access immediately
+   after, with nothing in between. *)
+let prologue cost =
+  let f = !cur in
+  if f.id >= 0 then begin
+    let cost = cost + jitter_cycles () in
+    f.clock <- f.clock + cost;
+    f.acc <- f.acc + cost;
+    f.qacc <- f.qacc + cost;
+    maybe_slice_end f;
+    if f.acc >= !cfg.granularity then begin
+      f.acc <- 0;
+      Effect.perform Yield
+    end;
+    deliver_pending f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Atomic cells.                                                       *)
+
+let make v = { v; owner = owner_fresh }
+
+let load_cost a base =
+  let f = !cur in
+  if a.owner = f.id || a.owner = owner_shared || a.owner = owner_fresh then
+    base
+  else begin
+    a.owner <- owner_shared;
+    base + !cfg.c_miss
+  end
+
+let write_cost a base =
+  let f = !cur in
+  let c =
+    if a.owner = f.id || a.owner = owner_fresh then base
+    else base + !cfg.c_miss
+  in
+  a.owner <- f.id;
+  c
+
+let load a =
+  if in_fiber () then prologue (load_cost a !cfg.c_load);
+  a.v
+
+let plain_load a =
+  if in_fiber () then prologue (load_cost a !cfg.c_plain_load);
+  a.v
+
+let store a v =
+  if in_fiber () then prologue (write_cost a !cfg.c_store);
+  a.v <- v
+
+let cas a expected desired =
+  if in_fiber () then prologue (write_cost a !cfg.c_atomic);
+  if a.v = expected then begin
+    a.v <- desired;
+    true
+  end
+  else false
+
+let faa a d =
+  if in_fiber () then prologue (write_cost a !cfg.c_atomic);
+  let old = a.v in
+  a.v <- old + d;
+  old
+
+let xchg a v =
+  if in_fiber () then prologue (write_cost a !cfg.c_atomic);
+  let old = a.v in
+  a.v <- v;
+  old
+
+(* ------------------------------------------------------------------ *)
+(* Neutralization.                                                     *)
+
+let set_restartable b =
+  (* Charged like an atomic RMW: the paper uses CAS/XCHG here purely for
+     its fence (Algorithm 1, lines 8 and 12). *)
+  if in_fiber () then prologue !cfg.c_atomic;
+  (!cur).restartable <- b
+
+let is_restartable () = (!cur).restartable
+
+let send_signal t =
+  if in_fiber () then prologue !cfg.c_signal_send;
+  incr sigs_sent;
+  let fs = !fibers in
+  if t >= 0 && t < Array.length fs then begin
+    let v = fs.(t) in
+    v.pending <- v.pending + 1
+  end
+
+let poll () =
+  (* Every access is already a delivery point; polling is free here. *)
+  ()
+
+let consume_pending () =
+  (* Deliveries happen inline at every access; by the time a fiber runs
+     straight-line code after an access, nothing can be pending. *)
+  false
+
+let drain_signals () =
+  let f = !cur in
+  if f.id >= 0 then f.delivered <- f.pending
+
+let checkpoint f =
+  if in_fiber () then prologue !cfg.c_setjmp;
+  let rec go () = try f () with Neutralized -> go () in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Time.                                                               *)
+
+let now_ns () =
+  let f = !cur in
+  if f.id >= 0 then int_of_float (float_of_int f.clock /. !cfg.ghz) else 0
+
+let stall_ns ns =
+  let f = !cur in
+  if f.id >= 0 then begin
+    f.clock <- f.clock + int_of_float (float_of_int ns *. !cfg.ghz);
+    f.acc <- 0;
+    f.qacc <- 0;
+    Effect.perform Yield;
+    deliver_pending f
+  end
+
+let cpu_relax () = if in_fiber () then prologue 6
+let work cycles = if in_fiber () then prologue cycles
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: a binary min-heap of runnable fibers keyed by clock.     *)
+
+module Heap = struct
+  type t = { mutable a : fiber array; mutable n : int }
+
+  let create cap = { a = Array.make (max cap 1) (mk_fiber (-1)); n = 0 }
+  let lt x y = x.clock < y.clock || (x.clock = y.clock && x.id < y.id)
+
+  let swap h i j =
+    let tmp = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- tmp
+
+  let push h f =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) h.a.(0) in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    h.a.(h.n) <- f;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    let up = ref true in
+    while !up && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if lt h.a.(!i) h.a.(p) then begin
+        swap h !i p;
+        i := p
+      end
+      else up := false
+    done
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let down = ref true in
+    while !down do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && lt h.a.(l) h.a.(!m) then m := l;
+      if r < h.n && lt h.a.(r) h.a.(!m) then m := r;
+      if !m <> !i then begin
+        swap h !i !m;
+        i := !m
+      end
+      else down := false
+    done;
+    top
+end
+
+let run ~nthreads:n body =
+  if n < 1 then invalid_arg "Sim_rt.run: nthreads must be >= 1";
+  let c = !cfg in
+  jit_state := 0x1e3779b97f4a7c15 lxor c.seed;
+  sigs_sent := 0;
+  events := 0;
+  n_threads := n;
+  let fs = Array.init n mk_fiber in
+  (* Oversubscribed: only [cores] threads can really start at once; the
+     rest begin after earlier waves have had a slice (round-robin).
+     Without this, every thread would run its first quantum
+     "simultaneously", overcommitting the machine at start-up. *)
+  if n > c.cores then
+    Array.iter
+      (fun f -> f.clock <- f.id / c.cores * (c.quantum + c.ctx_switch))
+      fs;
+  fibers := fs;
+  live := n;
+  let heap = Heap.create (2 * n) in
+  let failure : exn option ref = ref None in
+  let resume_one f =
+    let open Effect.Deep in
+    cur := f;
+    (match f.kont with
+    | Some k ->
+        f.kont <- None;
+        continue k ()
+    | None ->
+        (* First activation of this fiber. *)
+        match_with
+          (fun () -> body f.id)
+          ()
+          {
+            retc =
+              (fun () ->
+                f.finished <- true;
+                decr live);
+            exnc =
+              (fun e ->
+                f.finished <- true;
+                decr live;
+                if !failure = None then failure := Some e);
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Yield ->
+                    Some (fun (k : (a, unit) continuation) -> f.kont <- Some k)
+                | _ -> None);
+          });
+    cur := mk_fiber (-1)
+  in
+  Array.iter (fun f -> Heap.push heap f) fs;
+  while heap.Heap.n > 0 && !failure = None do
+    let f = Heap.pop heap in
+    if not f.finished then begin
+      incr events;
+      if !max_events > 0 && !events > !max_events then begin
+        let msg =
+          String.concat "; "
+            (Array.to_list
+               (Array.map
+                  (fun g ->
+                    Printf.sprintf "t%d clock=%d fin=%b restartable=%b" g.id
+                      g.clock g.finished g.restartable)
+                  fs))
+        in
+        failure := Some (Stuck msg)
+      end
+      else begin
+        resume_one f;
+        if not f.finished then Heap.push heap f
+      end
+    end
+  done;
+  fibers := [||];
+  n_threads := 1;
+  match !failure with None -> () | Some e -> raise e

@@ -1,0 +1,1 @@
+lib/sync/nbr_sync.ml: Int_vec Rng Spinlock

@@ -1,0 +1,1 @@
+lib/sync/int_vec.ml: Array

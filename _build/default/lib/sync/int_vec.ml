@@ -1,0 +1,40 @@
+(** Growable int vector (thread-local use only).
+
+    Backs per-thread free lists and limbo bags.  Not thread-safe: each
+    instance must be owned by a single thread. *)
+
+type t = { mutable a : int array; mutable n : int }
+
+let create ?(capacity = 16) () = { a = Array.make (max capacity 1) 0; n = 0 }
+
+let length t = t.n
+let is_empty t = t.n = 0
+
+let clear t = t.n <- 0
+
+let push t x =
+  if t.n = Array.length t.a then begin
+    let a' = Array.make (2 * t.n) 0 in
+    Array.blit t.a 0 a' 0 t.n;
+    t.a <- a'
+  end;
+  t.a.(t.n) <- x;
+  t.n <- t.n + 1
+
+let pop t =
+  if t.n = 0 then invalid_arg "Int_vec.pop: empty";
+  t.n <- t.n - 1;
+  t.a.(t.n)
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Int_vec.get: out of bounds";
+  t.a.(i)
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    f t.a.(i)
+  done
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.a.(i) :: acc) in
+  go (t.n - 1) []

@@ -1,0 +1,8 @@
+(** Synchronization substrate: PRNG and spinlocks.
+
+    Small building blocks shared by the SMR schemes, the data structures
+    and the workload harness. *)
+
+module Rng = Rng
+module Spinlock = Spinlock
+module Int_vec = Int_vec

@@ -1,0 +1,28 @@
+(** SplitMix64 pseudo-random generator.
+
+    Used for workload key generation and operation-mix draws.  Each worker
+    thread owns an independent state seeded from [(seed, tid)], so runs are
+    deterministic per runtime seed and free of shared-state contention (the
+    generator itself must not perturb the concurrency being measured). *)
+
+type t = { mutable s : int }
+
+let golden = 0x1e3779b97f4a7c15 (* 62-bit truncation of 2^64/phi *)
+
+let create seed = { s = (seed * 0x2545f4914f6cdd1d) lxor golden }
+
+(** Generator for worker [tid] of a run seeded with [seed]. *)
+let for_thread ~seed ~tid = create ((seed lxor (tid * 0x9e3779b9)) + tid + 1)
+
+let next t =
+  let z = t.s + golden in
+  t.s <- z;
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14c2ca6afdf2dcef in
+  (z lxor (z lsr 31)) land max_int
+
+(** Uniform draw in [\[0, bound)]. Bound must be positive. *)
+let below t bound = next t mod bound
+
+(** Uniform float in [\[0, 1)]. *)
+let float t = float_of_int (next t land 0xFFFFFFFF) /. 4294967296.0

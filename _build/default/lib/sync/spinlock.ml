@@ -1,0 +1,50 @@
+(** Test-and-test-and-set spinlocks over runtime atomic cells.
+
+    Locks guard the write phases of the lock-based structures (lazy list,
+    DGT tree, (a,b)-tree).  They operate on any [Rt.aint] — typically a
+    per-record lock word in the {!Nbr_pool.Pool} — so one implementation
+    serves both runtimes.
+
+    NBR interplay: locks may only be taken in a write phase (the thread is
+    non-restartable there), so a lock holder can never be neutralized while
+    holding a lock — the deadlock that rules out DEBRA+ for these
+    structures (paper §1) cannot happen by construction.  A debug assertion
+    in [lock] enforces the discipline. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  let unlocked = 0
+
+  let locked_by tid = tid + 1
+
+  (** [try_lock cell] attempts to acquire; never blocks. *)
+  let try_lock cell = Rt.cas cell unlocked (locked_by (Rt.self ()))
+
+  (** [lock cell] spins until acquired.  Must not be called while the
+      calling thread is restartable (read phase). *)
+  let lock cell =
+    assert (not (Rt.is_restartable ()));
+    let me = locked_by (Rt.self ()) in
+    let rec go spins =
+      if Rt.cas cell unlocked me then ()
+      else begin
+        (* Test-and-TAS: spin on plain loads before retrying the RMW. *)
+        let rec wait n =
+          if n > 0 && Rt.plain_load cell <> unlocked then begin
+            Rt.cpu_relax ();
+            wait (n - 1)
+          end
+        in
+        wait (min spins 64);
+        go (spins * 2)
+      end
+    in
+    go 4
+
+  (** [unlock cell] releases; the caller must hold the lock. *)
+  let unlock cell =
+    assert (Rt.plain_load cell = locked_by (Rt.self ()));
+    Rt.store cell unlocked
+
+  (** Whether the lock is currently held by anyone (validation aid). *)
+  let is_locked cell = Rt.plain_load cell <> unlocked
+end

@@ -1,0 +1,1 @@
+lib/workload/nbr_workload.ml: Experiments Harness Runner Table Trial

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Format Harness List Nbr_core Nbr_runtime Printf Table Trial

@@ -1,0 +1,1 @@
+lib/workload/harness.ml: List Nbr_core Nbr_ds Nbr_pool Nbr_runtime Runner

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Nbr_core Nbr_pool Nbr_runtime Nbr_sync Trial

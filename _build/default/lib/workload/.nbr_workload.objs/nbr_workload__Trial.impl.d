@@ -1,0 +1,1 @@
+lib/workload/trial.ml: Format Nbr_core

@@ -1,0 +1,104 @@
+(** The scheme × structure registry for one runtime.
+
+    Instantiates every reclamation scheme against every data structure and
+    exposes uniform [run] entry points keyed by name, so experiment
+    definitions (and the CLI) can express figures as data. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module For_scheme
+      (Smr : Nbr_core.Smr_intf.S
+               with type aint = Rt.aint
+                and type pool = Nbr_pool.Pool.Make(Rt).t) =
+  struct
+    module LL = Runner.Make (Rt) (Smr) (Nbr_ds.Lazy_list.Make (Rt) (Smr))
+    module DG = Runner.Make (Rt) (Smr) (Nbr_ds.Dgt_bst.Make (Rt) (Smr))
+    module HL = Runner.Make (Rt) (Smr) (Nbr_ds.Harris_list.Make (Rt) (Smr))
+    module AB = Runner.Make (Rt) (Smr) (Nbr_ds.Ab_tree.Make (Rt) (Smr))
+
+    module SK = Runner.Make (Rt) (Smr) (Nbr_ds.Skip_list.Make (Rt) (Smr))
+
+    module HS =
+      Runner.Make (Rt) (Smr)
+        (struct
+          module H = Nbr_ds.Hash_set.Make (Rt) (Smr)
+
+          type t = H.t
+
+          let name = H.name
+          let data_fields = H.data_fields
+          let ptr_fields = H.ptr_fields
+          let max_reservations = H.max_reservations
+          let create pool = H.create pool
+          let contains = H.contains
+          let insert = H.insert
+          let delete = H.delete
+          let size = H.size
+        end)
+
+    let runners =
+      [
+        ("lazy-list", LL.run);
+        ("dgt-tree", DG.run);
+        ("harris-list", HL.run);
+        ("ab-tree", AB.run);
+        ("hash-set", HS.run);
+        ("skip-list", SK.run);
+      ]
+  end
+
+  module S_nbr = For_scheme (Nbr_core.Nbr.Make (Rt))
+  module S_nbrp = For_scheme (Nbr_core.Nbr_plus.Make (Rt))
+  module S_debra = For_scheme (Nbr_core.Debra.Make (Rt))
+  module S_qsbr = For_scheme (Nbr_core.Qsbr.Make (Rt))
+  module S_rcu = For_scheme (Nbr_core.Rcu.Make (Rt))
+  module S_ibr = For_scheme (Nbr_core.Ibr.Make (Rt))
+  module S_hp = For_scheme (Nbr_core.Hp.Make (Rt))
+  module S_he = For_scheme (Nbr_core.Hazard_eras.Make (Rt))
+  module S_leaky = For_scheme (Nbr_core.Leaky.Make (Rt))
+
+  let schemes =
+    [
+      ("nbr", S_nbr.runners);
+      ("nbr+", S_nbrp.runners);
+      ("debra", S_debra.runners);
+      ("qsbr", S_qsbr.runners);
+      ("rcu", S_rcu.runners);
+      ("ibr", S_ibr.runners);
+      ("hp", S_hp.runners);
+      ("he", S_he.runners);
+      ("none", S_leaky.runners);
+    ]
+
+  let scheme_names = List.map fst schemes
+
+  let structure_names =
+    [
+      "lazy-list"; "dgt-tree"; "harris-list"; "ab-tree"; "hash-set";
+      "skip-list";
+    ]
+
+  (* Era/hazard protection cannot cover traversals through unlinked
+     records (paper P5), and the rotation-window HP/HE variants here
+     cannot keep a skiplist's many cross-level predecessors protected:
+     never pair these schemes with those structures. *)
+  let unsupported =
+    [
+      ("hp", "harris-list"); ("hp", "hash-set"); ("hp", "skip-list");
+      ("he", "harris-list"); ("he", "hash-set"); ("he", "skip-list");
+    ]
+
+  let supported ~scheme ~structure =
+    not (List.mem (scheme, structure) unsupported)
+
+  (** [run ~scheme ~structure cfg] executes one trial.  Raises
+      [Invalid_argument] for unknown names; note that HP cannot run the
+      mark-traversing structures (harris-list) safely — callers follow the
+      paper and never ask for that pairing. *)
+  let run ~scheme ~structure cfg =
+    match List.assoc_opt scheme schemes with
+    | None -> invalid_arg ("Harness.run: unknown scheme " ^ scheme)
+    | Some rs -> (
+        match List.assoc_opt structure rs with
+        | None -> invalid_arg ("Harness.run: unknown structure " ^ structure)
+        | Some r -> r cfg)
+end

@@ -1,0 +1,8 @@
+(** Workload harness: trial runner, scheme×structure registry, and the
+    experiment definitions that regenerate the paper's figures. *)
+
+module Trial = Trial
+module Runner = Runner
+module Harness = Harness
+module Table = Table
+module Experiments = Experiments

@@ -1,0 +1,119 @@
+(** Generic trial runner: one scheme × one structure × one runtime.
+
+    Builds the pool, instantiates the scheme, prefills the structure,
+    launches the workers, and collects metrics.  The same code drives
+    every cell of every figure, so any scheme/structure pair measured is
+    measured identically — the property the paper's Setbench harness
+    provides.
+
+    Every trial doubles as a correctness check: successful inserts and
+    deletes are counted per thread and the structure's final size must
+    equal [prefill + inserts - deletes], and the pool must report zero
+    committed use-after-free reads. *)
+
+module Make
+    (Rt : Nbr_runtime.Runtime_intf.S)
+    (Smr : Nbr_core.Smr_intf.S
+             with type aint = Rt.aint
+              and type pool = Nbr_pool.Pool.Make(Rt).t)
+    (Ds : sig
+       type t
+
+       val name : string
+       val data_fields : int
+       val ptr_fields : int
+       val max_reservations : int
+       val create : Nbr_pool.Pool.Make(Rt).t -> t
+       val contains : t -> Smr.ctx -> int -> bool
+       val insert : t -> Smr.ctx -> int -> bool
+       val delete : t -> Smr.ctx -> int -> bool
+       val size : t -> int
+     end) =
+struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  (* Deterministic prefill: insert a seed-shuffled prefix of the key
+     space, sequentially, before the clock starts. *)
+  let prefill_keys cfg =
+    let a = Array.init cfg.Trial.key_range (fun i -> i) in
+    let rng = Nbr_sync.Rng.create (cfg.Trial.seed lxor 0xfeed) in
+    for i = Array.length a - 1 downto 1 do
+      let j = Nbr_sync.Rng.below rng (i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.sub a 0 (min cfg.Trial.prefill cfg.Trial.key_range)
+
+  let run (cfg : Trial.cfg) : Trial.result =
+    let n = cfg.nthreads in
+    let pool =
+      P.create ~capacity:cfg.pool_capacity ~data_fields:Ds.data_fields
+        ~ptr_fields:Ds.ptr_fields ~nthreads:n ()
+    in
+    let smr_cfg =
+      { cfg.smr with Nbr_core.Smr_config.max_reservations = Ds.max_reservations }
+    in
+    let smr = Smr.create pool ~nthreads:n smr_cfg in
+    let ds = Ds.create pool in
+    let ctxs = Array.init n (fun tid -> Smr.register smr ~tid) in
+    Array.iter (fun k -> ignore (Ds.insert ds ctxs.(0) k)) (prefill_keys cfg);
+    P.reset_peak pool;
+    let inserts = Array.make n 0
+    and deletes = Array.make n 0
+    and ops = Array.make n 0 in
+    let deadline = Rt.now_ns () + cfg.duration_ns in
+    Rt.run ~nthreads:n (fun tid ->
+        let ctx = ctxs.(tid) in
+        let rng = Nbr_sync.Rng.for_thread ~seed:cfg.seed ~tid in
+        (* E2's delayed thread: sleep inside an operation (and a read
+           phase, for phase-based schemes), holding whatever the scheme
+           pins for in-flight operations. *)
+        (match cfg.stall with
+        | Some s when s.stall_tid = tid ->
+            let stalled = ref false in
+            Smr.begin_op ctx;
+            Smr.read_only ctx (fun () ->
+                if not !stalled then begin
+                  stalled := true;
+                  Rt.stall_ns s.stall_ns
+                end);
+            Smr.end_op ctx
+        | _ -> ());
+        let my_ins = ref 0 and my_del = ref 0 and my_ops = ref 0 in
+        while Rt.now_ns () < deadline do
+          let k = Nbr_sync.Rng.below rng cfg.key_range in
+          let p = Nbr_sync.Rng.below rng 100 in
+          if p < cfg.ins_pct then begin
+            if Ds.insert ds ctx k then incr my_ins
+          end
+          else if p < cfg.ins_pct + cfg.del_pct then begin
+            if Ds.delete ds ctx k then incr my_del
+          end
+          else ignore (Ds.contains ds ctx k);
+          incr my_ops
+        done;
+        inserts.(tid) <- !my_ins;
+        deletes.(tid) <- !my_del;
+        ops.(tid) <- !my_ops);
+    let total_ops = Array.fold_left ( + ) 0 ops in
+    let ins = Array.fold_left ( + ) 0 inserts
+    and del = Array.fold_left ( + ) 0 deletes in
+    let ps = P.stats pool in
+    {
+      Trial.scheme = Smr.scheme_name;
+      structure = Ds.name;
+      runtime = Rt.name;
+      cfg;
+      total_ops;
+      throughput_mops =
+        float_of_int total_ops /. (float_of_int cfg.duration_ns /. 1e9) /. 1e6;
+      peak_unreclaimed = ps.P.s_peak_in_use;
+      final_in_use = ps.P.s_in_use;
+      uaf_reads = ps.P.s_uaf_reads;
+      signals = Rt.signals_sent ();
+      smr_stats = Smr.stats smr;
+      final_size = Ds.size ds;
+      expected_size = cfg.prefill + ins - del;
+    }
+end

@@ -1,0 +1,90 @@
+(** Trial configuration and results for the benchmark harness.
+
+    One {!cfg} describes one data point of a paper figure: a structure,
+    a reclamation scheme, a thread count, an operation mix, and a duration.
+    The harness runs the workload, validates set-semantics invariants, and
+    returns a {!result} with throughput plus every reclamation metric the
+    paper's experiments discuss. *)
+
+type stall = {
+  stall_tid : int;  (** which worker stalls (usually 1) *)
+  stall_ns : int;  (** how long it sleeps inside its operation *)
+}
+(** E2's delayed thread: the worker enters an operation (and, under
+    phase-based schemes, a read phase) and sleeps there, exactly like the
+    paper's thread that is "made to sleep within a data-structure
+    operation". *)
+
+type cfg = {
+  nthreads : int;
+  duration_ns : int;  (** measured with the runtime's clock (virtual in sim) *)
+  key_range : int;  (** keys are drawn uniformly from [0, key_range) *)
+  prefill : int;  (** distinct keys inserted before the clock starts *)
+  ins_pct : int;  (** percent of operations that are inserts *)
+  del_pct : int;  (** percent deletes; the rest are contains *)
+  smr : Nbr_core.Smr_config.t;
+  pool_capacity : int;
+  seed : int;
+  stall : stall option;
+}
+
+let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
+    ?prefill ?(ins_pct = 25) ?(del_pct = 25)
+    ?(smr = Nbr_core.Smr_config.default) ?pool_capacity ?(seed = 1)
+    ?stall () =
+  let prefill = match prefill with Some p -> p | None -> key_range / 2 in
+  let pool_capacity =
+    match pool_capacity with
+    | Some c -> c
+    | None ->
+        (* Room for the live structure plus leaky churn.  Structures
+           allocate at most ~2 records per element (tree routers, CoW);
+           leaky runs additionally consume a slot per update.  Kept tight
+           because pool construction cost is per-trial; trials that
+           genuinely need more pass [pool_capacity] explicitly. *)
+        (4 * key_range) + 200_000 + (nthreads * 12_000)
+  in
+  {
+    nthreads;
+    duration_ns;
+    key_range;
+    prefill;
+    ins_pct;
+    del_pct;
+    smr;
+    pool_capacity;
+    seed;
+    stall;
+  }
+
+type result = {
+  scheme : string;
+  structure : string;
+  runtime : string;
+  cfg : cfg;
+  total_ops : int;
+  throughput_mops : float;  (** million operations per second *)
+  peak_unreclaimed : int;  (** pool high-water mark after prefill *)
+  final_in_use : int;
+  uaf_reads : int;  (** guarded reads that hit freed slots *)
+  signals : int;
+  smr_stats : Nbr_core.Smr_stats.t;
+  final_size : int;
+  expected_size : int;  (** prefill + successful inserts - deletes *)
+}
+
+(* Validity: set semantics must hold everywhere.  Freedom from reads of
+   freed slots is exact only under the simulator's instantaneous signal
+   delivery; the native (polling) runtime has the benign
+   poll-to-dereference window analysed in DESIGN.md §3 — such reads are
+   never committed, but they are counted, so they must not fail native
+   trials. *)
+let valid r =
+  r.final_size = r.expected_size && (r.runtime <> "sim" || r.uaf_reads = 0)
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "%-12s %-8s n=%-3d %3di/%3dd  %8.3f Mops/s  peak=%-8d sig=%-8d restarts=%-6d %s"
+    r.structure r.scheme r.cfg.nthreads r.cfg.ins_pct r.cfg.del_pct
+    r.throughput_mops r.peak_unreclaimed r.signals r.smr_stats.restarts
+    (if valid r then "" else "INVALID")

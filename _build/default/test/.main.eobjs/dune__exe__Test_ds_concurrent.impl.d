@@ -1,0 +1,1 @@
+test/test_ds_concurrent.ml: Alcotest Fun List Nbr_core Nbr_runtime Nbr_workload Printf

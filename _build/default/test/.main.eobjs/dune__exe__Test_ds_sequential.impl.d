@@ -1,0 +1,1 @@
+test/test_ds_sequential.ml: Alcotest Int List Nbr_core Nbr_ds Nbr_pool Nbr_runtime Nbr_sync Set

@@ -1,0 +1,1 @@
+test/test_limbo_bag.ml: Alcotest List Nbr_core Observable QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Atomic List Nbr_core Nbr_runtime Nbr_workload Printf

@@ -1,0 +1,1 @@
+test/test_per_key.ml: Alcotest Array List Nbr_core Nbr_ds Nbr_pool Nbr_runtime Nbr_sync

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Hashtbl List Nbr_pool Nbr_runtime Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array List Nbr_core Nbr_pool Nbr_runtime Nbr_sync Nbr_workload QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim_rt.ml: Alcotest Array Fun List Nbr_runtime Printf

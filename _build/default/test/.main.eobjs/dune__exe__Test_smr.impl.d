@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Nbr_core Nbr_pool Nbr_runtime Nbr_sync Printf

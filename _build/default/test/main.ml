@@ -1,0 +1,15 @@
+(* Test driver: all suites under one Alcotest binary. *)
+
+let () =
+  Alcotest.run "nbr"
+    [
+      ("sim-runtime", Test_sim_rt.suite);
+      ("pool", Test_pool.suite);
+      ("limbo-bag", Test_limbo_bag.suite);
+      ("smr-schemes", Test_smr.suite);
+      ("ds-sequential", Test_ds_sequential.suite);
+      ("ds-concurrent", Test_ds_concurrent.suite);
+      ("per-key", Test_per_key.suite);
+      ("properties", Test_properties.suite);
+      ("native-runtime", Test_native.suite);
+    ]

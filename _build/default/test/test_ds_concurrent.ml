@@ -1,0 +1,160 @@
+(* Concurrent correctness tests on the deterministic simulator.
+
+   Each case runs a multi-threaded mixed workload over many seeds
+   (different interleavings) at fine scheduling granularity, checking:
+   - the structure's final contents equal prefill + inserts - deletes,
+   - no committed use-after-free reads,
+   - bounded-garbage schemes keep peak unreclaimed memory bounded under
+     an adversarially stalled thread, while DEBRA/RCU visibly grow (the
+     paper's figure 4c as a property). *)
+
+module Sim = Nbr_runtime.Sim_rt
+module H = Nbr_workload.Harness.Make (Sim)
+module T = Nbr_workload.Trial
+
+let run_combo ~scheme ~structure ~seed ?(nthreads = 5) ?(key_range = 128)
+    ?(threshold = 48) ?stall ?(duration_ns = 400_000) () =
+  Sim.set_config
+    {
+      Sim.default_config with
+      cores = 3 (* fewer cores than threads: real preemption *);
+      granularity = 1;
+      seed;
+    };
+  Sim.set_max_events 80_000_000;
+  Fun.protect
+    ~finally:(fun () -> Sim.set_max_events 0)
+    (fun () ->
+      let cfg =
+        T.mk ~nthreads ~duration_ns ~key_range
+          ~smr:
+            (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+               threshold)
+          ~seed ?stall ()
+      in
+      H.run ~scheme ~structure cfg)
+
+let seeds = [ 3; 17; 101 ]
+
+let check_combo ~scheme ~structure () =
+  List.iter
+    (fun seed ->
+      let r = run_combo ~scheme ~structure ~seed () in
+      if r.T.final_size <> r.T.expected_size then
+        Alcotest.failf "%s/%s seed=%d: size %d, expected %d (ops=%d)" scheme
+          structure seed r.T.final_size r.T.expected_size r.T.total_ops;
+      if r.T.uaf_reads <> 0 then
+        Alcotest.failf "%s/%s seed=%d: %d use-after-free reads" scheme
+          structure seed r.T.uaf_reads;
+      if r.T.total_ops < 100 then
+        Alcotest.failf "%s/%s seed=%d: suspiciously few ops (%d)" scheme
+          structure seed r.T.total_ops)
+    seeds
+
+let combos =
+  List.concat_map
+    (fun structure ->
+      List.filter_map
+        (fun scheme ->
+          if H.supported ~scheme ~structure then Some (scheme, structure)
+          else None)
+        H.scheme_names)
+    H.structure_names
+
+(* ------------------------------------------------------------------ *)
+(* Bounded garbage under a stalled thread (E2 as a property).           *)
+
+let stalled_peak ~scheme () =
+  let duration_ns = 1_500_000 in
+  let r =
+    run_combo ~scheme ~structure:"dgt-tree" ~seed:11 ~nthreads:6
+      ~key_range:512 ~threshold:64
+      ~stall:{ T.stall_tid = 1; stall_ns = duration_ns }
+      ~duration_ns ()
+  in
+  if r.T.final_size <> r.T.expected_size then
+    Alcotest.failf "%s stalled run: size mismatch" scheme;
+  r.T.peak_unreclaimed
+
+let test_bounded_garbage_under_stall () =
+  (* Live structure ~256 keys -> ~512 live records + bags.  A bounded
+     scheme's peak should stay near (live + threads*threshold); DEBRA and
+     RCU, pinned by the staller, grow far beyond it. *)
+  let bound = 512 + (6 * 64 * 4) in
+  List.iter
+    (fun scheme ->
+      let p = stalled_peak ~scheme () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s peak %d within bound %d under stall" scheme p
+           bound)
+        true (p <= bound))
+    [ "nbr"; "nbr+"; "hp"; "ibr" ];
+  let p_nbrp = stalled_peak ~scheme:"nbr+" () in
+  List.iter
+    (fun scheme ->
+      let p = stalled_peak ~scheme () in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "%s grows under stall (peak %d vs nbr+ %d)" scheme p p_nbrp)
+        true
+        (p > 2 * p_nbrp))
+    [ "debra"; "rcu" ]
+
+(* Without a stall, every reclaiming scheme should stay modest. *)
+let test_no_stall_memory_flat () =
+  List.iter
+    (fun scheme ->
+      let r =
+        run_combo ~scheme ~structure:"dgt-tree" ~seed:13 ~nthreads:6
+          ~key_range:512 ~threshold:64 ~duration_ns:1_500_000 ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s peak %d reasonable without stall" scheme
+           r.T.peak_unreclaimed)
+        true
+        (r.T.peak_unreclaimed <= 512 + (6 * 64 * 6)))
+    [ "nbr"; "nbr+"; "debra"; "qsbr"; "rcu"; "ibr"; "hp" ]
+
+(* NBR's restarts actually happen in contended runs (the neutralization
+   path is exercised, not just compiled). *)
+let test_neutralization_exercised () =
+  let r =
+    run_combo ~scheme:"nbr" ~structure:"lazy-list" ~seed:3 ~nthreads:6
+      ~key_range:64 ~threshold:24 ~duration_ns:800_000 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "restarts observed (%d), signals sent (%d)"
+       r.T.smr_stats.restarts r.T.signals)
+    true
+    (r.T.smr_stats.restarts > 0 && r.T.signals > 0)
+
+(* NBR+ opportunistic reclamation fires in steady state. *)
+let test_nbrp_lo_reclaims_exercised () =
+  let r =
+    run_combo ~scheme:"nbr+" ~structure:"dgt-tree" ~seed:9 ~nthreads:6
+      ~key_range:256 ~threshold:48 ~duration_ns:1_200_000 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "lo-watermark reclaims observed (%d)"
+       r.T.smr_stats.lo_reclaims)
+    true
+    (r.T.smr_stats.lo_reclaims > 0)
+
+let suite =
+  List.map
+    (fun (scheme, structure) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s/%s: 3 seeds, 5 threads" scheme structure)
+        `Slow
+        (check_combo ~scheme ~structure))
+    combos
+  @ [
+      Alcotest.test_case "bounded garbage under stalled thread (fig 4c)"
+        `Slow test_bounded_garbage_under_stall;
+      Alcotest.test_case "memory flat without stall (fig 4d)" `Slow
+        test_no_stall_memory_flat;
+      Alcotest.test_case "neutralization path exercised" `Quick
+        test_neutralization_exercised;
+      Alcotest.test_case "nbr+ lo-watermark path exercised" `Quick
+        test_nbrp_lo_reclaims_exercised;
+    ]

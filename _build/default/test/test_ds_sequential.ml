@@ -1,0 +1,207 @@
+(* Sequential model tests: every data structure, under two reclamation
+   schemes, must behave exactly like Set.Make(Int) over long random
+   operation traces, and (a,b)-tree structure invariants must hold
+   throughout.  These run single-threaded on the simulator, so recycling
+   through each scheme's reclamation paths is still exercised. *)
+
+module Sim = Nbr_runtime.Sim_rt
+module S = Set.Make (Int)
+
+module type DS_UNDER_TEST = sig
+  type t
+
+  val name : string
+  val setup : unit -> t * (int -> bool) * (int -> bool) * (int -> bool)
+  (* returns (handle, insert, delete, contains) *)
+
+  val to_list : t -> int list
+  val check : t -> string option
+end
+
+let model_trace (module D : DS_UNDER_TEST) ~ops ~range ~seed () =
+  let t, insert, delete, contains = D.setup () in
+  let rng = Nbr_sync.Rng.create seed in
+  let model = ref S.empty in
+  for i = 1 to ops do
+    let k = Nbr_sync.Rng.below rng range in
+    (match Nbr_sync.Rng.below rng 3 with
+    | 0 ->
+        let got = insert k and want = not (S.mem k !model) in
+        if want then model := S.add k !model;
+        if got <> want then
+          Alcotest.failf "%s: insert %d returned %b at op %d" D.name k got i
+    | 1 ->
+        let got = delete k and want = S.mem k !model in
+        if want then model := S.remove k !model;
+        if got <> want then
+          Alcotest.failf "%s: delete %d returned %b at op %d" D.name k got i
+    | _ ->
+        let got = contains k and want = S.mem k !model in
+        if got <> want then
+          Alcotest.failf "%s: contains %d returned %b at op %d" D.name k got i);
+    if i mod 500 = 0 then begin
+      (match D.check t with
+      | Some e -> Alcotest.failf "%s: structural violation: %s" D.name e
+      | None -> ());
+      if D.to_list t <> S.elements !model then
+        Alcotest.failf "%s: contents diverged from model at op %d" D.name i
+    end
+  done;
+  if D.to_list t <> S.elements !model then
+    Alcotest.failf "%s: final contents diverged" D.name
+
+(* Instantiate each structure under a scheme. *)
+module Under
+    (Smr : Nbr_core.Smr_intf.S
+             with type aint = Sim.aint
+              and type pool = Nbr_pool.Pool.Make(Sim).t) =
+struct
+  module P = Nbr_pool.Pool.Make (Sim)
+
+  let cfg = Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 32
+
+  let make_setup (type a) ~data_fields ~ptr_fields ?(max_reservations = 3)
+      ~(create : P.t -> a)
+      ~(insert : a -> Smr.ctx -> int -> bool)
+      ~(delete : a -> Smr.ctx -> int -> bool)
+      ~(contains : a -> Smr.ctx -> int -> bool) () =
+    let pool =
+      P.create ~capacity:200_000 ~data_fields ~ptr_fields ~nthreads:1 ()
+    in
+    let smr =
+      Smr.create pool ~nthreads:1
+        { cfg with Nbr_core.Smr_config.max_reservations }
+    in
+    let t = create pool in
+    let ctx = Smr.register smr ~tid:0 in
+    (t, insert t ctx, delete t ctx, contains t ctx)
+
+  module LL = Nbr_ds.Lazy_list.Make (Sim) (Smr)
+
+  module Lazy_list_t : DS_UNDER_TEST = struct
+    type t = LL.t
+
+    let name = "lazy-list/" ^ Smr.scheme_name
+
+    let setup () =
+      make_setup ~data_fields:LL.data_fields ~ptr_fields:LL.ptr_fields
+        ~create:LL.create ~insert:LL.insert ~delete:LL.delete
+        ~contains:LL.contains ()
+
+    let to_list = LL.to_list
+    let check _ = None
+  end
+
+  module DG = Nbr_ds.Dgt_bst.Make (Sim) (Smr)
+
+  module Dgt_t : DS_UNDER_TEST = struct
+    type t = DG.t
+
+    let name = "dgt-tree/" ^ Smr.scheme_name
+
+    let setup () =
+      make_setup ~data_fields:DG.data_fields ~ptr_fields:DG.ptr_fields
+        ~create:DG.create ~insert:DG.insert ~delete:DG.delete
+        ~contains:DG.contains ()
+
+    let to_list t = List.sort compare (DG.to_list t)
+    let check _ = None
+  end
+
+  module HL = Nbr_ds.Harris_list.Make (Sim) (Smr)
+
+  module Harris_t : DS_UNDER_TEST = struct
+    type t = HL.t
+
+    let name = "harris-list/" ^ Smr.scheme_name
+
+    let setup () =
+      make_setup ~data_fields:HL.data_fields ~ptr_fields:HL.ptr_fields
+        ~create:HL.create ~insert:HL.insert ~delete:HL.delete
+        ~contains:HL.contains ()
+
+    let to_list = HL.to_list
+    let check _ = None
+  end
+
+  module AB = Nbr_ds.Ab_tree.Make (Sim) (Smr)
+
+  module Ab_t : DS_UNDER_TEST = struct
+    type t = AB.t
+
+    let name = "ab-tree/" ^ Smr.scheme_name
+
+    let setup () =
+      make_setup ~data_fields:AB.data_fields ~ptr_fields:AB.ptr_fields
+        ~create:AB.create ~insert:AB.insert ~delete:AB.delete
+        ~contains:AB.contains ()
+
+    let to_list = AB.to_list
+    let check = AB.check
+  end
+
+  module HS = Nbr_ds.Hash_set.Make (Sim) (Smr)
+
+  module Hash_t : DS_UNDER_TEST = struct
+    type t = HS.t
+
+    let name = "hash-set/" ^ Smr.scheme_name
+
+    let setup () =
+      make_setup ~data_fields:HS.data_fields ~ptr_fields:HS.ptr_fields
+        ~create:(HS.create ~buckets:8)
+        ~insert:HS.insert ~delete:HS.delete ~contains:HS.contains ()
+
+    let to_list = HS.to_list
+    let check _ = None
+  end
+
+  module SK = Nbr_ds.Skip_list.Make (Sim) (Smr)
+
+  module Skip_t : DS_UNDER_TEST = struct
+    type t = SK.t
+
+    let name = "skip-list/" ^ Smr.scheme_name
+
+    let setup () =
+      make_setup ~data_fields:SK.data_fields ~ptr_fields:SK.ptr_fields
+        ~max_reservations:SK.max_reservations ~create:SK.create
+        ~insert:SK.insert ~delete:SK.delete ~contains:SK.contains ()
+
+    let to_list = SK.to_list
+    let check = SK.check
+  end
+
+  (* Mark-traversing structures are excluded for HP/HE by callers. *)
+  let all : (module DS_UNDER_TEST) list =
+    [
+      (module Lazy_list_t);
+      (module Dgt_t);
+      (module Harris_t);
+      (module Ab_t);
+      (module Hash_t);
+      (module Skip_t);
+    ]
+
+  let no_mark_traversal : (module DS_UNDER_TEST) list =
+    [ (module Lazy_list_t); (module Dgt_t); (module Ab_t) ]
+end
+
+module Under_nbrp = Under (Nbr_core.Nbr_plus.Make (Sim))
+module Under_hp = Under (Nbr_core.Hp.Make (Sim))
+module Under_he = Under (Nbr_core.Hazard_eras.Make (Sim))
+module Under_debra = Under (Nbr_core.Debra.Make (Sim))
+
+let cases =
+  List.concat_map
+    (fun (module D : DS_UNDER_TEST) ->
+      [
+        Alcotest.test_case (D.name ^ " model trace") `Quick
+          (model_trace (module D) ~ops:6_000 ~range:128 ~seed:7);
+        Alcotest.test_case (D.name ^ " dense keys") `Quick
+          (model_trace (module D) ~ops:3_000 ~range:16 ~seed:21);
+      ])
+    (Under_nbrp.all @ Under_debra.all @ Under_hp.no_mark_traversal
+   @ Under_he.no_mark_traversal)
+
+let suite = cases

@@ -1,0 +1,94 @@
+(* Unit and property tests for the limbo bag (FIFO with absolute
+   positions and reservation-aware sweeps). *)
+
+module B = Nbr_core.Limbo_bag
+
+let test_push_size () =
+  let b = B.create ~capacity:2 () in
+  Alcotest.(check int) "empty" 0 (B.size b);
+  for i = 1 to 100 do
+    B.push b i
+  done;
+  Alcotest.(check int) "hundred" 100 (B.size b);
+  Alcotest.(check int) "abs tail" 100 (B.abs_tail b)
+
+let test_sweep_all () =
+  let b = B.create () in
+  for i = 1 to 10 do
+    B.push b i
+  done;
+  let freed = ref [] in
+  let n =
+    B.sweep b ~upto:(B.abs_tail b)
+      ~keep:(fun _ -> false)
+      ~free:(fun e -> freed := e :: !freed)
+  in
+  Alcotest.(check int) "freed count" 10 n;
+  Alcotest.(check (list int)) "FIFO order" (List.init 10 (fun i -> i + 1))
+    (List.rev !freed);
+  Alcotest.(check int) "empty after" 0 (B.size b)
+
+let test_sweep_keeps_reserved () =
+  let b = B.create () in
+  for i = 1 to 10 do
+    B.push b i
+  done;
+  let keep e = e mod 2 = 0 in
+  let n = B.sweep b ~upto:(B.abs_tail b) ~keep ~free:(fun _ -> ()) in
+  Alcotest.(check int) "freed odd ones" 5 n;
+  Alcotest.(check int) "kept even ones" 5 (B.size b);
+  let kept = ref [] in
+  B.iter (fun e -> kept := e :: !kept) b;
+  Alcotest.(check (list int)) "kept re-appended in order" [ 2; 4; 6; 8; 10 ]
+    (List.rev !kept)
+
+let test_bookmark_sweep () =
+  let b = B.create () in
+  for i = 1 to 5 do
+    B.push b i
+  done;
+  let bookmark = B.abs_tail b in
+  for i = 6 to 10 do
+    B.push b i
+  done;
+  let freed = ref [] in
+  let n =
+    B.sweep b ~upto:bookmark
+      ~keep:(fun _ -> false)
+      ~free:(fun e -> freed := e :: !freed)
+  in
+  Alcotest.(check int) "only pre-bookmark freed" 5 n;
+  Alcotest.(check (list int)) "oldest five" [ 1; 2; 3; 4; 5 ] (List.rev !freed);
+  Alcotest.(check int) "rest remain" 5 (B.size b)
+
+(* Property: a sweep with bookmark frees exactly the unreserved prefix,
+   keeps reserved prefix entries, and never touches post-bookmark pushes. *)
+let prop_sweep_model =
+  QCheck.Test.make ~count:300 ~name:"limbo bag sweep matches model"
+    QCheck.(triple (list small_nat) (list small_nat) (fun1 Observable.int bool))
+    (fun (pre, post, keepf) ->
+      let keep = QCheck.Fn.apply keepf in
+      let b = B.create ~capacity:1 () in
+      List.iter (B.push b) pre;
+      let bookmark = B.abs_tail b in
+      List.iter (B.push b) post;
+      let freed = ref [] in
+      let n =
+        B.sweep b ~upto:bookmark ~keep ~free:(fun e -> freed := e :: !freed)
+      in
+      let expect_freed = List.filter (fun e -> not (keep e)) pre in
+      let expect_kept = List.filter keep pre in
+      let remaining = ref [] in
+      B.iter (fun e -> remaining := e :: !remaining) b;
+      n = List.length expect_freed
+      && List.rev !freed = expect_freed
+      && List.rev !remaining = post @ expect_kept)
+
+let suite =
+  [
+    Alcotest.test_case "push and size" `Quick test_push_size;
+    Alcotest.test_case "sweep frees all" `Quick test_sweep_all;
+    Alcotest.test_case "sweep keeps reserved" `Quick test_sweep_keeps_reserved;
+    Alcotest.test_case "bookmark bounds sweep" `Quick test_bookmark_sweep;
+    QCheck_alcotest.to_alcotest prop_sweep_model;
+  ]

@@ -1,0 +1,115 @@
+(* Unit and property tests for the record pool (simulated manual memory). *)
+
+module Sim = Nbr_runtime.Sim_rt
+module P = Nbr_pool.Pool.Make (Sim)
+
+let mk ?(capacity = 64) () =
+  P.create ~capacity ~data_fields:2 ~ptr_fields:2 ~nthreads:1 ()
+
+let test_alloc_free_cycle () =
+  let p = mk () in
+  let a = P.alloc p in
+  Alcotest.(check bool) "live after alloc" true (P.state p a = P.Live);
+  P.set_data p a 0 42;
+  Alcotest.(check int) "field roundtrip" 42 (P.get_data p a 0);
+  P.note_retired p a;
+  Alcotest.(check bool) "retired" true (P.state p a = P.Retired);
+  P.free p a;
+  Alcotest.(check bool) "free" true (P.state p a = P.Free);
+  let b = P.alloc p in
+  Alcotest.(check int) "slot recycled from free list" a b
+
+let test_seqno_bumps () =
+  let p = mk () in
+  let a = P.alloc p in
+  let s0 = P.seqno p a in
+  P.free p a;
+  Alcotest.(check int) "seqno bumped on free" (s0 + 1) (P.seqno p a)
+
+let test_double_free_raises () =
+  let p = mk () in
+  let a = P.alloc p in
+  P.free p a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument (Printf.sprintf "Pool.free: double free of slot %d" a))
+    (fun () -> P.free p a)
+
+let test_exhaustion () =
+  let p = mk ~capacity:4 () in
+  for _ = 1 to 4 do
+    ignore (P.alloc p)
+  done;
+  Alcotest.check_raises "exhausted" P.Exhausted (fun () -> ignore (P.alloc p))
+
+let test_in_use_accounting () =
+  let p = mk () in
+  let slots = List.init 10 (fun _ -> P.alloc p) in
+  let st = P.stats p in
+  Alcotest.(check int) "in_use" 10 st.P.s_in_use;
+  Alcotest.(check int) "peak" 10 st.P.s_peak_in_use;
+  List.iteri (fun i s -> if i < 7 then P.free p s) slots;
+  let st = P.stats p in
+  Alcotest.(check int) "in_use after frees" 3 st.P.s_in_use;
+  Alcotest.(check int) "peak unchanged" 10 st.P.s_peak_in_use;
+  P.reset_peak p;
+  Alcotest.(check int) "peak reset" 3 (P.stats p).P.s_peak_in_use
+
+let test_uaf_detection () =
+  let p = mk () in
+  let a = P.alloc p in
+  P.record_read p a;
+  Alcotest.(check int) "live read not UAF" 0 (P.stats p).P.s_uaf_reads;
+  P.free p a;
+  P.record_read p a;
+  Alcotest.(check int) "freed read counted" 1 (P.stats p).P.s_uaf_reads
+
+let test_ptr_fields_nil_initialized () =
+  let p = mk () in
+  let a = P.alloc p in
+  Alcotest.(check int) "ptr0 nil" P.nil (P.get_ptr p a 0);
+  Alcotest.(check int) "ptr1 nil" P.nil (P.get_ptr p a 1)
+
+(* Property: under any alloc/free trace, the pool never hands out a slot
+   that is currently live, and in_use always equals |allocated \ freed|. *)
+let prop_alloc_free_trace =
+  QCheck.Test.make ~count:200 ~name:"pool alloc/free trace invariants"
+    QCheck.(list (option (int_bound 31)))
+    (fun script ->
+      let p = mk ~capacity:32 () in
+      let live = Hashtbl.create 32 in
+      let ok = ref true in
+      (try
+         List.iter
+           (fun step ->
+             match step with
+             | None ->
+                 (* alloc *)
+                 let s = P.alloc p in
+                 if Hashtbl.mem live s then ok := false;
+                 Hashtbl.add live s ()
+             | Some i ->
+                 (* free the i-th live slot, if any *)
+                 let keys = Hashtbl.fold (fun k () acc -> k :: acc) live [] in
+                 let keys = List.sort compare keys in
+                 if keys <> [] then begin
+                   let s = List.nth keys (i mod List.length keys) in
+                   Hashtbl.remove live s;
+                   P.free p s
+                 end)
+           script
+       with P.Exhausted -> ());
+      let st = P.stats p in
+      !ok && st.P.s_in_use = Hashtbl.length live)
+
+let suite =
+  [
+    Alcotest.test_case "alloc/free lifecycle" `Quick test_alloc_free_cycle;
+    Alcotest.test_case "seqno bumps on free" `Quick test_seqno_bumps;
+    Alcotest.test_case "double free raises" `Quick test_double_free_raises;
+    Alcotest.test_case "exhaustion raises" `Quick test_exhaustion;
+    Alcotest.test_case "in-use/peak accounting" `Quick test_in_use_accounting;
+    Alcotest.test_case "UAF read detection" `Quick test_uaf_detection;
+    Alcotest.test_case "pointer fields nil" `Quick
+      test_ptr_fields_nil_initialized;
+    QCheck_alcotest.to_alcotest prop_alloc_free_trace;
+  ]

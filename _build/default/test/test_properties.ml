@@ -1,0 +1,120 @@
+(* Property-based tests of the NBR-specific invariants (qcheck over
+   randomized schedules on the deterministic simulator). *)
+
+module Sim = Nbr_runtime.Sim_rt
+module P = Nbr_pool.Pool.Make (Sim)
+module NP = Nbr_core.Nbr_plus.Make (Sim)
+module N = Nbr_core.Nbr.Make (Sim)
+module HE = Nbr_core.Hazard_eras.Make (Sim)
+
+let cfg threshold =
+  Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default threshold
+
+(* Lemma 10 as a property: for random thread counts, thresholds,
+   reservation patterns and stall schedules, a bounded scheme never holds
+   more than live + n*(threshold + R + 1) unreclaimed records.  Threads
+   continuously allocate, sometimes briefly reserve-and-hold, retire, and
+   may stall mid-phase. *)
+let bounded_garbage_nbr_plus =
+  QCheck.Test.make ~count:20 ~name:"nbr+ bounded garbage (Lemma 10)"
+    QCheck.(
+      quad (int_range 2 6) (* threads *)
+        (int_range 8 64) (* threshold *)
+        (int_range 50 400) (* retires per thread *)
+        (int_range 0 3) (* stalled thread count *))
+    (fun (n, threshold, iters, stallers) ->
+      Sim.set_config
+        { Sim.default_config with cores = 4; granularity = 1; seed = n * 131 };
+      let pool =
+        P.create ~capacity:200_000 ~data_fields:1 ~ptr_fields:1 ~nthreads:n ()
+      in
+      let smr = NP.create pool ~nthreads:n (cfg threshold) in
+      let ctxs = Array.init n (fun tid -> NP.register smr ~tid) in
+      Sim.run ~nthreads:n (fun tid ->
+          let c = ctxs.(tid) in
+          let rng = Nbr_sync.Rng.for_thread ~seed:99 ~tid in
+          for i = 1 to iters do
+            NP.begin_op c;
+            (* Occasionally hold a reservation through a write phase. *)
+            if Nbr_sync.Rng.below rng 4 = 0 then begin
+              let s = NP.alloc c in
+              NP.phase c
+                ~read:(fun () -> ((), [| s |]))
+                ~write:(fun () -> NP.retire c s)
+            end
+            else begin
+              let s = NP.alloc c in
+              NP.retire c s
+            end;
+            (* A few threads stall mid-run, inside an operation. *)
+            if tid < stallers && i = iters / 2 then
+              NP.read_only c (fun () -> Sim.stall_ns 2_000_000);
+            NP.end_op c
+          done);
+      let st = P.stats pool in
+      let r = Nbr_core.Smr_config.(default.max_reservations) in
+      st.P.s_in_use <= n * (threshold + r + 1))
+
+(* The same harness must show unbounded behaviour is *possible* for leaky
+   reclamation (sanity check that the property above is not vacuous). *)
+let leaky_unbounded =
+  QCheck.Test.make ~count:5 ~name:"leaky reclamation exceeds the NBR bound"
+    QCheck.(int_range 100 300)
+    (fun iters ->
+      Sim.set_config
+        { Sim.default_config with cores = 4; granularity = 1; seed = 5 };
+      let module L = Nbr_core.Leaky.Make (Sim) in
+      let n = 4 and threshold = 16 in
+      let pool =
+        P.create ~capacity:200_000 ~data_fields:1 ~ptr_fields:1 ~nthreads:n ()
+      in
+      let smr = L.create pool ~nthreads:n (cfg threshold) in
+      let ctxs = Array.init n (fun tid -> L.register smr ~tid) in
+      Sim.run ~nthreads:n (fun tid ->
+          let c = ctxs.(tid) in
+          for _ = 1 to iters do
+            let s = L.alloc c in
+            L.retire c s
+          done);
+      let st = P.stats pool in
+      st.P.s_in_use = n * iters
+      && st.P.s_in_use
+         > n * (threshold + Nbr_core.Smr_config.(default.max_reservations) + 1))
+
+(* Determinism of whole trials: same seed -> identical results, different
+   seed -> (almost certainly) different interleaving observable in ops. *)
+module H = Nbr_workload.Harness.Make (Sim)
+
+let trial_deterministic =
+  QCheck.Test.make ~count:8 ~name:"sim trials are seed-deterministic"
+    QCheck.(pair (int_range 1 1000) (int_range 0 3))
+    (fun (seed, which) ->
+      let structure = List.nth [ "lazy-list"; "dgt-tree"; "hash-set"; "skip-list" ] which in
+      let run () =
+        Sim.set_config
+          { Sim.default_config with cores = 3; granularity = 1; seed };
+        let cfg =
+          Nbr_workload.Trial.mk ~nthreads:4 ~duration_ns:120_000 ~key_range:64
+            ~seed ()
+        in
+        let r = H.run ~scheme:"nbr+" ~structure cfg in
+        (r.Nbr_workload.Trial.total_ops, r.Nbr_workload.Trial.final_size)
+      in
+      run () = run ())
+
+(* Rng sanity: below stays in range; for_thread decorrelates threads. *)
+let rng_bounds =
+  QCheck.Test.make ~count:200 ~name:"rng below stays in bounds"
+    QCheck.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Nbr_sync.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Nbr_sync.Rng.below rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ bounded_garbage_nbr_plus; leaky_unbounded; trial_deterministic; rng_bounds ]
