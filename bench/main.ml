@@ -171,7 +171,16 @@ let () =
     (fun (id, descr, run) ->
       Printf.printf "\n=== %s: %s ===\n%!" id descr;
       let t = Unix.gettimeofday () in
-      run quick;
+      (match run quick with
+      | () -> ()
+      | exception Nbr_pool.Pool.Exhausted x ->
+          (* An undersized pool (or the leaky scheme running long enough)
+             is a diagnosable configuration problem, not a crash: report
+             it and let the remaining experiments run. *)
+          Format.printf "[%s ABORTED] %a@." id Nbr_pool.Pool.pp_exhausted x;
+          E.note_failure
+            (Printf.sprintf "%s: pool exhausted (capacity %d)" id
+               x.Nbr_pool.Pool.x_capacity));
       Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t))
     selected;
   if not (has "--no-micro") then run_micro ();

@@ -167,4 +167,19 @@ let trial_cmd =
 let () =
   let doc = "NBR (PPoPP'21) reproduction benchmarks" in
   let info = Cmd.info "nbr_bench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; trial_cmd ]))
+  (* [~catch:false] so pool exhaustion reaches us instead of cmdliner's
+     generic backtrace: it is an expected outcome of undersized trials
+     (or of running the leaky scheme long enough), not a crash. *)
+  match Cmd.eval ~catch:false (Cmd.group info [ list_cmd; figure_cmd; trial_cmd ]) with
+  | code -> exit code
+  | exception Nbr_pool.Pool.Exhausted x ->
+      Format.eprintf
+        "nbr_bench: %a@.hint: raise the trial's pool capacity, shorten its \
+         duration, or pick a reclaiming scheme (this is the expected failure \
+         mode of scheme=none).@."
+        Nbr_pool.Pool.pp_exhausted x;
+      exit 1
+  | exception Invalid_argument msg ->
+      (* e.g. an unknown scheme/structure name reaching the harness *)
+      Format.eprintf "nbr_bench: %s@." msg;
+      exit 2

@@ -115,12 +115,43 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   (* enterQstate *)
   let end_op c = Rt.store c.b.announce.(c.tid) ((c.local_epoch lsl 1) lor 1)
 
-  let alloc c = P.alloc c.b.pool
+  (* Pool-pressure flush.  While this thread is inside an operation its
+     own announcement pins the global epoch to at most [local_epoch + 1],
+     so at most one bag (records retired two epochs back) can be released
+     no matter how hard we try — EBR's degradation under pressure is
+     structural.  Best effort: run the advance scan in full (not
+     amortized) and release that bag if the epoch moved.  [local_epoch]
+     and our announcement are deliberately left alone: re-announcing a
+     newer epoch mid-operation would un-pin records we may still be
+     traversing. *)
+  let on_pressure c =
+    let e = Rt.load c.b.epoch in
+    let ok = ref true in
+    for j = 0 to c.b.n - 1 do
+      if !ok then begin
+        let a = Rt.load c.b.announce.(j) in
+        if not (a land 1 = 1 || a lsr 1 >= e) then ok := false
+      end
+    done;
+    if !ok then ignore (Rt.cas c.b.epoch e (e + 1));
+    let e' = Rt.load c.b.epoch in
+    if e' <> c.local_epoch then
+      (* Never our current retire bag: our own announcement keeps
+         [e' <= local_epoch + 1], so [(e'+1) mod 3 <> local_epoch mod 3]. *)
+      free_bag c c.bags.((e' + 1) mod 3)
+
+  let alloc c = P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
+
+  let buffered c =
+    Limbo_bag.size c.bags.(0) + Limbo_bag.size c.bags.(1)
+    + Limbo_bag.size c.bags.(2)
 
   let retire c slot =
     P.note_retired c.b.pool slot;
     c.st.retires <- c.st.retires + 1;
-    Limbo_bag.push c.bags.(c.local_epoch mod 3) slot
+    Limbo_bag.push c.bags.(c.local_epoch mod 3) slot;
+    let g = buffered c in
+    if g > c.st.max_garbage then c.st.max_garbage <- g
 
   (* EBR has no phase discipline: both phases run unguarded. *)
   let phase _c ~read ~write =

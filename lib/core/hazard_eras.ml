@@ -90,8 +90,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       Rt.store sl.(i) empty_slot
     done
 
-  let alloc c =
-    let slot = P.alloc c.b.pool in
+  let alloc_with c ~on_pressure =
+    let slot = P.alloc ~on_pressure c.b.pool in
     c.alloc_count <- c.alloc_count + 1;
     if c.alloc_count mod c.b.cfg.Smr_config.epoch_freq = 0 then
       ignore (Rt.faa c.b.era 1);
@@ -163,12 +163,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     c.st.restarts <- c.st.restarts + !attempts - 1;
     out
 
-  let retire c slot =
-    P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
-    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
-    Limbo_bag.push c.bag slot;
-    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+  (* Era scan + sweep — the threshold-crossing body of [retire], also run
+     threshold-free under pool pressure.  Safe mid-operation: our own
+     published eras are part of the scan, pinning anything we might still
+     dereference. *)
+  let flush c =
+    if Limbo_bag.size c.bag > 0 then begin
       let k = ref 0 in
       for t = 0 to c.b.n - 1 do
         for i = 0 to c.b.window - 1 do
@@ -196,6 +196,18 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       c.st.freed <- c.st.freed + freed;
       c.st.reclaim_events <- c.st.reclaim_events + 1
     end
+
+  let on_pressure = flush
+  let alloc c = alloc_with c ~on_pressure:(fun () -> flush c)
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then flush c;
+    let g = Limbo_bag.size c.bag in
+    if g > c.st.max_garbage then c.st.max_garbage <- g
 
   let stats b =
     let acc = Smr_stats.zero () in

@@ -81,8 +81,6 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       Rt.store hz.(i) P.nil
     done
 
-  let alloc c = P.alloc c.b.pool
-
   (* Announce-and-validate: publish [target] read from [cell], then check
      that [cell] still holds it, that the target has not been unlinked,
      and that the slot was not recycled under us.  The link re-read alone
@@ -152,11 +150,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     in
     go 0 n
 
-  let retire c slot =
-    P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
-    Limbo_bag.push c.bag slot;
-    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+  (* Hazard scan + sweep — the threshold-crossing body of [retire], also
+     run threshold-free under pool pressure.  Own hazards are skipped, as
+     in the retire-time scan: records in our bag were retired by us and
+     are never touched again, whatever our hazard slots still point at. *)
+  let flush c =
+    if Limbo_bag.size c.bag > 0 then begin
       let k = ref 0 in
       for t = 0 to c.b.n - 1 do
         if t <> c.tid then
@@ -179,6 +178,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       c.st.freed <- c.st.freed + freed;
       c.st.reclaim_events <- c.st.reclaim_events + 1
     end
+
+  let on_pressure = flush
+  let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then flush c;
+    let g = Limbo_bag.size c.bag in
+    if g > c.st.max_garbage then c.st.max_garbage <- g
 
   let stats b =
     let acc = Smr_stats.zero () in

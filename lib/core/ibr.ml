@@ -90,20 +90,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     Rt.store c.b.lo.(c.tid) inactive_lo;
     Rt.store c.b.hi.(c.tid) inactive_hi
 
-  let alloc c =
-    let slot = P.alloc c.b.pool in
-    c.alloc_count <- c.alloc_count + 1;
-    if c.alloc_count mod c.b.cfg.Smr_config.epoch_freq = 0 then
-      ignore (Rt.faa c.b.era 1);
-    Rt.store c.b.birth.(slot) (Rt.load c.b.era);
-    slot
-
-  let retire c slot =
-    P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
-    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
-    Limbo_bag.push c.bag slot;
-    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+  (* Interval scan + sweep — the threshold-crossing body of [retire],
+     also run threshold-free under pool pressure.  Safe mid-operation:
+     our own announced interval is part of the scan, so anything we might
+     still dereference stays pinned. *)
+  let flush c =
+    if Limbo_bag.size c.bag > 0 then begin
       for t = 0 to c.b.n - 1 do
         c.slo.(t) <- Rt.load c.b.lo.(t);
         c.shi.(t) <- Rt.load c.b.hi.(t)
@@ -125,6 +117,25 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       c.st.freed <- c.st.freed + freed;
       c.st.reclaim_events <- c.st.reclaim_events + 1
     end
+
+  let on_pressure = flush
+
+  let alloc c =
+    let slot = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool in
+    c.alloc_count <- c.alloc_count + 1;
+    if c.alloc_count mod c.b.cfg.Smr_config.epoch_freq = 0 then
+      ignore (Rt.faa c.b.era 1);
+    Rt.store c.b.birth.(slot) (Rt.load c.b.era);
+    slot
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then flush c;
+    let g = Limbo_bag.size c.bag in
+    if g > c.st.max_garbage then c.st.max_garbage <- g
 
   let phase _c ~read ~write =
     let payload, _recs = read () in

@@ -32,11 +32,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let begin_op _ = ()
   let end_op _ = ()
+
+  (* Nothing to flush: abandoned records are gone for good, which is the
+     point of the baseline — under pool pressure it simply exhausts. *)
+  let on_pressure _ = ()
   let alloc c = P.alloc c.b.pool
 
   let retire c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1
+    c.st.retires <- c.st.retires + 1;
+    (* Every retire is garbage forever. *)
+    c.st.max_garbage <- c.st.retires
 
   let phase _c ~read ~write =
     let payload, _recs = read () in

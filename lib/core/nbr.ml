@@ -33,6 +33,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let read_ptr = B.read_ptr
   let read_raw = B.read_raw
   let stats = B.stats
+  let on_pressure = B.flush
 
   (* Algorithm 1, lines 14–20. *)
   let retire (c : ctx) slot =
@@ -43,5 +44,6 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
       c.st.reclaim_events <- c.st.reclaim_events + 1
     end;
-    Limbo_bag.push c.bag slot
+    Limbo_bag.push c.bag slot;
+    B.note_buffered c (Limbo_bag.size c.bag)
 end

@@ -205,11 +205,26 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let begin_op _c = ()
   let end_op _c = ()
 
-  let alloc c = P.alloc c.b.pool
+  (* Threshold-independent reclamation event, for pool pressure: a full
+     broadcast + sweep regardless of bag size (Algorithm 1's HiWatermark
+     body, run early).  Legal wherever [alloc] is: the caller is
+     non-restartable, holds no locks inside the SMR layer, and never
+     touches records it has retired. *)
+  let flush c =
+    if Limbo_bag.size c.bag > 0 then begin
+      signal_all c;
+      reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
+      c.st.reclaim_events <- c.st.reclaim_events + 1
+    end
+
+  let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
 
   let note_retired c slot =
     P.note_retired c.b.pool slot;
     c.st.retires <- c.st.retires + 1
+
+  (* Record the bounded-garbage high-water mark after a bag push. *)
+  let note_buffered c n = if n > c.st.max_garbage then c.st.max_garbage <- n
 
   let stats b =
     let acc = Smr_stats.zero () in

@@ -37,7 +37,6 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let register = B.register
   let begin_op = B.begin_op
   let end_op = B.end_op
-  let alloc = B.alloc
   let phase = B.phase
   let read_only = B.read_only
   let read_root = B.read_root
@@ -48,6 +47,23 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let cleanup (c : ctx) =
     c.first_lo <- true;
     c.retires_since_scan <- 0
+
+  (* Pool-pressure flush: a full HiWatermark-style broadcast, with the
+     announce-timestamp parity kept up so peers waiting at their
+     LoWatermark can count this RGP towards their own signal-free
+     reclamation. *)
+  let on_pressure (c : ctx) =
+    if Limbo_bag.size c.bag > 0 then begin
+      ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* odd: broadcasting  *);
+      B.signal_all c;
+      ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
+      B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
+      c.st.reclaim_events <- c.st.reclaim_events + 1;
+      cleanup c
+    end
+
+  let alloc (c : ctx) =
+    B.P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
 
   (* Algorithm 2, lines 5–26. *)
   let retire (c : ctx) slot =
@@ -98,5 +114,6 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         end
       end
     end;
-    Limbo_bag.push c.bag slot
+    Limbo_bag.push c.bag slot;
+    B.note_buffered c (Limbo_bag.size c.bag)
 end

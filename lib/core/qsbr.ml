@@ -63,7 +63,6 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let begin_op c = ignore (Rt.faa c.b.qs.(c.tid) 1) (* odd: active *)
   let end_op c = ignore (Rt.faa c.b.qs.(c.tid) 1) (* even: quiescent *)
-  let alloc c = P.alloc c.b.pool
 
   let grace_elapsed c (p : parked) =
     let ok = ref true in
@@ -86,6 +85,26 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       ready;
     c.parked <- waiting
 
+  (* Pool-pressure flush: park the current buffer regardless of the
+     threshold and collect everything whose grace period has elapsed.  A
+     peer stalled inside an operation still blocks every buffer parked
+     behind its frozen counter — QSBR's structural degradation. *)
+  let on_pressure c =
+    if Nbr_sync.Int_vec.length c.current > 0 then begin
+      let snap = Array.init c.b.n (fun t -> Rt.load c.b.qs.(t)) in
+      c.parked <- { snap; recs = c.current } :: c.parked;
+      c.current <- Nbr_sync.Int_vec.create ()
+    end;
+    try_collect c
+
+  let alloc c = P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
+
+  let buffered c =
+    Nbr_sync.Int_vec.length c.current
+    + List.fold_left
+        (fun acc p -> acc + Nbr_sync.Int_vec.length p.recs)
+        0 c.parked
+
   let retire c slot =
     P.note_retired c.b.pool slot;
     c.st.retires <- c.st.retires + 1;
@@ -96,7 +115,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       c.parked <- { snap; recs = c.current } :: c.parked;
       c.current <- Nbr_sync.Int_vec.create ();
       try_collect c
-    end
+    end;
+    let g = buffered c in
+    if g > c.st.max_garbage then c.st.max_garbage <- g
 
   let phase _c ~read ~write =
     let payload, _recs = read () in

@@ -52,14 +52,14 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let begin_op c = Rt.store c.b.ann.(c.tid) (Rt.load c.b.epoch)
   let end_op c = Rt.store c.b.ann.(c.tid) idle
-  let alloc c = P.alloc c.b.pool
 
-  let retire c slot =
-    P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
-    c.b.retire_ep.(slot) <- Rt.load c.b.epoch;
-    Limbo_bag.push c.bag slot;
-    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then begin
+  (* Bump the epoch and free everything retired strictly before the
+     minimum announced epoch — the threshold-crossing body of [retire],
+     also run threshold-free under pool pressure.  Our own announcement
+     participates in the minimum, so records retired during the current
+     operation stay pinned (conservative and safe mid-operation). *)
+  let flush c =
+    if Limbo_bag.size c.bag > 0 then begin
       ignore (Rt.faa c.b.epoch 1);
       let min_ann = ref max_int in
       for t = 0 to c.b.n - 1 do
@@ -74,6 +74,18 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       c.st.freed <- c.st.freed + freed;
       c.st.reclaim_events <- c.st.reclaim_events + 1
     end
+
+  let on_pressure = flush
+  let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
+
+  let retire c slot =
+    P.note_retired c.b.pool slot;
+    c.st.retires <- c.st.retires + 1;
+    c.b.retire_ep.(slot) <- Rt.load c.b.epoch;
+    Limbo_bag.push c.bag slot;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then flush c;
+    let g = Limbo_bag.size c.bag in
+    if g > c.st.max_garbage then c.st.max_garbage <- g
 
   let phase _c ~read ~write =
     let payload, _recs = read () in

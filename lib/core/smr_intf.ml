@@ -63,6 +63,18 @@ module type S = sig
       (and, for NBR/NBR+, neutralization signals).  The caller must not
       touch the record afterwards. *)
 
+  val on_pressure : ctx -> unit
+  (** Reclamation flush for pool pressure: free whatever the scheme can
+      free {e right now}, ignoring thresholds and amortization — NBR
+      broadcasts and sweeps, epoch schemes attempt a full (non-amortized)
+      epoch advance, QSBR parks and collects.  Invoked by the pool's
+      graceful-exhaustion retry loop (each scheme's [alloc] passes it to
+      [Pool.alloc ?on_pressure]), so it must be legal wherever [alloc] is
+      — preamble or write phase — and must not itself allocate.  Schemes
+      that pin memory through a stalled peer can only shed what that peer
+      does not pin: this is exactly the degradation the chaos suite
+      measures. *)
+
   (** {1 Phases} *)
 
   val phase : ctx -> read:(unit -> 'a * int array) -> write:('a -> 'b) -> 'b

@@ -12,19 +12,35 @@ type t = {
   mutable lo_reclaims : int;  (** NBR+ opportunistic LoWatermark sweeps *)
   mutable restarts : int;
       (** read phases restarted by neutralization or protection failure *)
+  mutable max_garbage : int;
+      (** high-water mark of the records this thread had handed to
+          [retire] but not yet returned to the pool — the per-thread
+          bounded-garbage metric of the chaos suite (E2's P2 check).
+          Aggregation takes the max, not the sum: the invariant is a bound
+          on each thread's buffer, and the worst thread is what a stalled
+          or crashed peer inflates. *)
 }
 
 let zero () =
-  { retires = 0; freed = 0; reclaim_events = 0; lo_reclaims = 0; restarts = 0 }
+  {
+    retires = 0;
+    freed = 0;
+    reclaim_events = 0;
+    lo_reclaims = 0;
+    restarts = 0;
+    max_garbage = 0;
+  }
 
 let add into from =
   into.retires <- into.retires + from.retires;
   into.freed <- into.freed + from.freed;
   into.reclaim_events <- into.reclaim_events + from.reclaim_events;
   into.lo_reclaims <- into.lo_reclaims + from.lo_reclaims;
-  into.restarts <- into.restarts + from.restarts
+  into.restarts <- into.restarts + from.restarts;
+  into.max_garbage <- max into.max_garbage from.max_garbage
 
 let pp ppf s =
   Format.fprintf ppf
-    "retires=%d freed=%d reclaim_events=%d lo_reclaims=%d restarts=%d"
-    s.retires s.freed s.reclaim_events s.lo_reclaims s.restarts
+    "retires=%d freed=%d reclaim_events=%d lo_reclaims=%d restarts=%d \
+     max_garbage=%d"
+    s.retires s.freed s.reclaim_events s.lo_reclaims s.restarts s.max_garbage

@@ -35,6 +35,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let begin_op _ = ()
   let end_op _ = ()
+
+  (* Nothing is ever buffered; [max_garbage] stays 0. *)
+  let on_pressure _ = ()
   let alloc c = P.alloc c.b.pool
 
   let retire c slot =

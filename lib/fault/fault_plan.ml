@@ -1,0 +1,178 @@
+(** Deterministic fault schedules for chaos trials.
+
+    A plan is data, not behaviour: per-thread lists of faults anchored to
+    operation indices, plus an optional signal-fate policy.  The trial
+    runner ({!Nbr_workload.Runner}) interprets thread faults between
+    operations, and installs the signal policy into the runtime via
+    [Rt.set_signal_fault]; the SMR schemes under test run unmodified.
+    Everything is derived from one seed through {!Nbr_sync.Rng}, so a
+    chaos trial is as replayable as a clean one.
+
+    The fault vocabulary matches the adversities the paper's robustness
+    argument (E2, §7) is about:
+
+    - {e stalls} — a thread stops mid-operation for a long time, as if
+      descheduled: the scenario where epoch schemes pin unbounded garbage
+      and bounded schemes (NBR/HP/IBR) keep reclaiming;
+    - {e crashes} — a thread dies inside an operation, never calling
+      [end_op]: its reservations/announcements stay published forever,
+      turning the stall scenario permanent;
+    - {e allocation hogs} — a thread grabs a burst of slots and sits on
+      them, manufacturing pool pressure to drive the graceful-exhaustion
+      path;
+    - {e signal faults} — neutralization signals are delivered late or
+      (optionally) lost, probing NBR's dependence on the paper's
+      Assumption 4 and POSIX delivery guarantees. *)
+
+type thread_fault =
+  | Stall of { at_op : int; ns : int }
+      (** stop for [ns] simulated/wall nanoseconds after completing
+          operation [at_op], while {e inside} the next operation's read
+          phase (the paper's delayed-thread scenario) *)
+  | Crash of { at_op : int }
+      (** after [at_op] operations, enter an operation and never return:
+          no [end_op], reservations and limbo bag orphaned *)
+  | Hog of { at_op : int; slots : int; ns : int }
+      (** after [at_op] operations, allocate [slots] pool slots directly,
+          hold them for [ns], then free them — induced pool pressure *)
+
+type signal_fault = {
+  delay_pct : int;  (** % of signals whose handler runs late *)
+  delay_ns : int;  (** how late *)
+  drop_pct : int;
+      (** % of signals lost outright.  POSIX forbids this for
+          [pthread_kill]; non-zero values are for demonstrating what the
+          guarantee buys (expect UAF reads), like the [unsafe_end_read]
+          ablation — keep 0 in safety-asserting tests. *)
+}
+
+type t = {
+  seed : int;
+  threads : thread_fault list array;  (** per tid, sorted by trigger op *)
+  signals : signal_fault option;
+}
+
+let none ~nthreads = { seed = 0; threads = Array.make nthreads []; signals = None }
+
+let fault_op = function Stall { at_op; _ } | Crash { at_op } | Hog { at_op; _ } -> at_op
+
+(** Seeded chaos: [stalls] stalled threads and [crashes] crashed threads
+    (victims drawn without replacement, never thread 0, so every plan
+    leaves at least one thread running to completion), each triggered at a
+    random operation index in [\[1, ops_window\]].  Stall durations are
+    uniform in [\[stall_ns, 2*stall_ns)].  [signal] installs a signal-fate
+    policy (delays stress Assumption 4 but remain safe; drops are opt-in
+    and unsafe by design). *)
+let chaos ~seed ~nthreads ?(stalls = 2) ?(crashes = 1) ?(stall_ns = 50_000)
+    ?(ops_window = 100) ?signal () =
+  if nthreads < 2 then invalid_arg "Fault_plan.chaos: nthreads must be >= 2";
+  let rng = Nbr_sync.Rng.create (seed lxor 0x5eed_fa17) in
+  let threads = Array.make nthreads [] in
+  let avail = ref (List.init (nthreads - 1) (fun i -> i + 1)) in
+  let draw_victim () =
+    match !avail with
+    | [] -> None
+    | l ->
+        let tid = List.nth l (Nbr_sync.Rng.below rng (List.length l)) in
+        avail := List.filter (fun x -> x <> tid) l;
+        Some tid
+  in
+  let at () = 1 + Nbr_sync.Rng.below rng (max 1 ops_window) in
+  for _ = 1 to stalls do
+    match draw_victim () with
+    | None -> ()
+    | Some tid ->
+        let ns = stall_ns + Nbr_sync.Rng.below rng (max 1 stall_ns) in
+        threads.(tid) <- Stall { at_op = at (); ns } :: threads.(tid)
+  done;
+  for _ = 1 to crashes do
+    match draw_victim () with
+    | None -> ()
+    | Some tid -> threads.(tid) <- Crash { at_op = at () } :: threads.(tid)
+  done;
+  Array.iteri
+    (fun i l ->
+      threads.(i) <- List.sort (fun a b -> compare (fault_op a) (fault_op b)) l)
+    threads;
+  { seed; threads; signals = signal }
+
+let faults_for t tid =
+  if tid >= 0 && tid < Array.length t.threads then t.threads.(tid) else []
+
+let crashed_tids t =
+  let acc = ref [] in
+  Array.iteri
+    (fun tid l ->
+      if List.exists (function Crash _ -> true | _ -> false) l then
+        acc := tid :: !acc)
+    t.threads;
+  List.rev !acc
+
+let stalled_tids t =
+  let acc = ref [] in
+  Array.iteri
+    (fun tid l ->
+      if List.exists (function Stall _ -> true | _ -> false) l then
+        acc := tid :: !acc)
+    t.threads;
+  List.rev !acc
+
+(** Whether the plan can lose signals — the one injected fault that makes
+    committed UAF reads legitimately possible (chaos tests relax the
+    zero-UAF assertion only under this). *)
+let injects_drops t =
+  match t.signals with Some { drop_pct; _ } -> drop_pct > 0 | None -> false
+
+let has_thread_faults t = Array.exists (fun l -> l <> []) t.threads
+
+(* SplitMix-style avalanche, so the fate of signal [k] from [sender] to
+   [target] is a pure function of (plan seed, k, sender, target) — stable
+   across runs in the deterministic simulator. *)
+let mix a b =
+  let z = (a lxor (b * 0x9e3779b9)) + 0x1e3779b97f4a7c15 in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14c2ca6afdf2dcef in
+  (z lxor (z lsr 31)) land max_int
+
+(** The decider to install with [Rt.set_signal_fault], or [None] if the
+    plan leaves signals alone.  Call once per trial: the returned closure
+    numbers sends with a private counter. *)
+let fate_fn t =
+  match t.signals with
+  | None -> None
+  | Some sf ->
+      let count = Atomic.make 0 in
+      Some
+        (fun ~sender ~target ->
+          let k = Atomic.fetch_and_add count 1 in
+          let r = mix t.seed (mix k (mix sender target)) mod 100 in
+          if r < sf.drop_pct then Nbr_runtime.Runtime_intf.Sig_drop
+          else if r < sf.drop_pct + sf.delay_pct then
+            Nbr_runtime.Runtime_intf.Sig_delay sf.delay_ns
+          else Nbr_runtime.Runtime_intf.Sig_deliver)
+
+let pp_thread_fault ppf = function
+  | Stall { at_op; ns } -> Format.fprintf ppf "stall@%d(%dns)" at_op ns
+  | Crash { at_op } -> Format.fprintf ppf "crash@%d" at_op
+  | Hog { at_op; slots; ns } ->
+      Format.fprintf ppf "hog@%d(%d slots,%dns)" at_op slots ns
+
+let pp ppf t =
+  Format.fprintf ppf "plan{seed=%d" t.seed;
+  Array.iteri
+    (fun tid l ->
+      if l <> [] then begin
+        Format.fprintf ppf "; t%d:" tid;
+        List.iteri
+          (fun i f ->
+            if i > 0 then Format.fprintf ppf ",";
+            pp_thread_fault ppf f)
+          l
+      end)
+    t.threads;
+  (match t.signals with
+  | None -> ()
+  | Some { delay_pct; delay_ns; drop_pct } ->
+      Format.fprintf ppf "; signals: delay %d%%(%dns) drop %d%%" delay_pct
+        delay_ns drop_pct);
+  Format.fprintf ppf "}"

@@ -22,12 +22,37 @@
     kept in plain arrays and stdlib [Atomic]s rather than [Rt.aint]s: it
     must not perturb the simulated cost accounting, because a real
     implementation has no such checks.  Races on the plain arrays are
-    benign (they only feed detectors and tests). *)
+    benign (they only feed detectors and tests).
+
+    Exhaustion is {e graceful}: [alloc] first invokes the caller-supplied
+    reclamation flush ([?on_pressure]), announces itself as starving (which
+    reroutes concurrent frees to a shared overflow stack any thread can
+    pop), and retries with exponential backoff before giving up with an
+    {!Exhausted} diagnosis.  See DESIGN.md "Fault model". *)
+
+type exhausted_info = {
+  x_capacity : int;
+  x_in_use : int;  (** Live + Retired slots at the moment of failure *)
+  x_garbage : int;  (** Retired-but-unreclaimed slots *)
+  x_allocs : int;
+  x_frees : int;
+  x_attempts : int;  (** pressure-loop retries performed before giving up *)
+}
+
+exception Exhausted of exhausted_info
+(** Raised by [alloc] only after the pressure retry loop fails — shared by
+    every [Make] instance so CLI entry points can catch it uniformly. *)
+
+let pp_exhausted ppf x =
+  Format.fprintf ppf
+    "pool exhausted: capacity=%d in_use=%d garbage=%d allocs=%d frees=%d \
+     (gave up after %d reclamation-flush retries)"
+    x.x_capacity x.x_in_use x.x_garbage x.x_allocs x.x_frees x.x_attempts
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   type aint = Rt.aint
 
-  exception Exhausted
+  exception Exhausted = Exhausted
 
   let nil = -1
 
@@ -43,13 +68,31 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     (* --- free-space management --- *)
     free_lists : Nbr_sync.Int_vec.t array;  (** per-thread *)
     next_fresh : int Atomic.t;  (** bump allocator over never-used slots *)
+    (* --- pool-pressure degradation --- *)
+    starving : int Atomic.t;
+        (** threads currently inside the exhaustion retry loop.  While
+            non-zero, frees are rerouted to [overflow] so that capacity
+            released by {e any} thread can satisfy the starving ones
+            (per-thread free lists are single-owner and invisible across
+            threads). *)
+    overflow : Nbr_sync.Int_vec.t;  (** shared free stack, under [ovf_lock] *)
+    ovf_lock : Mutex.t;
+        (** plain mutex: uncontended in the (single-domain, cooperative)
+            simulator and only taken on the allocator's slow path natively;
+            its cost is modelled explicitly with [Rt.work c_free_slow]. *)
     (* --- instrumentation (uncosted) --- *)
     st : int array;  (** 0 = Free, 1 = Live, 2 = Retired *)
     seqno : int array;  (** bumped on each free: ABA/UAF witness *)
     in_use : int Atomic.t;  (** Live + Retired (unreclaimed) slots *)
     peak_in_use : int Atomic.t;
+    garbage : int Atomic.t;  (** Retired (unreclaimed) slots *)
+    peak_garbage : int Atomic.t;
+        (** high-water mark of [garbage]: the bounded-garbage invariant of
+            the E2 suite is a cap on this, independent of live-set size *)
     allocs : int Atomic.t;
     frees : int Atomic.t;
+    pressure_events : int Atomic.t;  (** allocs that entered the retry loop *)
+    alloc_retries : int Atomic.t;  (** total retry iterations across them *)
     uaf_reads : int Atomic.t;  (** guarded reads that hit a Free slot *)
     c_alloc : int;  (** simulated cycles per malloc/free fast path *)
     slab_threshold : int;
@@ -80,12 +123,19 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       free_lists =
         Array.init nthreads (fun _ -> Nbr_sync.Int_vec.create ~capacity:64 ());
       next_fresh = Atomic.make 0;
+      starving = Atomic.make 0;
+      overflow = Nbr_sync.Int_vec.create ~capacity:64 ();
+      ovf_lock = Mutex.create ();
       st = Array.make capacity 0;
       seqno = Array.make capacity 0;
       in_use = Atomic.make 0;
       peak_in_use = Atomic.make 0;
+      garbage = Atomic.make 0;
+      peak_garbage = Atomic.make 0;
       allocs = Atomic.make 0;
       frees = Atomic.make 0;
+      pressure_events = Atomic.make 0;
+      alloc_retries = Atomic.make 0;
       uaf_reads = Atomic.make 0;
       c_alloc;
       slab_threshold;
@@ -101,17 +151,71 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     (* Monotone max; a lost race only under-reports by a transient amount. *)
     if v > Atomic.get t.peak_in_use then Atomic.set t.peak_in_use v
 
-  let alloc t =
+  (* Cheap sources, in order: the caller's own free list, then the bump
+     allocator over never-used slots. *)
+  let try_fast t tid =
+    let fl = t.free_lists.(tid) in
+    if not (Nbr_sync.Int_vec.is_empty fl) then Some (Nbr_sync.Int_vec.pop fl)
+    else if Atomic.get t.next_fresh < t.capacity then begin
+      let s = Atomic.fetch_and_add t.next_fresh 1 in
+      if s < t.capacity then Some s else None
+    end
+    else None
+
+  let try_overflow t =
+    Mutex.lock t.ovf_lock;
+    let r =
+      if Nbr_sync.Int_vec.is_empty t.overflow then None
+      else Some (Nbr_sync.Int_vec.pop t.overflow)
+    in
+    Mutex.unlock t.ovf_lock;
+    r
+
+  let max_pressure_attempts = 8
+
+  let alloc ?(on_pressure = fun () -> ()) t =
     Rt.work t.c_alloc;
     let tid = Rt.self () in
-    let fl = t.free_lists.(tid) in
     let slot =
-      if not (Nbr_sync.Int_vec.is_empty fl) then Nbr_sync.Int_vec.pop fl
-      else begin
-        let s = Atomic.fetch_and_add t.next_fresh 1 in
-        if s >= t.capacity then raise Exhausted;
-        s
-      end
+      match try_fast t tid with
+      | Some s -> s
+      | None ->
+          (* Pressure path: announce starvation (rerouting concurrent frees
+             to the shared overflow stack), ask the caller to flush its
+             reclamation scheme, and retry with exponential backoff.  Only
+             when [max_pressure_attempts] rounds of flush+backoff produce
+             nothing do we conclude the pool is genuinely exhausted. *)
+          Atomic.incr t.starving;
+          Atomic.incr t.pressure_events;
+          Fun.protect ~finally:(fun () -> Atomic.decr t.starving) @@ fun () ->
+          let rec retry attempt =
+            Atomic.incr t.alloc_retries;
+            on_pressure ();
+            match try_overflow t with
+            | Some s -> s
+            | None -> (
+                match try_fast t tid with
+                | Some s -> s
+                | None ->
+                    if attempt >= max_pressure_attempts then
+                      raise
+                        (Exhausted
+                           {
+                             x_capacity = t.capacity;
+                             x_in_use = Atomic.get t.in_use;
+                             x_garbage = Atomic.get t.garbage;
+                             x_allocs = Atomic.get t.allocs;
+                             x_frees = Atomic.get t.frees;
+                             x_attempts = attempt;
+                           })
+                    else begin
+                      (* 2µs, 4µs, ... — gives competing threads (native)
+                         or fibers (sim) room to release capacity. *)
+                      Rt.stall_ns (1000 lsl attempt);
+                      retry (attempt + 1)
+                    end)
+          in
+          retry 1
     in
     t.st.(slot) <- 1;
     Atomic.incr t.allocs;
@@ -120,23 +224,41 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   (** Mark a slot as retired (unlinked, awaiting reclamation).  Called by
       the SMR layer from [retire]; affects instrumentation only. *)
-  let note_retired t slot = t.st.(slot) <- 2
+  let note_retired t slot =
+    if t.st.(slot) <> 2 then begin
+      t.st.(slot) <- 2;
+      let g = Atomic.fetch_and_add t.garbage 1 + 1 in
+      (* Monotone max, same benign race as [note_in_use]. *)
+      if g > Atomic.get t.peak_garbage then Atomic.set t.peak_garbage g
+    end
 
-  (** Return a slot to the calling thread's free list.  Double frees are a
-      programming error and raise. *)
+  (** Return a slot to a free list: the calling thread's own, or — while
+      any allocator is starving — the shared overflow stack, so the freed
+      capacity is visible across threads.  Double frees are a programming
+      error and raise. *)
   let free t slot =
     Rt.work t.c_alloc;
     if t.st.(slot) = 0 then
       invalid_arg (Printf.sprintf "Pool.free: double free of slot %d" slot);
+    if t.st.(slot) = 2 then Atomic.decr t.garbage;
     t.st.(slot) <- 0;
     t.seqno.(slot) <- t.seqno.(slot) + 1;
     Atomic.incr t.frees;
     Atomic.decr t.in_use;
-    let fl = t.free_lists.(Rt.self ()) in
-    (* Burst reclamation overflows the thread's arena: slow path. *)
-    if Nbr_sync.Int_vec.length fl > t.slab_threshold then
+    if Atomic.get t.starving > 0 then begin
+      (* Cross-thread hand-off is an allocator slow path. *)
       Rt.work t.c_free_slow;
-    Nbr_sync.Int_vec.push fl slot
+      Mutex.lock t.ovf_lock;
+      Nbr_sync.Int_vec.push t.overflow slot;
+      Mutex.unlock t.ovf_lock
+    end
+    else begin
+      let fl = t.free_lists.(Rt.self ()) in
+      (* Burst reclamation overflows the thread's arena: slow path. *)
+      if Nbr_sync.Int_vec.length fl > t.slab_threshold then
+        Rt.work t.c_free_slow;
+      Nbr_sync.Int_vec.push fl slot
+    end
 
   (* ---------------- field access ---------------- *)
 
@@ -192,6 +314,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     s_frees : int;
     s_in_use : int;
     s_peak_in_use : int;
+    s_garbage : int;
+    s_peak_garbage : int;
+    s_pressure_events : int;
+    s_alloc_retries : int;
     s_uaf_reads : int;
   }
 
@@ -201,10 +327,16 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       s_frees = Atomic.get t.frees;
       s_in_use = Atomic.get t.in_use;
       s_peak_in_use = Atomic.get t.peak_in_use;
+      s_garbage = Atomic.get t.garbage;
+      s_peak_garbage = Atomic.get t.peak_garbage;
+      s_pressure_events = Atomic.get t.pressure_events;
+      s_alloc_retries = Atomic.get t.alloc_retries;
       s_uaf_reads = Atomic.get t.uaf_reads;
     }
 
-  (** Reset the high-water mark to the current in-use count (called after
+  (** Reset the high-water marks to the current values (called after
       prefill so E2 measures steady-state peaks, not setup). *)
-  let reset_peak t = Atomic.set t.peak_in_use (Atomic.get t.in_use)
+  let reset_peak t =
+    Atomic.set t.peak_in_use (Atomic.get t.in_use);
+    Atomic.set t.peak_garbage (Atomic.get t.garbage)
 end

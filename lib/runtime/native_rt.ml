@@ -60,11 +60,54 @@ let sigs_sent = Atomic.make 0
 
 let signals_sent () = Atomic.get sigs_sent
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection: delayed signals are parked per victim as a list of
+   maturity timestamps (ns); the victim promotes matured entries into its
+   pending counter at each poll.  A Treiber-style CAS list keeps senders
+   lock-free; the victim drains with exchange. *)
+
+let delayed : int list Atomic.t array ref = ref [||]
+
+let fault_fn :
+    (sender:int -> target:int -> Runtime_intf.signal_fate) option ref =
+  ref None
+
+let sigs_dropped = Atomic.make 0
+let set_signal_fault f = fault_fn := f
+let signals_dropped () = Atomic.get sigs_dropped
+
+let rec push_delayed cell at =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (at :: old)) then push_delayed cell at
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Move delayed entries into [pending]: all of them when [all], otherwise
+   only those whose maturity has passed (unmatured ones are re-parked). *)
+let promote_delayed ~all t =
+  let d = !delayed in
+  if t < Array.length d && Atomic.get d.(t) <> [] then begin
+    let entries = Atomic.exchange d.(t) [] in
+    let now = now_ns () in
+    let promoted = ref 0 in
+    List.iter
+      (fun at ->
+        if all || at <= now then incr promoted else push_delayed d.(t) at)
+      entries;
+    if !promoted > 0 then ignore (Atomic.fetch_and_add (!pending).(t) !promoted)
+  end
+
 let send_signal t =
   let p = !pending in
   if t >= 0 && t < Array.length p then begin
-    Atomic.incr p.(t);
-    Atomic.incr sigs_sent
+    Atomic.incr sigs_sent;
+    match !fault_fn with
+    | None -> Atomic.incr p.(t)
+    | Some decide -> (
+        match decide ~sender:(Domain.DLS.get tid_key) ~target:t with
+        | Runtime_intf.Sig_deliver -> Atomic.incr p.(t)
+        | Runtime_intf.Sig_drop -> Atomic.incr sigs_dropped
+        | Runtime_intf.Sig_delay ns -> push_delayed (!delayed).(t) (now_ns () + ns))
   end
 
 let set_restartable b =
@@ -81,6 +124,9 @@ let poll () =
   let t = self () in
   let p = !pending in
   if t < Array.length p then begin
+    (* Matured fault-delayed signals become pending now; unmatured ones
+       stay parked (the handler must not run before the delay elapses). *)
+    promote_delayed ~all:false t;
     let v = Atomic.get p.(t) in
     if v > (!last_seen).(t) then begin
       (!last_seen).(t) <- v;
@@ -92,6 +138,10 @@ let consume_pending () =
   let t = self () in
   let p = !pending in
   if t < Array.length p then begin
+    (* In-flight delayed signals were sent before this check: [end_read]
+       must observe them (and restart) or the publication race re-opens —
+       late delivery must not look like no signal. *)
+    promote_delayed ~all:true t;
     let v = Atomic.get p.(t) in
     if v > (!last_seen).(t) then begin
       (!last_seen).(t) <- v;
@@ -104,16 +154,18 @@ let consume_pending () =
 let drain_signals () =
   let t = self () in
   let p = !pending in
-  if t < Array.length p then (!last_seen).(t) <- Atomic.get p.(t)
+  if t < Array.length p then begin
+    promote_delayed ~all:true t;
+    (!last_seen).(t) <- Atomic.get p.(t)
+  end
 
 let checkpoint f =
   let rec go () = try f () with Neutralized -> go () in
   go ()
 
 (* ------------------------------------------------------------------ *)
-(* Time. *)
+(* Time ([now_ns] is defined above, with the fault machinery). *)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 let stall_ns ns = Unix.sleepf (float_of_int ns /. 1e9)
 let cpu_relax () = Domain.cpu_relax ()
 let work _ = ()
@@ -130,7 +182,9 @@ let run ~nthreads:n body =
   pending := Array.init n (fun _ -> Atomic.make 0);
   restartable := Array.init n (fun _ -> Atomic.make false);
   last_seen := Array.make n 0;
+  delayed := Array.init n (fun _ -> Atomic.make []);
   Atomic.set sigs_sent 0;
+  Atomic.set sigs_dropped 0;
   let failure : exn option Atomic.t = Atomic.make None in
   let wrap tid () =
     Domain.DLS.set tid_key tid;
@@ -145,5 +199,6 @@ let run ~nthreads:n body =
   pending := [||];
   restartable := [||];
   last_seen := [||];
+  delayed := [||];
   running := false;
   match Atomic.get failure with None -> () | Some e -> raise e

@@ -23,6 +23,28 @@
     arrays, epochs, locks — is made of [aint]s, which is what lets the
     simulator interleave and cost every access. *)
 
+type signal_fate =
+  | Sig_deliver  (** normal delivery (the default when no fault is set) *)
+  | Sig_delay of int
+      (** deliver, but only after this many nanoseconds: the handler does
+          not run until the delay matures.  The signal stays {e visible} to
+          {!S.consume_pending} from the moment it is sent — delivery is
+          late, the kernel's bookkeeping is not — so NBR's [end_read]
+          re-check (the writers' handshake closer) still observes it and
+          the discipline stays safe; what the delay stresses is Assumption
+          4: readers keep traversing (and may read freed slots,
+          uncommitted) until the late handler or the next phase boundary
+          stops them. *)
+  | Sig_drop
+      (** the signal is lost entirely — never delivered, never visible.
+          POSIX guarantees this cannot happen to [pthread_kill]; injecting
+          it shows what NBR's safety argument buys from that guarantee
+          (use-after-free becomes possible, as with
+          [Smr_config.unsafe_end_read]).  Schemes that do not use signals
+          are unaffected. *)
+(** Fault-injected fate of one neutralization signal (see
+    {!S.set_signal_fault}). *)
+
 module type S = sig
   val name : string
   (** Human-readable runtime name ("sim" or "native"). *)
@@ -125,7 +147,25 @@ module type S = sig
 
   val signals_sent : unit -> int
   (** Total signals sent since the current {!run} began (for the O(n) vs
-      O(n²) ablation). *)
+      O(n²) ablation).  Counts sends, including delayed and dropped ones. *)
+
+  (** {1 Fault injection}
+
+      Hooks for the chaos harness ([lib/fault]): deterministic adversity —
+      late or lost signals — injected underneath the SMR layer, which runs
+      unmodified.  No fault is active unless explicitly installed. *)
+
+  val set_signal_fault :
+    (sender:int -> target:int -> signal_fate) option -> unit
+  (** Install (or clear, with [None]) the decider consulted on every
+      {!send_signal}.  The decider must be cheap and, for reproducible sim
+      runs, deterministic in its inputs and call order.  Cleared
+      automatically by {!run} completing is {e not} guaranteed — callers
+      pair installation with removal. *)
+
+  val signals_dropped : unit -> int
+  (** Signals discarded by an installed {!set_signal_fault} decider since
+      the current {!run} began. *)
 
   (** {1 Time} *)
 

@@ -107,6 +107,10 @@ type fiber = {
   mutable qacc : int;  (** cycles in current time slice *)
   mutable pending : int;  (** signals sent to this fiber *)
   mutable delivered : int;  (** signals already handled *)
+  mutable delayed : int list;
+      (** fault-injected in-flight signals: the clock values at which each
+          matures into [pending].  Written by senders, promoted by the
+          victim — single-domain, so unsynchronized access is safe. *)
   mutable restartable : bool;
   mutable finished : bool;
   mutable kont : (unit, unit) Effect.Deep.continuation option;
@@ -120,6 +124,7 @@ let mk_fiber id =
     qacc = 0;
     pending = 0;
     delivered = 0;
+    delayed = [];
     restartable = false;
     finished = id < 0;
     kont = None;
@@ -138,6 +143,15 @@ let nthreads () = !n_threads
 let signals_sent () = !sigs_sent
 let total_events () = !events
 
+(* Fault injection (lib/fault): decides the fate of each signal sent. *)
+let fault_fn :
+    (sender:int -> target:int -> Runtime_intf.signal_fate) option ref =
+  ref None
+
+let sigs_dropped = ref 0
+let set_signal_fault f = fault_fn := f
+let signals_dropped () = !sigs_dropped
+
 (* SplitMix-style jitter: cheap enough for the per-access hot path. *)
 let jit_state = ref 0x1e3779b97f4a7c15
 
@@ -155,7 +169,20 @@ let jitter_cycles () =
 (* ------------------------------------------------------------------ *)
 (* The charge / yield / deliver prologue executed before every access. *)
 
+(* Promote fault-delayed signals whose maturity clock has passed into the
+   ordinary pending count.  Cheap when no fault is active (list empty). *)
+let promote_matured f =
+  match f.delayed with
+  | [] -> ()
+  | ds ->
+      let matured, inflight = List.partition (fun at -> at <= f.clock) ds in
+      if matured <> [] then begin
+        f.delayed <- inflight;
+        f.pending <- f.pending + List.length matured
+      end
+
 let deliver_pending f =
+  promote_matured f;
   if f.pending > f.delivered then begin
     f.delivered <- f.pending;
     f.clock <- f.clock + !cfg.c_signal_handle;
@@ -268,7 +295,18 @@ let send_signal t =
   let fs = !fibers in
   if t >= 0 && t < Array.length fs then begin
     let v = fs.(t) in
-    v.pending <- v.pending + 1
+    match !fault_fn with
+    | None -> v.pending <- v.pending + 1
+    | Some decide -> (
+        match decide ~sender:(self ()) ~target:t with
+        | Runtime_intf.Sig_deliver -> v.pending <- v.pending + 1
+        | Runtime_intf.Sig_drop -> incr sigs_dropped
+        | Runtime_intf.Sig_delay ns ->
+            (* Maturity is measured on the victim's clock: per-fiber clocks
+               are loosely synchronized by the min-heap scheduler, and the
+               victim is the one that must not see the handler early. *)
+            let at = v.clock + int_of_float (float_of_int ns *. !cfg.ghz) in
+            v.delayed <- at :: v.delayed)
   end
 
 let poll () =
@@ -277,12 +315,26 @@ let poll () =
 
 let consume_pending () =
   (* Deliveries happen inline at every access; by the time a fiber runs
-     straight-line code after an access, nothing can be pending. *)
-  false
+     straight-line code after an access, nothing can be pending — unless a
+     fault delayed delivery.  An in-flight delayed signal was {e sent}
+     before this point, so [end_read] must treat it exactly like the
+     polling runtimes treat an undelivered pending signal: report it (the
+     caller restarts), or the reservation-publication race re-opens. *)
+  let f = !cur in
+  if f.id < 0 then false
+  else begin
+    let had = f.delayed <> [] || f.pending > f.delivered in
+    f.delayed <- [];
+    f.delivered <- f.pending;
+    had
+  end
 
 let drain_signals () =
   let f = !cur in
-  if f.id >= 0 then f.delivered <- f.pending
+  if f.id >= 0 then begin
+    f.delayed <- [];
+    f.delivered <- f.pending
+  end
 
 let checkpoint f =
   if in_fiber () then prologue !cfg.c_setjmp;
@@ -367,6 +419,7 @@ let run ~nthreads:n body =
   let c = !cfg in
   jit_state := 0x1e3779b97f4a7c15 lxor c.seed;
   sigs_sent := 0;
+  sigs_dropped := 0;
   events := 0;
   n_threads := n;
   let fs = Array.init n mk_fiber in

@@ -63,35 +63,79 @@ struct
     and deletes = Array.make n 0
     and ops = Array.make n 0 in
     let deadline = Rt.now_ns () + cfg.duration_ns in
+    (* A stall pauses inside an operation — and, for phase-based schemes,
+       inside a read phase — holding whatever the scheme pins for
+       in-flight operations (E2's delayed thread). *)
+    let stall_in_op ctx ns =
+      let stalled = ref false in
+      Smr.begin_op ctx;
+      Smr.read_only ctx (fun () ->
+          if not !stalled then begin
+            stalled := true;
+            Rt.stall_ns ns
+          end);
+      Smr.end_op ctx
+    in
+    (* Injected signal faults live only for the duration of this run: the
+       decider is process-global runtime state. *)
+    (match cfg.faults with
+    | None -> ()
+    | Some p -> Rt.set_signal_fault (Nbr_fault.Fault_plan.fate_fn p));
+    Fun.protect ~finally:(fun () -> Rt.set_signal_fault None) @@ fun () ->
     Rt.run ~nthreads:n (fun tid ->
         let ctx = ctxs.(tid) in
         let rng = Nbr_sync.Rng.for_thread ~seed:cfg.seed ~tid in
-        (* E2's delayed thread: sleep inside an operation (and a read
-           phase, for phase-based schemes), holding whatever the scheme
-           pins for in-flight operations. *)
         (match cfg.stall with
-        | Some s when s.stall_tid = tid ->
-            let stalled = ref false in
-            Smr.begin_op ctx;
-            Smr.read_only ctx (fun () ->
-                if not !stalled then begin
-                  stalled := true;
-                  Rt.stall_ns s.stall_ns
-                end);
-            Smr.end_op ctx
+        | Some s when s.stall_tid = tid -> stall_in_op ctx s.stall_ns
         | _ -> ());
+        (* Chaos-plan faults fire between operations, once their trigger
+           index is reached. *)
+        let faults =
+          ref
+            (match cfg.faults with
+            | None -> []
+            | Some p -> Nbr_fault.Fault_plan.faults_for p tid)
+        in
+        let crashed = ref false in
         let my_ins = ref 0 and my_del = ref 0 and my_ops = ref 0 in
-        while Rt.now_ns () < deadline do
-          let k = Nbr_sync.Rng.below rng cfg.key_range in
-          let p = Nbr_sync.Rng.below rng 100 in
-          if p < cfg.ins_pct then begin
-            if Ds.insert ds ctx k then incr my_ins
+        while (not !crashed) && Rt.now_ns () < deadline do
+          (match !faults with
+          | f :: rest when Nbr_fault.Fault_plan.fault_op f <= !my_ops -> (
+              faults := rest;
+              match f with
+              | Nbr_fault.Fault_plan.Stall { ns; _ } -> stall_in_op ctx ns
+              | Nbr_fault.Fault_plan.Crash _ ->
+                  (* Die mid-operation: enter but never leave.  The
+                     scheme's in-op state — epoch/interval announcements,
+                     the reservations left published by the previous
+                     phase, the whole limbo bag — is orphaned forever. *)
+                  Smr.begin_op ctx;
+                  crashed := true
+              | Nbr_fault.Fault_plan.Hog { slots; ns; _ } ->
+                  (* Manufactured pool pressure: grab raw slots (no
+                     reclamation flush on this path — the hog is the
+                     adversary, not an SMR client) and sit on them. *)
+                  let held = ref [] in
+                  (try
+                     for _ = 1 to slots do
+                       held := P.alloc pool :: !held
+                     done
+                   with P.Exhausted _ -> ());
+                  Rt.stall_ns ns;
+                  List.iter (fun s -> P.free pool s) !held)
+          | _ -> ());
+          if not !crashed then begin
+            let k = Nbr_sync.Rng.below rng cfg.key_range in
+            let p = Nbr_sync.Rng.below rng 100 in
+            if p < cfg.ins_pct then begin
+              if Ds.insert ds ctx k then incr my_ins
+            end
+            else if p < cfg.ins_pct + cfg.del_pct then begin
+              if Ds.delete ds ctx k then incr my_del
+            end
+            else ignore (Ds.contains ds ctx k);
+            incr my_ops
           end
-          else if p < cfg.ins_pct + cfg.del_pct then begin
-            if Ds.delete ds ctx k then incr my_del
-          end
-          else ignore (Ds.contains ds ctx k);
-          incr my_ops
         done;
         inserts.(tid) <- !my_ins;
         deletes.(tid) <- !my_del;
@@ -112,6 +156,10 @@ struct
       final_in_use = ps.P.s_in_use;
       uaf_reads = ps.P.s_uaf_reads;
       signals = Rt.signals_sent ();
+      signals_dropped = Rt.signals_dropped ();
+      peak_garbage = ps.P.s_peak_garbage;
+      pressure_events = ps.P.s_pressure_events;
+      alloc_retries = ps.P.s_alloc_retries;
       smr_stats = Smr.stats smr;
       final_size = Ds.size ds;
       expected_size = cfg.prefill + ins - del;

@@ -26,12 +26,16 @@ type cfg = {
   pool_capacity : int;
   seed : int;
   stall : stall option;
+  faults : Nbr_fault.Fault_plan.t option;
+      (** chaos schedule (multi-thread stalls, crashes, hogs, signal
+          faults) interpreted by the runner; [stall] above is the simpler
+          fixed-thread E2 knob and composes with it *)
 }
 
 let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     ?prefill ?(ins_pct = 25) ?(del_pct = 25)
     ?(smr = Nbr_core.Smr_config.default) ?pool_capacity ?(seed = 1)
-    ?stall () =
+    ?stall ?faults () =
   let prefill = match prefill with Some p -> p | None -> key_range / 2 in
   let pool_capacity =
     match pool_capacity with
@@ -55,7 +59,33 @@ let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     pool_capacity;
     seed;
     stall;
+    faults;
   }
+
+(** Whether the configuration tampers with neutralization signals.
+    Delayed handlers open a window in which a reader keeps traversing
+    freed slots — counted by the pool, but uncommitted: [end_read] still
+    observes the (visible-if-late) signal and restarts, exactly the
+    benign native poll-window of DESIGN.md §3.  Dropped signals
+    additionally void the delivery guarantee and can commit UAF (their
+    point). *)
+let signal_faults_injected cfg =
+  match cfg.faults with
+  | None -> false
+  | Some p -> p.Nbr_fault.Fault_plan.signals <> None
+
+(** Per-thread bounded-garbage cap for schemes declaring
+    [bounded_garbage].  A threshold-triggered sweep keeps only what peers
+    pin: reservation/hazard slots, plus (interval schemes) records whose
+    lifetime overlaps a stalled interval — at worst every node alive when
+    the peer stalled, ≤ ~2·key_range for our structures.  On top of that
+    a bag refills to the threshold before the next sweep.  Anything past
+    this bound means garbage tracking a stalled thread's {e duration},
+    i.e. the unbounded failure mode. *)
+let garbage_bound cfg =
+  cfg.smr.Nbr_core.Smr_config.bag_threshold
+  + (cfg.nthreads * cfg.smr.Nbr_core.Smr_config.max_reservations)
+  + (2 * cfg.key_range) + 64
 
 type result = {
   scheme : string;
@@ -68,6 +98,10 @@ type result = {
   final_in_use : int;
   uaf_reads : int;  (** guarded reads that hit freed slots *)
   signals : int;
+  signals_dropped : int;  (** lost to an injected signal fault *)
+  peak_garbage : int;  (** pool-wide retired-unfreed high-water mark *)
+  pressure_events : int;  (** allocs that entered the exhaustion retry loop *)
+  alloc_retries : int;
   smr_stats : Nbr_core.Smr_stats.t;
   final_size : int;
   expected_size : int;  (** prefill + successful inserts - deletes *)
@@ -78,9 +112,12 @@ type result = {
    delivery; the native (polling) runtime has the benign
    poll-to-dereference window analysed in DESIGN.md §3 — such reads are
    never committed, but they are counted, so they must not fail native
-   trials. *)
+   trials.  Injected signal faults open the same benign window in sim
+   (delays) or void delivery outright (drops), so they relax the
+   sim-side check too — set semantics still must hold. *)
 let valid r =
-  r.final_size = r.expected_size && (r.runtime <> "sim" || r.uaf_reads = 0)
+  r.final_size = r.expected_size
+  && (r.runtime <> "sim" || r.uaf_reads = 0 || signal_faults_injected r.cfg)
 
 let pp_row ppf r =
   Format.fprintf ppf

@@ -11,5 +11,6 @@ let () =
       ("ds-concurrent", Test_ds_concurrent.suite);
       ("per-key", Test_per_key.suite);
       ("properties", Test_properties.suite);
+      ("fault", Test_fault.suite);
       ("native-runtime", Test_native.suite);
     ]

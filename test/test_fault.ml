@@ -1,0 +1,240 @@
+(* Fault-injection layer tests: seeded chaos plans (multi-thread stalls,
+   a crashed thread, delayed signals) against every scheme, the
+   bounded-garbage invariant (paper P2), the runtime's signal-fate
+   plumbing, and the pool's graceful-exhaustion retry path. *)
+
+module Sim = Nbr_runtime.Sim_rt
+module Nat = Nbr_runtime.Native_rt
+module HS = Nbr_workload.Harness.Make (Sim)
+module HN = Nbr_workload.Harness.Make (Nat)
+module T = Nbr_workload.Trial
+module FP = Nbr_fault.Fault_plan
+module P = Nbr_pool.Pool.Make (Sim)
+
+(* Restates each scheme's [bounded_garbage] flag (the harness is
+   string-keyed). *)
+let claims_bounded = function
+  | "nbr" | "nbr+" | "ibr" | "hp" | "he" -> true
+  | _ -> false
+
+(* HP/HE cannot run mark-traversing structures (paper P5). *)
+let structure_for scheme =
+  if HS.supported ~scheme ~structure:"harris-list" then "harris-list"
+  else "lazy-list"
+
+let delay_signal = { FP.delay_pct = 25; delay_ns = 10_000; drop_pct = 0 }
+
+(* ---------------- plan generation ---------------- *)
+
+(* The chaos generator must honour its own contract: requested fault
+   counts, no fault on thread 0, deterministic for a given seed. *)
+let test_plan_shape () =
+  List.iter
+    (fun seed ->
+      let p =
+        FP.chaos ~seed ~nthreads:6 ~stalls:2 ~crashes:1 ~stall_ns:1000
+          ~signal:delay_signal ()
+      in
+      Alcotest.(check int)
+        "two stalled threads" 2
+        (List.length (FP.stalled_tids p));
+      Alcotest.(check int) "one crashed thread" 1 (List.length (FP.crashed_tids p));
+      List.iter
+        (fun tid -> if tid = 0 then Alcotest.fail "thread 0 must never fault")
+        (FP.stalled_tids p @ FP.crashed_tids p);
+      (* Same seed, same plan. *)
+      let p' =
+        FP.chaos ~seed ~nthreads:6 ~stalls:2 ~crashes:1 ~stall_ns:1000
+          ~signal:delay_signal ()
+      in
+      Alcotest.(check string)
+        "deterministic plan"
+        (Format.asprintf "%a" FP.pp p)
+        (Format.asprintf "%a" FP.pp p'))
+    [ 1; 2; 3; 4; 5 ]
+
+(* Two deciders built from the same plan must hand out identical fates:
+   chaos trials stay replayable. *)
+let test_fate_deterministic () =
+  let plan =
+    FP.chaos ~seed:42 ~nthreads:4
+      ~signal:{ FP.delay_pct = 30; delay_ns = 5_000; drop_pct = 20 }
+      ()
+  in
+  let f1 = Option.get (FP.fate_fn plan)
+  and f2 = Option.get (FP.fate_fn plan) in
+  for i = 0 to 199 do
+    let sender = i mod 4 and target = (i + 1) mod 4 in
+    if f1 ~sender ~target <> f2 ~sender ~target then
+      Alcotest.failf "fate diverged at send %d" i
+  done
+
+(* ---------------- runtime signal-fate plumbing ---------------- *)
+
+(* A dropped signal is never delivered but is counted. *)
+let test_drop_counted () =
+  Sim.set_config { Sim.default_config with cores = 2; granularity = 1; seed = 9 };
+  Sim.set_signal_fault
+    (Some (fun ~sender:_ ~target:_ -> Nbr_runtime.Runtime_intf.Sig_drop));
+  Fun.protect ~finally:(fun () -> Sim.set_signal_fault None) @@ fun () ->
+  let sent = ref false and saw = ref false in
+  Sim.run ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Sim.send_signal 1;
+        sent := true
+      end
+      else begin
+        while not !sent do
+          Sim.stall_ns 100
+        done;
+        saw := Sim.consume_pending ()
+      end);
+  Alcotest.(check int) "counted as dropped" 1 (Sim.signals_dropped ());
+  Alcotest.(check bool) "never visible" false !saw
+
+(* A delayed signal suppresses the *handler*, but stays visible to
+   [consume_pending] from the moment it is sent — the property the
+   writers' handshake (signal_all/end_read) depends on. *)
+let test_delay_visible () =
+  Sim.set_config { Sim.default_config with cores = 2; granularity = 1; seed = 9 };
+  Sim.set_signal_fault
+    (Some
+       (fun ~sender:_ ~target:_ -> Nbr_runtime.Runtime_intf.Sig_delay 5_000_000));
+  Fun.protect ~finally:(fun () -> Sim.set_signal_fault None) @@ fun () ->
+  let sent = ref false and saw = ref false in
+  Sim.run ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        Sim.send_signal 1;
+        sent := true
+      end
+      else begin
+        while not !sent do
+          Sim.stall_ns 100
+        done;
+        saw := Sim.consume_pending ()
+      end);
+  Alcotest.(check bool) "visible while delayed" true !saw;
+  Alcotest.(check int) "not dropped" 0 (Sim.signals_dropped ())
+
+(* ---------------- chaos trials (sim) ---------------- *)
+
+let chaos_trial ~seed ~signal scheme =
+  let nthreads = 6 in
+  let duration = 800_000 in
+  let plan =
+    FP.chaos ~seed ~nthreads ~stalls:2 ~crashes:1 ~stall_ns:(duration / 2)
+      ~ops_window:100 ?signal ()
+  in
+  let structure = structure_for scheme in
+  Sim.set_config { Sim.default_config with cores = 8; granularity = 400; seed };
+  let cfg =
+    T.mk ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50 ~del_pct:50
+      ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 32)
+      ~seed ~faults:plan ()
+  in
+  let r = HS.run ~scheme ~structure cfg in
+  if not (T.valid r) then
+    Alcotest.failf "%s/%s seed %d: invalid (size %d expected %d, uaf %d)"
+      scheme structure seed r.T.final_size r.T.expected_size r.T.uaf_reads;
+  if r.T.total_ops = 0 then Alcotest.fail "no operations completed";
+  if claims_bounded scheme then begin
+    let bound = T.garbage_bound cfg in
+    let mg = r.T.smr_stats.Nbr_core.Smr_stats.max_garbage in
+    if mg > bound then
+      Alcotest.failf "%s seed %d: max_garbage %d > bound %d (P2 violated)"
+        scheme seed mg bound
+  end
+
+(* Without signal faults the simulator's delivery is exact, so [T.valid]
+   additionally demands zero reads of freed slots: stalls and a crashed
+   thread alone must never induce UAF. *)
+let chaos_sim_case scheme =
+  Alcotest.test_case (scheme ^ " chaos (stall+crash)") `Quick (fun () ->
+      chaos_trial ~seed:21 ~signal:None scheme)
+
+(* With delayed handlers the reads-of-freed check is relaxed (the delay
+   window is the benign native-style window), but set semantics and the
+   garbage bound still must hold. *)
+let chaos_sim_delay_case scheme =
+  Alcotest.test_case (scheme ^ " chaos (+signal delay)") `Quick (fun () ->
+      chaos_trial ~seed:22 ~signal:(Some delay_signal) scheme)
+
+(* ---------------- chaos trial (native) ---------------- *)
+
+let chaos_native_case scheme =
+  Alcotest.test_case (scheme ^ " chaos native") `Quick (fun () ->
+      let nthreads = 4 in
+      let duration = 30_000_000 in
+      let plan =
+        FP.chaos ~seed:31 ~nthreads ~stalls:2 ~crashes:1
+          ~stall_ns:(duration / 3) ~ops_window:50 ~signal:delay_signal ()
+      in
+      let structure = structure_for scheme in
+      let cfg =
+        T.mk ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50
+          ~del_pct:50
+          ~smr:
+            (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 32)
+          ~seed:31 ~faults:plan ()
+      in
+      let r = HN.run ~scheme ~structure cfg in
+      if not (T.valid r) then
+        Alcotest.failf "%s/%s native: invalid (size %d expected %d)" scheme
+          structure r.T.final_size r.T.expected_size;
+      if r.T.total_ops = 0 then Alcotest.fail "no operations completed")
+
+(* ---------------- graceful pool exhaustion ---------------- *)
+
+(* A starving allocator must succeed — not raise [Exhausted] — when a
+   competing thread frees capacity during its backoff: the free is
+   rerouted to the shared overflow stack and picked up by the retry
+   loop. *)
+let test_exhaustion_retry () =
+  Sim.set_config { Sim.default_config with cores = 2; granularity = 1; seed = 3 };
+  let pool = P.create ~capacity:8 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+  let held = ref [] in
+  let drained = ref false in
+  let freed_slot = ref (-1) in
+  let got = ref (-1) in
+  Sim.run ~nthreads:2 (fun tid ->
+      if tid = 0 then begin
+        for _ = 1 to 8 do
+          held := P.alloc pool :: !held
+        done;
+        drained := true;
+        (* The 9th alloc starves; it must return the slot thread 1 frees
+           mid-backoff rather than raise. *)
+        got := P.alloc pool
+      end
+      else begin
+        while not !drained do
+          Sim.stall_ns 500
+        done;
+        (* Wait until thread 0 is inside the pressure loop, so the free
+           demonstrably crosses threads via the overflow stack. *)
+        while (P.stats pool).P.s_pressure_events = 0 do
+          Sim.stall_ns 500
+        done;
+        let s = List.hd !held in
+        freed_slot := s;
+        P.free pool s
+      end);
+  Alcotest.(check int) "recovered the freed slot" !freed_slot !got;
+  let st = P.stats pool in
+  Alcotest.(check int) "one pressure event" 1 st.P.s_pressure_events;
+  Alcotest.(check bool) "retried at least once" true (st.P.s_alloc_retries >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "chaos plan shape + determinism" `Quick test_plan_shape;
+    Alcotest.test_case "signal fates deterministic" `Quick
+      test_fate_deterministic;
+    Alcotest.test_case "dropped signal counted, invisible" `Quick
+      test_drop_counted;
+    Alcotest.test_case "delayed signal stays visible" `Quick test_delay_visible;
+    Alcotest.test_case "exhaustion retry picks up freed slot" `Quick
+      test_exhaustion_retry;
+  ]
+  @ List.map chaos_sim_case HS.scheme_names
+  @ List.map chaos_sim_delay_case HS.scheme_names
+  @ List.map chaos_native_case HN.scheme_names

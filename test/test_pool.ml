@@ -39,7 +39,14 @@ let test_exhaustion () =
   for _ = 1 to 4 do
     ignore (P.alloc p)
   done;
-  Alcotest.check_raises "exhausted" P.Exhausted (fun () -> ignore (P.alloc p))
+  match P.alloc p with
+  | _ -> Alcotest.fail "alloc beyond capacity should raise Exhausted"
+  | exception P.Exhausted x ->
+      Alcotest.(check int) "capacity in diagnosis" 4 x.Nbr_pool.Pool.x_capacity;
+      Alcotest.(check int) "in_use in diagnosis" 4 x.Nbr_pool.Pool.x_in_use;
+      Alcotest.(check bool)
+        "retried before giving up" true
+        (x.Nbr_pool.Pool.x_attempts >= 1)
 
 let test_in_use_accounting () =
   let p = mk () in
@@ -97,7 +104,7 @@ let prop_alloc_free_trace =
                    P.free p s
                  end)
            script
-       with P.Exhausted -> ());
+       with P.Exhausted _ -> ());
       let st = P.stats p in
       !ok && st.P.s_in_use = Hashtbl.length live)
 
