@@ -1,0 +1,360 @@
+(* Hot-path microbenchmark driver: the perf-tracking substrate.
+
+   Where bench/main.exe reproduces the paper's figures, this executable
+   tracks the *repository's own* hot paths over time, so regressions are
+   visible in CI and improvements land as numbers, not adjectives.  It
+   measures, per runtime (native wall-clock ns / sim virtual ns):
+
+   - read_path_1t/<scheme>   guarded-dereference cost: ns per [contains]
+                             on a 200-key lazy list, single thread
+   - read_path_mt/<scheme>   the same at several threads (E1-style
+                             contention on the read path)
+   - signal_all/n<k>         one signalAll broadcast to k-1 polling victims
+   - alloc_free              pool alloc+free fast path, single thread
+   - trial_mops/...          runner-level wall-clock trials (native only):
+                             the full harness, real domains, real time
+
+   Output: BENCH_<runtime>.json in --out-dir (default ".").
+
+   Modes:
+     micro.exe [--quick] [--runtime native|sim|both] [--out-dir D] [--no-wall]
+     micro.exe --check BASELINE --against CURRENT [--max-ratio R]
+       pure file comparison, no benchmarking: exits 1 if any read_path_* or
+       alloc_free entry of CURRENT is more than R times its BASELINE value
+       (default R = 2.0).  This is the CI bench-smoke gate. *)
+
+module T = Nbr_workload.Trial
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks, generic in the runtime.                                 *)
+
+module RtBench (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  let smr_cfg =
+    Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 256
+
+  module Read_path
+      (Smr : Nbr_core.Smr_intf.S
+               with type aint = Rt.aint
+                and type pool = Nbr_pool.Pool.Make(Rt).t) =
+  struct
+    module L = Nbr_ds.Lazy_list.Make (Rt) (Smr)
+
+    (* ns (runtime clock) per [contains] on a 200-key half-full lazy list:
+       every probe walks ~50 guarded dereferences, so this is dominated by
+       the per-access cost the paper's P1 discussion is about. *)
+    let measure ~nthreads ~iters =
+      let pool =
+        P.create ~capacity:(1024 + (nthreads * 256))
+          ~data_fields:L.data_fields ~ptr_fields:L.ptr_fields ~nthreads ()
+      in
+      let smr = Smr.create pool ~nthreads smr_cfg in
+      let ds = L.create pool in
+      let ctxs = Array.init nthreads (fun tid -> Smr.register smr ~tid) in
+      for k = 0 to 199 do
+        if k mod 2 = 0 then ignore (L.insert ds ctxs.(0) k)
+      done;
+      let elapsed = Array.make nthreads 0 in
+      Rt.run ~nthreads (fun tid ->
+          let ctx = ctxs.(tid) in
+          let t0 = Rt.now_ns () in
+          for i = 1 to iters do
+            ignore (L.contains ds ctx (i * 7 mod 200))
+          done;
+          elapsed.(tid) <- Rt.now_ns () - t0);
+      float_of_int (Array.fold_left ( + ) 0 elapsed)
+      /. float_of_int (nthreads * iters)
+  end
+
+  module RP_none = Read_path (Nbr_core.Leaky.Make (Rt))
+  module RP_nbr = Read_path (Nbr_core.Nbr.Make (Rt))
+  module RP_nbrp = Read_path (Nbr_core.Nbr_plus.Make (Rt))
+  module RP_debra = Read_path (Nbr_core.Debra.Make (Rt))
+  module RP_qsbr = Read_path (Nbr_core.Qsbr.Make (Rt))
+  module RP_rcu = Read_path (Nbr_core.Rcu.Make (Rt))
+  module RP_ibr = Read_path (Nbr_core.Ibr.Make (Rt))
+  module RP_hp = Read_path (Nbr_core.Hp.Make (Rt))
+  module RP_he = Read_path (Nbr_core.Hazard_eras.Make (Rt))
+
+  let read_paths =
+    [
+      ("none", RP_none.measure);
+      ("nbr", RP_nbr.measure);
+      ("nbr+", RP_nbrp.measure);
+      ("debra", RP_debra.measure);
+      ("qsbr", RP_qsbr.measure);
+      ("rcu", RP_rcu.measure);
+      ("ibr", RP_ibr.measure);
+      ("hp", RP_hp.measure);
+      ("he", RP_he.measure);
+    ]
+
+  (* ns per signalAll broadcast (n-1 sends) while the victims poll: the
+     sender-side cost of one NBR reclamation event. *)
+  let signal_all_ns ~nthreads ~iters =
+    let stop = Rt.make 0 in
+    let out = ref 0.0 in
+    Rt.run ~nthreads (fun tid ->
+        if tid = 0 then begin
+          let t0 = Rt.now_ns () in
+          for _ = 1 to iters do
+            for t = 1 to nthreads - 1 do
+              Rt.send_signal t
+            done
+          done;
+          out :=
+            float_of_int (Rt.now_ns () - t0) /. float_of_int iters;
+          Rt.store stop 1
+        end
+        else
+          while Rt.load stop = 0 do
+            Rt.poll ();
+            Rt.cpu_relax ()
+          done);
+    !out
+
+  (* Pool fast path: alloc pops the caller's own free list, free pushes it
+     back — no contention, no pressure. *)
+  let alloc_free_ns ~iters =
+    let pool =
+      P.create ~capacity:64 ~data_fields:1 ~ptr_fields:1 ~nthreads:1 ()
+    in
+    let out = ref 0.0 in
+    Rt.run ~nthreads:1 (fun _ ->
+        let s0 = P.alloc pool in
+        P.free pool s0;
+        let t0 = Rt.now_ns () in
+        for _ = 1 to iters do
+          let s = P.alloc pool in
+          P.free pool s
+        done;
+        out := float_of_int (Rt.now_ns () - t0) /. float_of_int iters);
+    !out
+end
+
+module N = RtBench (Nbr_runtime.Native_rt)
+module S = RtBench (Nbr_runtime.Sim_rt)
+module H_nat = Nbr_workload.Harness.Make (Nbr_runtime.Native_rt)
+
+(* ------------------------------------------------------------------ *)
+(* Result accumulation and JSON.                                       *)
+
+let results : (string * float) list ref = ref []
+let record k v = results := (k, v) :: !results
+
+let write_json ~runtime ~mode ~path =
+  let oc = open_out path in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"schema\": 1,\n";
+  Printf.fprintf oc "  \"runtime\": %S,\n" runtime;
+  Printf.fprintf oc "  \"mode\": %S,\n" mode;
+  output_string oc "  \"results\": {\n";
+  let rows = List.rev !results in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    %S: %.3f%s\n" k v
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" path (List.length rows)
+
+(* Minimal parser for the JSON we emit: every ["key": number] pair.  Not a
+   general JSON reader — it only has to read its own output. *)
+let read_entries path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let out = ref [] in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    if s.[!i] = '"' then begin
+      let j = String.index_from s (!i + 1) '"' in
+      let key = String.sub s (!i + 1) (j - !i - 1) in
+      let k = ref (j + 1) in
+      while !k < len && (s.[!k] = ':' || s.[!k] = ' ') do incr k done;
+      if
+        !k < len && s.[!k - 1] <> '"'
+        && (s.[!k] = '-' || (s.[!k] >= '0' && s.[!k] <= '9'))
+      then begin
+        let e = ref !k in
+        while
+          !e < len
+          && (s.[!e] = '-' || s.[!e] = '.' || s.[!e] = 'e' || s.[!e] = '+'
+             || (s.[!e] >= '0' && s.[!e] <= '9'))
+        do
+          incr e
+        done;
+        (match float_of_string_opt (String.sub s !k (!e - !k)) with
+        | Some v -> out := (key, v) :: !out
+        | None -> ());
+        i := !e
+      end
+      else i := j + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate (CI): compare two result files.                     *)
+
+let guarded_prefixes = [ "read_path_1t/"; "read_path_mt/"; "alloc_free" ]
+
+let check ~baseline ~against ~max_ratio =
+  let base = read_entries baseline and cur = read_entries against in
+  let guarded k =
+    List.exists
+      (fun p -> String.length k >= String.length p
+                && String.sub k 0 (String.length p) = p)
+      guarded_prefixes
+  in
+  let failures = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (k, b) ->
+      if guarded k && b > 0.0 then
+        match List.assoc_opt k cur with
+        | None -> ()
+        | Some c ->
+            incr compared;
+            let ratio = c /. b in
+            let flag = ratio > max_ratio in
+            if flag then incr failures;
+            Printf.printf "  %-28s base %10.1f  now %10.1f  x%.2f %s\n" k b c
+              ratio
+              (if flag then "REGRESSION" else ""))
+    base;
+  Printf.printf "%d metrics compared against %s, %d regressions (> x%.1f)\n%!"
+    !compared baseline !failures max_ratio;
+  if !compared = 0 then begin
+    print_endline "error: no comparable metrics found";
+    exit 2
+  end;
+  if !failures > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let value flag default =
+    let rec go = function
+      | f :: v :: _ when f = flag -> v
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  (match (value "--check" "", value "--against" "") with
+  | "", _ -> ()
+  | baseline, against ->
+      if against = "" then begin
+        print_endline "error: --check requires --against CURRENT";
+        exit 2
+      end;
+      check ~baseline ~against
+        ~max_ratio:(float_of_string (value "--max-ratio" "2.0"));
+      exit 0);
+  let quick = has "--quick" in
+  let runtime = value "--runtime" "both" in
+  let out_dir = value "--out-dir" "." in
+  let mode = if quick then "quick" else "standard" in
+  let mt_native = 4 in
+  let mt_sim = 8 in
+
+  let bench_native () =
+    results := [];
+    let it_1t = if quick then 20_000 else 200_000 in
+    let it_mt = if quick then 4_000 else 40_000 in
+    let it_sig = if quick then 2_000 else 20_000 in
+    let it_af = if quick then 50_000 else 500_000 in
+    Printf.printf "# native runtime (wall-clock ns, %s)\n%!" mode;
+    List.iter
+      (fun (name, m) ->
+        let v = m ~nthreads:1 ~iters:it_1t in
+        record (Printf.sprintf "read_path_1t/%s" name) v;
+        Printf.printf "  read_path_1t/%-6s %8.1f ns/op\n%!" name v)
+      N.read_paths;
+    List.iter
+      (fun (name, m) ->
+        let v = m ~nthreads:mt_native ~iters:it_mt in
+        record (Printf.sprintf "read_path_mt/%s" name) v;
+        Printf.printf "  read_path_mt/%-6s %8.1f ns/op (t%d)\n%!" name v
+          mt_native)
+      N.read_paths;
+    let v = N.signal_all_ns ~nthreads:mt_native ~iters:it_sig in
+    record (Printf.sprintf "signal_all/n%d" mt_native) v;
+    Printf.printf "  signal_all/n%d      %8.1f ns/broadcast\n%!" mt_native v;
+    let v = N.alloc_free_ns ~iters:it_af in
+    record "alloc_free" v;
+    Printf.printf "  alloc_free          %8.1f ns/pair\n%!" v;
+    if not (has "--no-wall") then begin
+      (* Runner-level wall-clock trials: the whole harness on real domains.
+         Mops/s (higher is better) — reported, not regression-gated. *)
+      let dur = if quick then 100_000_000 else 500_000_000 in
+      List.iter
+        (fun (scheme, structure) ->
+          let cfg =
+            T.mk ~nthreads:mt_native ~duration_ns:dur ~key_range:256 ~seed:7
+              ~smr:N.smr_cfg ()
+          in
+          let r = H_nat.run ~scheme ~structure cfg in
+          let k =
+            Printf.sprintf "trial_mops/%s/%s/t%d" structure scheme mt_native
+          in
+          record k r.T.throughput_mops;
+          record
+            (Printf.sprintf "trial_uaf/%s/%s/t%d" structure scheme mt_native)
+            (float_of_int r.T.uaf_reads);
+          Printf.printf "  %-28s %8.3f Mops/s (uaf=%d)\n%!" k
+            r.T.throughput_mops r.T.uaf_reads)
+        [ ("nbr", "lazy-list"); ("nbr+", "dgt-tree"); ("ibr", "lazy-list") ]
+    end;
+    write_json ~runtime:"native" ~mode
+      ~path:(Filename.concat out_dir "BENCH_native.json")
+  in
+
+  let bench_sim () =
+    results := [];
+    (* Virtual-time results are deterministic; iteration counts only bound
+       the wall cost of running the simulation itself. *)
+    let it_1t = if quick then 300 else 2_000 in
+    let it_mt = if quick then 100 else 500 in
+    let it_sig = if quick then 100 else 500 in
+    let it_af = if quick then 2_000 else 20_000 in
+    Printf.printf "# sim runtime (virtual ns, deterministic, %s)\n%!" mode;
+    List.iter
+      (fun (name, m) ->
+        let v = m ~nthreads:1 ~iters:it_1t in
+        record (Printf.sprintf "read_path_1t/%s" name) v;
+        Printf.printf "  read_path_1t/%-6s %8.1f ns/op\n%!" name v)
+      S.read_paths;
+    List.iter
+      (fun (name, m) ->
+        let v = m ~nthreads:mt_sim ~iters:it_mt in
+        record (Printf.sprintf "read_path_mt/%s" name) v;
+        Printf.printf "  read_path_mt/%-6s %8.1f ns/op (t%d)\n%!" name v
+          mt_sim)
+      S.read_paths;
+    let v = S.signal_all_ns ~nthreads:mt_sim ~iters:it_sig in
+    record (Printf.sprintf "signal_all/n%d" mt_sim) v;
+    Printf.printf "  signal_all/n%d      %8.1f ns/broadcast\n%!" mt_sim v;
+    let v = S.alloc_free_ns ~iters:it_af in
+    record "alloc_free" v;
+    Printf.printf "  alloc_free          %8.1f ns/pair\n%!" v;
+    write_json ~runtime:"sim" ~mode
+      ~path:(Filename.concat out_dir "BENCH_sim.json")
+  in
+
+  (match runtime with
+  | "native" -> bench_native ()
+  | "sim" -> bench_sim ()
+  | "both" ->
+      bench_native ();
+      bench_sim ()
+  | r ->
+      Printf.printf "error: unknown --runtime %s\n" r;
+      exit 2)

@@ -48,8 +48,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       pool;
       n = nthreads;
       cfg;
-      epoch = Rt.make 0;
-      announce = Array.init nthreads (fun _ -> Rt.make 1 (* quiescent *));
+      (* Padded: global epoch + per-thread SWMR announcements (see
+         Nbr_base.create for the false-sharing rationale). *)
+      epoch = Rt.make_padded 0;
+      announce = Array.init nthreads (fun _ -> Rt.make_padded 1 (* quiescent *));
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }

@@ -57,10 +57,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       n = nthreads;
       cfg;
       window;
-      era = Rt.make 1;
+      (* Padded era + per-thread SWMR era slots; per-record birth/retire
+         stamps stay unpadded (capacity-sized, accessed with the record). *)
+      era = Rt.make_padded 1;
       slots =
         Array.init nthreads (fun _ ->
-            Array.init window (fun _ -> Rt.make empty_slot));
+            Array.init window (fun _ -> Rt.make_padded empty_slot));
       birth = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
       retire_era = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
       done_stats = Smr_stats.zero ();

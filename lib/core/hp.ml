@@ -52,9 +52,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       n = nthreads;
       cfg;
       window;
+      (* Padded: hazard slots are stored (with a fence) on every guarded
+         dereference by their owner and scanned by every reclaimer — the
+         single most write-hot SWMR cells of any scheme here. *)
       hazards =
         Array.init nthreads (fun _ ->
-            Array.init window (fun _ -> Rt.make P.nil));
+            Array.init window (fun _ -> Rt.make_padded P.nil));
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }

@@ -55,9 +55,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       pool;
       n = nthreads;
       cfg;
-      era = Rt.make 1;
-      lo = Array.init nthreads (fun _ -> Rt.make inactive_lo);
-      hi = Array.init nthreads (fun _ -> Rt.make inactive_hi);
+      (* Padded: the era is bumped on retires and read per dereference;
+         lo/hi are per-thread SWMR interval bounds scanned by reclaimers.
+         The per-record birth/retire stamps below stay unpadded — they are
+         capacity-sized and accessed with the record, not contended rows. *)
+      era = Rt.make_padded 1;
+      lo = Array.init nthreads (fun _ -> Rt.make_padded inactive_lo);
+      hi = Array.init nthreads (fun _ -> Rt.make_padded inactive_hi);
       birth = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
       retire_era = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
       done_stats = Smr_stats.zero ();

@@ -43,11 +43,15 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       pool;
       n = nthreads;
       cfg;
+      (* Padded cells: each thread's SWMR slots are written on every
+         [end_read] and scanned by every reclaimer — unpadded, eight
+         threads' worth of [Atomic.t] blocks pack into one cache line and
+         every publication invalidates every reader's line. *)
       reservations =
         Array.init nthreads (fun _ ->
             Array.init cfg.Smr_config.max_reservations (fun _ ->
-                Rt.make P.nil));
-      announce_ts = Array.init nthreads (fun _ -> Rt.make 0);
+                Rt.make_padded P.nil));
+      announce_ts = Array.init nthreads (fun _ -> Rt.make_padded 0);
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
@@ -79,10 +83,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     done;
     (* Signals sent while we held no pointers need no action (the paper's
        "quiescent/preamble" handler case). *)
-    Rt.drain_signals ();
+    Rt.drain_signals_t c.tid;
     (* CAS(&restartable,0,1): the RMW orders the flag before any
        subsequent read of shared records (paper line 8 discussion). *)
-    Rt.set_restartable true
+    Rt.set_restartable_t c.tid true
 
   let end_read c recs =
     let res = c.b.reservations.(c.tid) in
@@ -93,14 +97,14 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     done;
     (* CAS(&restartable,1,0): fence broadcasting the reservations before
        the thread becomes non-restartable (paper line 12 discussion). *)
-    Rt.set_restartable false;
+    Rt.set_restartable_t c.tid false;
     (* Polling runtimes: a signal that arrived before the publication
        completed may have been missed by the sender's scan; restart (no
        shared write has happened yet, so this is always legal).  The
        [unsafe_end_read] knob disables this for ablation A2. *)
     if
       (not c.b.cfg.Smr_config.unsafe_end_read)
-      && Rt.consume_pending ()
+      && Rt.consume_pending_t c.tid
     then raise Rt.Neutralized
 
   let phase c ~read ~write =
@@ -132,20 +136,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Guarded traversal.                                                  *)
 
+  (* [poll_t c.tid] rather than [poll ()]: the context already knows its
+     tid, so the per-dereference DLS lookup the argless form pays in the
+     native runtime disappears from the hottest path in the system. *)
+
   let read_root c root =
-    Rt.poll ();
+    Rt.poll_t c.tid;
     let v = Rt.load root in
     if v >= 0 then P.record_read c.b.pool v;
     v
 
   let read_ptr c ~src ~field =
-    Rt.poll ();
+    Rt.poll_t c.tid;
     let v = Rt.load (P.ptr_cell c.b.pool src field) in
     if v >= 0 then P.record_read c.b.pool v;
     v
 
-  let read_raw _c cell =
-    Rt.poll ();
+  let read_raw c cell =
+    Rt.poll_t c.tid;
     Rt.load cell
 
   (* ------------------------------------------------------------------ *)

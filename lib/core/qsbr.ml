@@ -43,7 +43,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       pool;
       n = nthreads;
       cfg;
-      qs = Array.init nthreads (fun _ -> Rt.make 0);
+      (* Padded per-thread quiescence counters: bumped by their owner on
+         every operation, scanned by every reclaimer. *)
+      qs = Array.init nthreads (fun _ -> Rt.make_padded 0);
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }

@@ -38,8 +38,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       pool;
       n = nthreads;
       cfg;
-      epoch = Rt.make 1;
-      ann = Array.init nthreads (fun _ -> Rt.make idle);
+      (* Padded: the global epoch is bumped by every reclaimer while every
+         reader loads it, and the per-thread announcements are SWMR cells
+         scanned by all reclaimers — classic false-sharing hot spots. *)
+      epoch = Rt.make_padded 1;
+      ann = Array.init nthreads (fun _ -> Rt.make_padded idle);
       retire_ep = Array.make (P.capacity pool) 0;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;

@@ -35,7 +35,7 @@ module Make
               and type pool = Nbr_pool.Pool.Make(Rt).t) =
 struct
   module P = Nbr_pool.Pool.Make (Rt)
-  module Lock = Nbr_sync.Spinlock.Make (Rt)
+  module Lock = Spinlock.Make (Rt)
 
   let b = 8
   let name = "ab-tree"

@@ -7,8 +7,12 @@
     - {!Harris_list}: lock-free list traversing marked nodes (k-NBR).
     - {!Ab_tree}: relaxed (a,b)-tree with copy-on-write nodes (k-NBR).
     - {!Hash_set}: lock-free hash set of Harris-list buckets (extension).
-    - {!Skip_list}: optimistic skiplist, up to 17 reservations (extension). *)
+    - {!Skip_list}: optimistic skiplist, up to 17 reservations (extension).
 
+    {!Spinlock} (test-and-test-and-set over runtime cells) lives here with
+    its only users, keeping [nbr.sync] free of runtime dependencies. *)
+
+module Spinlock = Spinlock
 module Lazy_list = Lazy_list
 module Dgt_bst = Dgt_bst
 module Harris_list = Harris_list

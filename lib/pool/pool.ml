@@ -75,11 +75,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
             released by {e any} thread can satisfy the starving ones
             (per-thread free lists are single-owner and invisible across
             threads). *)
-    overflow : Nbr_sync.Int_vec.t;  (** shared free stack, under [ovf_lock] *)
-    ovf_lock : Mutex.t;
-        (** plain mutex: uncontended in the (single-domain, cooperative)
-            simulator and only taken on the allocator's slow path natively;
-            its cost is modelled explicitly with [Rt.work c_free_slow]. *)
+    overflow : int Nbr_sync.Treiber.t;
+        (** shared free stack, lock-free.  This path only runs while some
+            thread is starving — exactly when a lock would be worst: a
+            descheduled lock holder would block every thread trying to
+            donate or claim capacity.  Treiber push/pop keep the hand-off
+            non-blocking; the cost of the cross-thread transfer is still
+            modelled explicitly with [Rt.work c_free_slow]. *)
     (* --- instrumentation (uncosted) --- *)
     st : int array;  (** 0 = Free, 1 = Live, 2 = Retired *)
     seqno : int array;  (** bumped on each free: ABA/UAF witness *)
@@ -124,8 +126,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         Array.init nthreads (fun _ -> Nbr_sync.Int_vec.create ~capacity:64 ());
       next_fresh = Atomic.make 0;
       starving = Atomic.make 0;
-      overflow = Nbr_sync.Int_vec.create ~capacity:64 ();
-      ovf_lock = Mutex.create ();
+      overflow = Nbr_sync.Treiber.create ();
       st = Array.make capacity 0;
       seqno = Array.make capacity 0;
       in_use = Atomic.make 0;
@@ -146,10 +147,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   (* ---------------- allocation ---------------- *)
 
+  (* Monotone max via CAS loop.  The old load-then-store version had a
+     lost-update race: two threads could both read a stale peak and the
+     smaller writer could land last, permanently under-reporting the
+     high-water mark that the E2 bounded-garbage acceptance checks read. *)
+  let rec note_peak cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then note_peak cell v
+
   let note_in_use t =
     let v = Atomic.fetch_and_add t.in_use 1 + 1 in
-    (* Monotone max; a lost race only under-reports by a transient amount. *)
-    if v > Atomic.get t.peak_in_use then Atomic.set t.peak_in_use v
+    note_peak t.peak_in_use v
 
   (* Cheap sources, in order: the caller's own free list, then the bump
      allocator over never-used slots. *)
@@ -162,14 +170,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
     else None
 
-  let try_overflow t =
-    Mutex.lock t.ovf_lock;
-    let r =
-      if Nbr_sync.Int_vec.is_empty t.overflow then None
-      else Some (Nbr_sync.Int_vec.pop t.overflow)
-    in
-    Mutex.unlock t.ovf_lock;
-    r
+  let try_overflow t = Nbr_sync.Treiber.pop t.overflow
 
   let max_pressure_attempts = 8
 
@@ -228,8 +229,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if t.st.(slot) <> 2 then begin
       t.st.(slot) <- 2;
       let g = Atomic.fetch_and_add t.garbage 1 + 1 in
-      (* Monotone max, same benign race as [note_in_use]. *)
-      if g > Atomic.get t.peak_garbage then Atomic.set t.peak_garbage g
+      note_peak t.peak_garbage g
     end
 
   (** Return a slot to a free list: the calling thread's own, or — while
@@ -248,9 +248,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if Atomic.get t.starving > 0 then begin
       (* Cross-thread hand-off is an allocator slow path. *)
       Rt.work t.c_free_slow;
-      Mutex.lock t.ovf_lock;
-      Nbr_sync.Int_vec.push t.overflow slot;
-      Mutex.unlock t.ovf_lock
+      Nbr_sync.Treiber.push t.overflow slot
     end
     else begin
       let fl = t.free_lists.(Rt.self ()) in
@@ -262,16 +260,29 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   (* ---------------- field access ---------------- *)
 
-  let data_cell t slot f = t.data.(f).(slot)
-  let ptr_cell t slot f = t.ptr.(f).(slot)
+  (* Stale-index dereference guard.  In a polling runtime a reader may, in
+     the window between its last poll and the neutralization that aborts
+     it, follow a pointer value read from a freed-and-recycled slot —
+     including [nil] (a recycled leaf's child).  Real hardware reads the
+     never-unmapped arena at a garbage offset and returns garbage; we do
+     the same by redirecting any out-of-range index to slot 0.  The value
+     read is garbage either way and is never committed: the pending
+     neutralization (sent before the free) restarts the phase at the next
+     poll or at [end_read] (DESIGN.md §3).  Read-side accessors use the
+     guard; write-side accessors stay strict, because writers only touch
+     validated, reserved records. *)
+  let deref t slot = if slot >= 0 && slot < t.capacity then slot else 0
+
+  let data_cell t slot f = t.data.(f).(deref t slot)
+  let ptr_cell t slot f = t.ptr.(f).(deref t slot)
   let lock_cell t slot = t.lock.(slot)
 
-  let get_data t slot f = Rt.plain_load t.data.(f).(slot)
+  let get_data t slot f = Rt.plain_load t.data.(f).(deref t slot)
   let set_data t slot f v = Rt.store t.data.(f).(slot) v
-  let get_data_sync t slot f = Rt.load t.data.(f).(slot)
+  let get_data_sync t slot f = Rt.load t.data.(f).(deref t slot)
   let cas_data t slot f old v = Rt.cas t.data.(f).(slot) old v
 
-  let get_ptr t slot f = Rt.load t.ptr.(f).(slot)
+  let get_ptr t slot f = Rt.load t.ptr.(f).(deref t slot)
   let set_ptr t slot f v = Rt.store t.ptr.(f).(slot) v
   let cas_ptr t slot f old v = Rt.cas t.ptr.(f).(slot) old v
 
@@ -293,13 +304,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       charged like the cache-hit mark loads they model. *)
   let live t slot =
     Rt.work 2;
-    t.st.(slot) = 1
+    t.st.(deref t slot) = 1 && slot >= 0
 
   (** Allocation stamp with an access charge: lets validators detect
       free-and-recycle (ABA on the slot) between two reads. *)
   let stamp t slot =
     Rt.work 2;
-    t.seqno.(slot)
+    t.seqno.(deref t slot)
 
   (** Called by the SMR layer when a guarded dereference lands on [slot];
       counts reads that hit freed memory.  For a sound scheme under the

@@ -1,0 +1,23 @@
+/* CLOCK_MONOTONIC for the native runtime.
+ *
+ * Unix.gettimeofday is wall-clock: NTP can step it backwards, and its
+ * microsecond granularity loses the very ns-scale deltas the delayed-signal
+ * maturity checks and the benchmark harness measure.  clock_gettime with
+ * CLOCK_MONOTONIC is the clock the paper's own harness (and every SMR
+ * benchmark) uses.
+ *
+ * Returned as a tagged OCaml int: 62 bits of nanoseconds wrap after ~146
+ * years of uptime, which is not a concern.  [noalloc] keeps the call free
+ * of GC interaction so it is safe on the hot path.
+ */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value nbr_monotonic_now_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -18,7 +18,18 @@
     in-bounds slot indices, and no value read in the window can be
     committed: every subsequent dereference polls and the phase-closing
     [end_read] polls after its fence, so the operation restarts before it
-    returns a result or performs any shared write.  See DESIGN.md §3. *)
+    returns a result or performs any shared write.  See DESIGN.md §3.
+
+    Hot-path layout: each thread's signal state lives in one
+    cache-line-padded {!tstate} record so a reclaimer bombing thread [i]
+    never invalidates the line thread [j] polls ([Atomic.t] blocks allocated
+    back to back otherwise pack ~8 per 64-byte line).  [poll] on the
+    fault-free path is a single plain flag load, one [Atomic.get] and a
+    compare — the [delayed]-list drain hides behind [faults_active], set
+    only while a fault decider is installed.  The [_t] fast paths take the
+    caller's tid as an argument so the SMR layer (which already knows its
+    tid from the operation context) skips the [Domain.DLS] lookup that
+    otherwise costs more than the poll itself. *)
 
 let name = "native"
 
@@ -27,6 +38,7 @@ let name = "native"
 type aint = int Atomic.t
 
 let make v = Atomic.make v
+let make_padded v = Nbr_sync.Padded.copy_as_padded (Atomic.make v)
 let load = Atomic.get
 let plain_load = Atomic.get
 let store = Atomic.set
@@ -49,13 +61,35 @@ let nthreads () = !n_threads
 
 exception Neutralized
 
-(* Sized at [run]; index = tid.  [last_seen] cells are only touched by
-   their owning thread.  [restartable] is per-thread too, but written with
-   a fenced exchange to match the paper's Algorithm 1 (lines 8/12): the
-   RMW orders reservation publication before the flag flip. *)
-let pending : int Atomic.t array ref = ref [||]
-let restartable : bool Atomic.t array ref = ref [||]
-let last_seen : int array ref = ref [||]
+(* All mutable signal state of one thread, one padded block per thread so
+   threads never share a cache line through this structure.  The atomics
+   inside are padded too: the record fields are just pointers, and without
+   padding the pointed-to [Atomic.t] blocks (allocated together) would
+   still false-share.
+
+   [last_seen] is only touched by the owning thread.  [restartable] is
+   per-thread too, but written with a fenced exchange to match the paper's
+   Algorithm 1 (lines 8/12): the RMW orders reservation publication before
+   the flag flip. *)
+type tstate = {
+  pending : int Atomic.t;
+  restartable : bool Atomic.t;
+  delayed : int list Atomic.t;
+      (** fault-injected in-flight signals: maturity timestamps (ns) *)
+  mutable last_seen : int;
+}
+
+let mk_tstate () =
+  Nbr_sync.Padded.copy_as_padded
+    {
+      pending = Nbr_sync.Padded.make_atomic 0;
+      restartable = Nbr_sync.Padded.make false;
+      delayed = Nbr_sync.Padded.make [];
+      last_seen = 0;
+    }
+
+(* Sized at [run]; index = tid. *)
+let tstates : tstate array ref = ref [||]
 let sigs_sent = Atomic.make 0
 
 let signals_sent () = Atomic.get sigs_sent
@@ -64,100 +98,125 @@ let signals_sent () = Atomic.get sigs_sent
 (* Fault injection: delayed signals are parked per victim as a list of
    maturity timestamps (ns); the victim promotes matured entries into its
    pending counter at each poll.  A Treiber-style CAS list keeps senders
-   lock-free; the victim drains with exchange. *)
+   lock-free; the victim drains with exchange.
 
-let delayed : int list Atomic.t array ref = ref [||]
+   [faults_active] gates the whole machinery out of the hot path: it is a
+   plain ref read first in [poll_t], so fault-free runs (every benchmark,
+   most tests) pay one predictable not-taken branch instead of an atomic
+   list inspection per poll.  The flag is raised {e before} the decider is
+   installed and stays raised after the decider is removed (already-parked
+   delayed signals must still mature and drain); [run] resets it. *)
 
 let fault_fn :
     (sender:int -> target:int -> Runtime_intf.signal_fate) option ref =
   ref None
 
+let faults_active = ref false
 let sigs_dropped = Atomic.make 0
-let set_signal_fault f = fault_fn := f
+
+let set_signal_fault f =
+  (match f with Some _ -> faults_active := true | None -> ());
+  fault_fn := f
+
 let signals_dropped () = Atomic.get sigs_dropped
 
 let rec push_delayed cell at =
   let old = Atomic.get cell in
   if not (Atomic.compare_and_set cell old (at :: old)) then push_delayed cell at
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+external monotonic_now_ns : unit -> int = "nbr_monotonic_now_ns" [@@noalloc]
+
+let now_ns = monotonic_now_ns
 
 (* Move delayed entries into [pending]: all of them when [all], otherwise
    only those whose maturity has passed (unmatured ones are re-parked). *)
-let promote_delayed ~all t =
-  let d = !delayed in
-  if t < Array.length d && Atomic.get d.(t) <> [] then begin
-    let entries = Atomic.exchange d.(t) [] in
+let promote_delayed ~all s =
+  if Atomic.get s.delayed <> [] then begin
+    let entries = Atomic.exchange s.delayed [] in
     let now = now_ns () in
     let promoted = ref 0 in
     List.iter
       (fun at ->
-        if all || at <= now then incr promoted else push_delayed d.(t) at)
+        if all || at <= now then incr promoted else push_delayed s.delayed at)
       entries;
-    if !promoted > 0 then ignore (Atomic.fetch_and_add (!pending).(t) !promoted)
+    if !promoted > 0 then ignore (Atomic.fetch_and_add s.pending !promoted)
   end
 
 let send_signal t =
-  let p = !pending in
-  if t >= 0 && t < Array.length p then begin
+  let ts = !tstates in
+  if t >= 0 && t < Array.length ts then begin
     Atomic.incr sigs_sent;
+    let s = Array.unsafe_get ts t in
     match !fault_fn with
-    | None -> Atomic.incr p.(t)
+    | None -> Atomic.incr s.pending
     | Some decide -> (
         match decide ~sender:(Domain.DLS.get tid_key) ~target:t with
-        | Runtime_intf.Sig_deliver -> Atomic.incr p.(t)
+        | Runtime_intf.Sig_deliver -> Atomic.incr s.pending
         | Runtime_intf.Sig_drop -> Atomic.incr sigs_dropped
-        | Runtime_intf.Sig_delay ns -> push_delayed (!delayed).(t) (now_ns () + ns))
+        | Runtime_intf.Sig_delay ns -> push_delayed s.delayed (now_ns () + ns))
   end
 
-let set_restartable b =
-  let t = self () in
-  let r = !restartable in
-  if t < Array.length r then ignore (Atomic.exchange r.(t) b)
+(* ------------------------------------------------------------------ *)
+(* tid-threaded fast paths.  The bounds check keeps calls from outside
+   [run] (setup code, single-threaded benches) safe no-ops; inside [run]
+   it is one predictable compare against an in-register length. *)
 
-let is_restartable () =
-  let t = self () in
-  let r = !restartable in
-  t < Array.length r && Atomic.get r.(t)
+let set_restartable_t t b =
+  let ts = !tstates in
+  if t < Array.length ts then
+    ignore (Atomic.exchange (Array.unsafe_get ts t).restartable b)
 
-let poll () =
-  let t = self () in
-  let p = !pending in
-  if t < Array.length p then begin
+let poll_t t =
+  let ts = !tstates in
+  if t < Array.length ts then begin
+    let s = Array.unsafe_get ts t in
     (* Matured fault-delayed signals become pending now; unmatured ones
        stay parked (the handler must not run before the delay elapses). *)
-    promote_delayed ~all:false t;
-    let v = Atomic.get p.(t) in
-    if v > (!last_seen).(t) then begin
-      (!last_seen).(t) <- v;
-      if Atomic.get (!restartable).(t) then raise Neutralized
+    if !faults_active then promote_delayed ~all:false s;
+    let v = Atomic.get s.pending in
+    if v > s.last_seen then begin
+      s.last_seen <- v;
+      if Atomic.get s.restartable then raise Neutralized
     end
   end
 
-let consume_pending () =
-  let t = self () in
-  let p = !pending in
-  if t < Array.length p then begin
+let consume_pending_t t =
+  let ts = !tstates in
+  if t < Array.length ts then begin
+    let s = Array.unsafe_get ts t in
     (* In-flight delayed signals were sent before this check: [end_read]
        must observe them (and restart) or the publication race re-opens —
        late delivery must not look like no signal. *)
-    promote_delayed ~all:true t;
-    let v = Atomic.get p.(t) in
-    if v > (!last_seen).(t) then begin
-      (!last_seen).(t) <- v;
+    if !faults_active then promote_delayed ~all:true s;
+    let v = Atomic.get s.pending in
+    if v > s.last_seen then begin
+      s.last_seen <- v;
       true
     end
     else false
   end
   else false
 
-let drain_signals () =
-  let t = self () in
-  let p = !pending in
-  if t < Array.length p then begin
-    promote_delayed ~all:true t;
-    (!last_seen).(t) <- Atomic.get p.(t)
+let drain_signals_t t =
+  let ts = !tstates in
+  if t < Array.length ts then begin
+    let s = Array.unsafe_get ts t in
+    if !faults_active then promote_delayed ~all:true s;
+    s.last_seen <- Atomic.get s.pending
   end
+
+(* Argless variants: one DLS lookup, then the fast path. *)
+
+let set_restartable b = set_restartable_t (self ()) b
+
+let is_restartable () =
+  let t = self () in
+  let ts = !tstates in
+  t < Array.length ts && Atomic.get (Array.unsafe_get ts t).restartable
+
+let poll () = poll_t (self ())
+let consume_pending () = consume_pending_t (self ())
+let drain_signals () = drain_signals_t (self ())
 
 let checkpoint f =
   let rec go () = try f () with Neutralized -> go () in
@@ -179,10 +238,8 @@ let run ~nthreads:n body =
   if !running then invalid_arg "Native_rt.run: not reentrant";
   running := true;
   n_threads := n;
-  pending := Array.init n (fun _ -> Atomic.make 0);
-  restartable := Array.init n (fun _ -> Atomic.make false);
-  last_seen := Array.make n 0;
-  delayed := Array.init n (fun _ -> Atomic.make []);
+  tstates := Array.init n (fun _ -> mk_tstate ());
+  faults_active := !fault_fn <> None;
   Atomic.set sigs_sent 0;
   Atomic.set sigs_dropped 0;
   let failure : exn option Atomic.t = Atomic.make None in
@@ -196,9 +253,6 @@ let run ~nthreads:n body =
   Array.iter Domain.join domains;
   Domain.DLS.set tid_key 0;
   n_threads := 1;
-  pending := [||];
-  restartable := [||];
-  last_seen := [||];
-  delayed := [||];
+  tstates := [||];
   running := false;
   match Atomic.get failure with None -> () | Some e -> raise e

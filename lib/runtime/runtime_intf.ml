@@ -58,6 +58,19 @@ module type S = sig
       not by weak ordering). *)
 
   val make : int -> aint
+
+  val make_padded : int -> aint
+  (** Like {!make}, but the cell is guaranteed not to share a cache line
+      with any other runtime-allocated cell.  Use it for SWMR announcement
+      slots written on hot paths by one thread and scanned by reclaimers —
+      reservation rows, broadcast timestamps, epoch/era announcements,
+      hazard slots — where false sharing would bill every writer for its
+      neighbours' traffic.  Natively this pads the heap block to whole
+      cache lines (the [Atomic.make_contended] of OCaml ≥ 5.2, via
+      {!Nbr_sync.Padded} on the pinned 5.1 toolchain); in the simulator it
+      is identical to {!make}, because the cost model tracks coherence
+      ownership per cell, never packing two cells into one line. *)
+
   val load : aint -> int
 
   val plain_load : aint -> int
@@ -145,6 +158,34 @@ module type S = sig
       holds no shared pointers yet, so signals sent earlier need no action —
       this is the "handler runs while quiescent" case of the paper. *)
 
+  (** {2 Tid-threaded fast paths}
+
+      [poll] & friends must discover the calling thread's identity on
+      every call — a {!Domain.DLS} lookup in the native runtime, charged
+      on {e every guarded dereference}.  The SMR layer already holds the
+      thread id in its per-thread context, so these variants take it as an
+      argument and skip the lookup.  [t] {b must} be the calling thread's
+      id (the one {!self} would return): passing another thread's id reads
+      and writes that thread's single-writer state and voids the
+      discipline.  The argless versions above are wrappers over these and
+      remain correct everywhere; use the [_t] forms on hot paths. *)
+
+  val poll_t : int -> unit
+  (** {!poll} for the calling thread [t].  When no fault decider is
+      installed this must cost one plain flag check plus one load-compare
+      of the thread's pending counter — the paper's "no per-access
+      overhead" claim lives or dies here. *)
+
+  val consume_pending_t : int -> bool
+  (** {!consume_pending} for the calling thread [t]. *)
+
+  val set_restartable_t : int -> bool -> unit
+  (** {!set_restartable} for the calling thread [t]; same fenced-RMW
+      semantics. *)
+
+  val drain_signals_t : int -> unit
+  (** {!drain_signals} for the calling thread [t]. *)
+
   val signals_sent : unit -> int
   (** Total signals sent since the current {!run} began (for the O(n) vs
       O(n²) ablation).  Counts sends, including delayed and dropped ones. *)
@@ -170,9 +211,11 @@ module type S = sig
   (** {1 Time} *)
 
   val now_ns : unit -> int
-  (** Monotonic time in nanoseconds — virtual in the simulator, wall-clock in
-      the native runtime.  Trial durations and throughput are measured with
-      this. *)
+  (** Monotonic time in nanoseconds — virtual in the simulator,
+      [CLOCK_MONOTONIC] in the native runtime.  Trial durations,
+      throughput and delayed-signal maturity are measured with this;
+      implementations must never use a wall clock (NTP-steppable,
+      non-monotonic, and short of precision at ns scale). *)
 
   val stall_ns : int -> unit
   (** Stop making progress for the given duration (the "stalled thread" of

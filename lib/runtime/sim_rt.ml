@@ -228,6 +228,11 @@ let prologue cost =
 
 let make v = { v; owner = owner_fresh }
 
+(* Padding is a real-hardware concern; the sim's cost model is per-cell
+   (ownership tags), so contended and uncontended cells are already
+   distinct and padding would change nothing. *)
+let make_padded = make
+
 let load_cost a base =
   let f = !cur in
   if a.owner = f.id || a.owner = owner_shared || a.owner = owner_fresh then
@@ -335,6 +340,16 @@ let drain_signals () =
     f.delayed <- [];
     f.delivered <- f.pending
   end
+
+(* The tid-threaded fast paths exist to skip a DLS lookup in the native
+   runtime; the sim has no DLS (the current fiber is a ref), so they are
+   plain aliases.  The [_ =] binding of the tid keeps the signatures
+   aligned without charging anything extra to the cost model. *)
+
+let poll_t _ = ()
+let consume_pending_t _ = consume_pending ()
+let drain_signals_t _ = drain_signals ()
+let set_restartable_t _ b = set_restartable b
 
 let checkpoint f =
   if in_fiber () then prologue !cfg.c_setjmp;

@@ -1,8 +1,12 @@
-(** Synchronization substrate: PRNG and spinlocks.
+(** Synchronization substrate: PRNG, cache-line padding, lock-free stack,
+    thread-local vectors.
 
-    Small building blocks shared by the SMR schemes, the data structures
-    and the workload harness. *)
+    Runtime-independent building blocks, below {!Nbr_runtime} in the
+    dependency order (the native runtime itself uses {!Padded} for its
+    per-thread signal state).  The runtime-parametric spinlock lives in
+    [nbr.ds] with its users. *)
 
 module Rng = Rng
-module Spinlock = Spinlock
 module Int_vec = Int_vec
+module Padded = Padded
+module Treiber = Treiber

@@ -1,0 +1,66 @@
+(** Cache-line-isolated heap blocks and atomic cells.
+
+    OCaml boxes every [Atomic.t] in its own two-word heap block, and blocks
+    allocated together (e.g. by [Array.init]) end up adjacent in the minor
+    heap and stay adjacent after promotion.  Per-thread cells allocated
+    that way — signal counters, restartable flags, reservation slots —
+    therefore pack eight to a cache line, and every write by one thread
+    invalidates the line under seven others: textbook false sharing, and
+    exactly the cross-thread cache traffic an SMR benchmark is supposed to
+    measure rather than manufacture.
+
+    [copy_as_padded] is the classic fix (the [multicore-magic] /
+    [Saturn] idiom): re-allocate the block with its size rounded up to a
+    whole number of cache lines, so no two padded blocks can share a line.
+    On OCaml ≥ 5.2 the stdlib offers [Atomic.make_contended] with the same
+    intent; this module is the fallback for the 5.1 toolchain pinned here,
+    and the single place to swap the stdlib primitive in when the pin
+    moves.
+
+    Padding is a {e layout} property, invisible to program semantics: the
+    atomic primitives operate on field 0 of the block regardless of its
+    size, and the GC scans the [Val_unit]-initialised padding words
+    harmlessly.  The simulated runtime models cache-coherence cost per
+    {e cell} (ownership tags), not per line, so it needs no padding —
+    {!Sim_rt.make_padded} is plain [make]. *)
+
+(** Cache line size in words: 64 bytes on every x86-64/arm64 this targets.
+    Padded blocks are rounded up to two lines (128 bytes) to also defeat
+    adjacent-line prefetcher sharing, matching [Atomic.make_contended]. *)
+let cache_line_words = 8
+
+let padded_words = 2 * cache_line_words
+
+(** [copy_as_padded v] returns a copy of the boxed value [v] whose heap
+    block is padded to [padded_words] words, so it shares no cache line
+    with any other padded (or smaller) block.  Unboxed values (ints,
+    constant constructors) are returned unchanged — they have no block to
+    pad.  Only safe for blocks whose fields the GC may scan (records,
+    tuples, atomics, arrays of boxed/immediate values): exactly the shapes
+    used here. *)
+let copy_as_padded (type a) (v : a) : a =
+  let r = Obj.repr v in
+  if Obj.is_int r then v
+  else begin
+    let size = Obj.size r in
+    if size >= padded_words || Obj.tag r >= Obj.no_scan_tag then v
+    else begin
+      (* [Obj.new_block] initialises scannable fields to [()], so the
+         padding words are valid values for the GC. *)
+      let b = Obj.new_block (Obj.tag r) padded_words in
+      for i = 0 to size - 1 do
+        Obj.set_field b i (Obj.field r i)
+      done;
+      Obj.obj b
+    end
+  end
+
+(** A fresh atomic integer cell on its own cache line(s). *)
+let make_atomic (v : int) : int Atomic.t = copy_as_padded (Atomic.make v)
+
+(** A fresh atomic boolean cell on its own cache line(s). *)
+let make_bool (v : bool) : bool Atomic.t = copy_as_padded (Atomic.make v)
+
+(** A fresh padded atomic of any content type (e.g. the delayed-signal
+    lists of the fault layer). *)
+let make (v : 'a) : 'a Atomic.t = copy_as_padded (Atomic.make v)

@@ -1,0 +1,45 @@
+(** Treiber stack: a lock-free LIFO over an atomic cons-list head.
+
+    Replaces the mutex-guarded overflow stack on the pool's
+    starvation path: frees rerouted cross-thread during pool pressure
+    must not serialise behind a lock that the (possibly descheduled)
+    holder is in no hurry to release — lock-freedom is exactly the
+    property the pressure path needs, since it runs while other threads
+    are stalled by construction (E2, chaos plans).
+
+    The classic ABA hazard of Treiber stacks does not exist here: nodes
+    are immutable OCaml cons cells compared by physical identity, and a
+    popped cell can never be re-CASed into the head by a stale push,
+    because pushes allocate fresh cells and the GC keeps any cell a racing
+    pop still references alive (the "GC solves ABA" argument).
+
+    Uses stdlib [Atomic] rather than [Rt.aint]: like the pool's other
+    free-space bookkeeping, its cost is modelled explicitly by the
+    caller ([Rt.work c_free_slow]), not by the simulator's per-access
+    accounting. *)
+
+type 'a t = 'a list Atomic.t
+
+let create () : 'a t = Padded.make []
+
+let rec push (t : 'a t) x =
+  let old = Atomic.get t in
+  if not (Atomic.compare_and_set t old (x :: old)) then begin
+    Domain.cpu_relax ();
+    push t x
+  end
+
+let rec pop (t : 'a t) =
+  match Atomic.get t with
+  | [] -> None
+  | x :: rest as old ->
+      if Atomic.compare_and_set t old rest then Some x
+      else begin
+        Domain.cpu_relax ();
+        pop t
+      end
+
+let is_empty (t : 'a t) = Atomic.get t = []
+
+(** O(n); diagnostics and tests only. *)
+let length (t : 'a t) = List.length (Atomic.get t)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "nbr"
     [
       ("sim-runtime", Test_sim_rt.suite);
+      ("treiber", Test_treiber.suite);
       ("pool", Test_pool.suite);
       ("limbo-bag", Test_limbo_bag.suite);
       ("smr-schemes", Test_smr.suite);

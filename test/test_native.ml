@@ -63,6 +63,54 @@ let combos =
     ("ibr", "dgt-tree");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Sim/native parity stress: the same workload must satisfy the same
+   invariants under both runtimes.  Set semantics and bounded garbage are
+   runtime-independent; zero reads-of-freed is exact only under the sim's
+   instantaneous delivery (natively the benign poll window of DESIGN.md §3
+   can count reads that are then thrown away by the restart). *)
+
+module Sim = Nbr_runtime.Sim_rt
+module HS = Nbr_workload.Harness.Make (Sim)
+
+let bounded_schemes = [ "nbr"; "nbr+"; "ibr"; "hp"; "he" ]
+
+let check_parity ~scheme ~structure () =
+  let cfg =
+    T.mk ~nthreads:4 ~duration_ns:100_000_000 ~key_range:128
+      ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 48)
+      ~seed:11 ()
+  in
+  let bound = T.garbage_bound cfg in
+  let check_one (r : T.result) =
+    if not (T.valid r) then
+      Alcotest.failf "%s/%s (%s): invalid (size %d expected %d, uaf %d)"
+        scheme structure r.T.runtime r.T.final_size r.T.expected_size
+        r.T.uaf_reads;
+    (* Per-thread buffered-garbage high-water mark, like the E2 chaos
+       suite: the bound caps each thread's limbo buffer, not the pool-wide
+       sum across threads. *)
+    let mg = r.T.smr_stats.Nbr_core.Smr_stats.max_garbage in
+    if List.mem scheme bounded_schemes && mg > bound then
+      Alcotest.failf "%s/%s (%s): max_garbage %d exceeds bound %d" scheme
+        structure r.T.runtime mg bound
+  in
+  let rs = HS.run ~scheme ~structure cfg in
+  check_one rs;
+  Alcotest.(check int)
+    (Printf.sprintf "%s/%s sim uaf_reads" scheme structure)
+    0 rs.T.uaf_reads;
+  check_one (H.run ~scheme ~structure cfg)
+
+let parity_combos =
+  [
+    ("nbr", "lazy-list");
+    ("nbr+", "dgt-tree");
+    ("ibr", "lazy-list");
+    ("hp", "lazy-list");
+    ("he", "dgt-tree");
+  ]
+
 let suite =
   [
     Alcotest.test_case "atomics across domains" `Quick test_runtime_basics;
@@ -76,3 +124,10 @@ let suite =
           `Slow
           (check ~scheme ~structure))
       combos
+  @ List.map
+      (fun (scheme, structure) ->
+        Alcotest.test_case
+          (Printf.sprintf "%s/%s sim/native parity" scheme structure)
+          `Slow
+          (check_parity ~scheme ~structure))
+      parity_combos
