@@ -13,11 +13,19 @@
    - alloc_free              pool alloc+free fast path, single thread
    - trial_mops/...          runner-level wall-clock trials (native only):
                              the full harness, real domains, real time
+   - latency_*               per-operation latency quantiles (p50/p99) from
+                             one harness trial with [record_latency] on, plus
+                             restarts-per-op quantiles
 
    Output: BENCH_<runtime>.json in --out-dir (default ".").
 
    Modes:
      micro.exe [--quick] [--runtime native|sim|both] [--out-dir D] [--no-wall]
+               [--trace-out FILE]
+       --trace-out additionally runs one traced sim trial and writes the
+       merged event timeline as Chrome trace-event JSON (load it in
+       Perfetto / chrome://tracing); the benchmarks themselves always run
+       with tracing off.
      micro.exe --check BASELINE --against CURRENT [--max-ratio R]
        pure file comparison, no benchmarking: exits 1 if any read_path_* or
        alloc_free entry of CURRENT is more than R times its BASELINE value
@@ -109,7 +117,7 @@ module RtBench (Rt : Nbr_runtime.Runtime_intf.S) = struct
         end
         else
           while Rt.load stop = 0 do
-            Rt.poll ();
+            Rt.poll_t tid;
             Rt.cpu_relax ()
           done);
     !out
@@ -136,12 +144,33 @@ end
 module N = RtBench (Nbr_runtime.Native_rt)
 module S = RtBench (Nbr_runtime.Sim_rt)
 module H_nat = Nbr_workload.Harness.Make (Nbr_runtime.Native_rt)
+module H_sim = Nbr_workload.Harness.Make (Nbr_runtime.Sim_rt)
 
 (* ------------------------------------------------------------------ *)
 (* Result accumulation and JSON.                                       *)
 
 let results : (string * float) list ref = ref []
 let record k v = results := (k, v) :: !results
+
+(* latency_<op>_{p50,p99}_ns entries (restart counts are unitless) from a
+   [record_latency] trial, plus console lines so the numbers are visible
+   in CI logs without opening the JSON. *)
+let record_latency_entries (r : T.result) =
+  match r.T.latency with
+  | None -> ()
+  | Some l ->
+      let put name unit_sfx (s : Nbr_obs.Histogram.summary) =
+        record
+          (Printf.sprintf "latency_%s_p50%s" name unit_sfx)
+          s.Nbr_obs.Histogram.s_p50;
+        record (Printf.sprintf "latency_%s_p99%s" name unit_sfx) s.s_p99;
+        Printf.printf "  latency_%-9s p50 %10.1f  p99 %10.1f  max %d\n%!"
+          name s.s_p50 s.s_p99 s.s_max
+      in
+      put "insert" "_ns" l.T.lat_insert;
+      put "delete" "_ns" l.T.lat_delete;
+      put "contains" "_ns" l.T.lat_contains;
+      put "restarts" "" l.T.lat_restarts
 
 let write_json ~runtime ~mode ~path =
   let oc = open_out path in
@@ -313,6 +342,15 @@ let () =
             r.T.throughput_mops r.T.uaf_reads)
         [ ("nbr", "lazy-list"); ("nbr+", "dgt-tree"); ("ibr", "lazy-list") ]
     end;
+    (* Latency quantiles: one short harness trial with per-operation
+       histograms on.  Cheap enough to run even in --quick/--no-wall. *)
+    let lat_cfg =
+      T.mk ~nthreads:mt_native
+        ~duration_ns:(if quick then 50_000_000 else 200_000_000)
+        ~key_range:256 ~seed:7 ~smr:N.smr_cfg ~record_latency:true ()
+    in
+    let r = H_nat.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
+    record_latency_entries r;
     write_json ~runtime:"native" ~mode
       ~path:(Filename.concat out_dir "BENCH_native.json")
   in
@@ -345,6 +383,13 @@ let () =
     let v = S.alloc_free_ns ~iters:it_af in
     record "alloc_free" v;
     Printf.printf "  alloc_free          %8.1f ns/pair\n%!" v;
+    (* Deterministic virtual-time latency quantiles. *)
+    let lat_cfg =
+      T.mk ~nthreads:mt_sim ~duration_ns:2_000_000 ~key_range:256 ~seed:7
+        ~smr:S.smr_cfg ~record_latency:true ()
+    in
+    let r = H_sim.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
+    record_latency_entries r;
     write_json ~runtime:"sim" ~mode
       ~path:(Filename.concat out_dir "BENCH_sim.json")
   in
@@ -357,4 +402,26 @@ let () =
       bench_sim ()
   | r ->
       Printf.printf "error: unknown --runtime %s\n" r;
-      exit 2)
+      exit 2);
+
+  (* --trace-out FILE: one traced deterministic sim trial, exported as
+     Chrome trace-event JSON.  Runs after the benchmarks so tracing never
+     contaminates the numbers above. *)
+  (match value "--trace-out" "" with
+  | "" -> ()
+  | path ->
+      Nbr_obs.Trace.enable ~nthreads:4 ();
+      let cfg =
+        T.mk ~nthreads:4 ~duration_ns:500_000 ~key_range:128 ~seed:11
+          ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 64)
+          ()
+      in
+      let r = H_sim.run ~scheme:"nbr+" ~structure:"lazy-list" cfg in
+      let events = List.length (Nbr_obs.Trace.events ()) in
+      let oc = open_out path in
+      output_string oc (Nbr_obs.Trace.to_chrome_json ());
+      close_out oc;
+      Nbr_obs.Trace.disable ();
+      Printf.printf
+        "wrote %s (%d events, %d dropped; traced trial: %.3f Mops/s)\n%!"
+        path events (Nbr_obs.Trace.dropped ()) r.T.throughput_mops)

@@ -1,14 +1,14 @@
 (* Development smoke test: every scheme × structure pair on the simulator,
    plus NBR+ on the native runtime, with set-semantics validation. *)
 
-module Sim = Nbr_runtime.Sim_rt
-module Nat = Nbr_runtime.Native_rt
-module H_sim = Nbr_workload.Harness.Make (Sim)
-module H_nat = Nbr_workload.Harness.Make (Nat)
+module Sim = Nbr.Runtime.Sim
+module Nat = Nbr.Runtime.Native
+module H_sim = Nbr.Workload.Harness.Make (Sim)
+module H_nat = Nbr.Workload.Harness.Make (Nat)
 
 let check r =
-  let ok = Nbr_workload.Trial.valid r in
-  Format.printf "%a%s@." Nbr_workload.Trial.pp_row r
+  let ok = Nbr.Workload.Trial.valid r in
+  Format.printf "%a%s@." Nbr.Workload.Trial.pp_row r
     (if ok then "" else "  <-- FAILED");
   ok
 
@@ -16,8 +16,8 @@ let () =
   Sim.set_config { Sim.default_config with cores = 4 };
   let ok = ref true in
   let cfg =
-    Nbr_workload.Trial.mk ~nthreads:6 ~duration_ns:1_500_000 ~key_range:256
-      ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 64)
+    Nbr.Workload.Trial.mk ~nthreads:6 ~duration_ns:1_500_000 ~key_range:256
+      ~smr:(Nbr.Scheme.Config.with_threshold Nbr.Scheme.Config.default 64)
       ()
   in
   List.iter
@@ -29,7 +29,7 @@ let () =
         H_sim.structure_names)
     H_sim.scheme_names;
   (* Native spot-checks. *)
-  let ncfg = Nbr_workload.Trial.mk ~nthreads:4 ~duration_ns:300_000_000 () in
+  let ncfg = Nbr.Workload.Trial.mk ~nthreads:4 ~duration_ns:300_000_000 () in
   List.iter
     (fun (s, d) -> ok := check (H_nat.run ~scheme:s ~structure:d ncfg) && !ok)
     [

@@ -9,16 +9,16 @@
    when it wakes, and memory stays flat.  Runs on the simulated multicore
    so the stall costs no wall-clock time. *)
 
-module Sim = Nbr_runtime.Sim_rt
-module H = Nbr_workload.Harness.Make (Sim)
-module T = Nbr_workload.Trial
+module Sim = Nbr.Runtime.Sim
+module H = Nbr.Workload.Harness.Make (Sim)
+module T = Nbr.Workload.Trial
 
 let measure scheme =
   Sim.set_config { Sim.default_config with cores = 8; seed = 42 };
   let duration_ns = 4_000_000 in
   let cfg =
     T.mk ~nthreads:8 ~duration_ns ~key_range:4096 ~ins_pct:50 ~del_pct:50
-      ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 256)
+      ~smr:(Nbr.Scheme.Config.with_threshold Nbr.Scheme.Config.default 256)
       ~seed:42
       ~stall:{ T.stall_tid = 1; stall_ns = duration_ns }
       ()

@@ -12,10 +12,10 @@
    unlinks, and full reclamation, on a structure hazard pointers cannot
    handle at all. *)
 
-module Sim = Nbr_runtime.Sim_rt
-module Pool = Nbr_pool.Pool.Make (Sim)
-module Smr = Nbr_core.Nbr_plus.Make (Sim)
-module HL = Nbr_ds.Harris_list.Make (Sim) (Smr)
+module Sim = Nbr.Runtime.Sim
+module Pool = Nbr.Pool.Make (Sim)
+module Smr = Nbr.Scheme.Nbr_plus.Make (Sim)
+module HL = Nbr.Ds.Harris_list.Make (Sim) (Smr)
 
 let nthreads = 8
 
@@ -27,7 +27,7 @@ let () =
   in
   let smr =
     Smr.create pool ~nthreads
-      (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 128)
+      (Nbr.Scheme.Config.with_threshold Nbr.Scheme.Config.default 128)
   in
   let l = HL.create pool in
   let ctxs = Array.init nthreads (fun tid -> Smr.register smr ~tid) in
@@ -37,11 +37,11 @@ let () =
   let ins = Array.make nthreads 0 and del = Array.make nthreads 0 in
   Sim.run ~nthreads (fun tid ->
       let ctx = ctxs.(tid) in
-      let rng = Nbr_sync.Rng.for_thread ~seed:31 ~tid in
+      let rng = Nbr.Rng.for_thread ~seed:31 ~tid in
       for _ = 1 to 3_000 do
-        let k = Nbr_sync.Rng.below rng 256 in
+        let k = Nbr.Rng.below rng 256 in
         (* Delete-heavy: marked nodes everywhere, constant helping. *)
-        if Nbr_sync.Rng.below rng 3 = 0 then begin
+        if Nbr.Rng.below rng 3 = 0 then begin
           if HL.insert l ctx k then ins.(tid) <- ins.(tid) + 1
         end
         else if HL.delete l ctx k then del.(tid) <- del.(tid) + 1
@@ -56,7 +56,7 @@ let () =
     \  peak unreclaimed %d records; use-after-free reads: %d\n"
     nthreads (total ins) (total del) (HL.size l)
     (HL.size l = 256 + total ins - total del)
-    st.retires st.freed st.restarts (Sim.signals_sent ())
+    (Nbr.Scheme.Stats.retires st) (Nbr.Scheme.Stats.freed st) (Nbr.Scheme.Stats.restarts st) (Sim.signals_sent ())
     ps.Pool.s_peak_in_use ps.Pool.s_uaf_reads;
   assert (HL.size l = 256 + total ins - total del);
   assert (ps.Pool.s_uaf_reads = 0)

@@ -9,9 +9,9 @@
    throughput, peak memory, and the signal/restart overheads — the P1/P2
    trade-off the paper is about, measured on your own workload shape. *)
 
-module Sim = Nbr_runtime.Sim_rt
-module H = Nbr_workload.Harness.Make (Sim)
-module T = Nbr_workload.Trial
+module Sim = Nbr.Runtime.Sim
+module H = Nbr.Workload.Harness.Make (Sim)
+module T = Nbr.Workload.Trial
 
 let () =
   let structure =
@@ -37,7 +37,7 @@ let () =
         T.mk ~nthreads:32 ~duration_ns:1_500_000 ~key_range ~ins_pct:25
           ~del_pct:25
           ~smr:
-            (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+            (Nbr.Scheme.Config.with_threshold Nbr.Scheme.Config.default
                256)
           ~seed:9 ()
       in
@@ -46,7 +46,7 @@ let () =
         assert (T.valid r);
         Printf.printf "%-8s %12.2f %10d %10d %10d %10s\n" scheme
           r.T.throughput_mops r.T.peak_unreclaimed r.T.signals
-          r.T.smr_stats.restarts
+          (Nbr.Scheme.Stats.restarts r.T.smr_stats)
           (match scheme with
           | "nbr" | "nbr+" | "ibr" | "hp" | "he" -> "yes"
           | "none" -> "leaks!"

@@ -78,8 +78,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         ~free:(fun slot -> P.free c.b.pool slot)
     in
     if freed > 0 then begin
-      c.st.freed <- c.st.freed + freed;
-      c.st.reclaim_events <- c.st.reclaim_events + 1
+      Smr_stats.add_freed c.st freed;
+      Smr_stats.add_reclaim_events c.st 1;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Reclaim freed (Limbo_bag.size bag)
     end
 
   (* leaveQstate *)
@@ -150,10 +153,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let retire c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
+    Smr_stats.add_retires c.st 1;
     Limbo_bag.push c.bags.(c.local_epoch mod 3) slot;
     let g = buffered c in
-    if g > c.st.max_garbage then c.st.max_garbage <- g
+    Smr_stats.note_garbage c.st g
 
   (* EBR has no phase discipline: both phases run unguarded. *)
   let phase _c ~read ~write =
@@ -173,6 +176,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  let ctx_stats (c : ctx) = c.st
 
   let stats b =
     let acc = Smr_stats.zero () in

@@ -133,13 +133,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
           let payload, _recs = read () in
           write payload)
     in
-    c.st.restarts <- c.st.restarts + !attempts - 1;
+    Smr_stats.add_restarts c.st (!attempts - 1);
     out
 
   let read_only c f =
     let attempts = ref 0 in
     let out = Rt.checkpoint (fun () -> incr attempts; f ()) in
-    c.st.restarts <- c.st.restarts + !attempts - 1;
+    Smr_stats.add_restarts c.st (!attempts - 1);
     out
 
   let mem_sorted a n x =
@@ -178,8 +178,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
           ~keep:(fun s -> mem_sorted c.scratch !k s)
           ~free:(fun s -> P.free c.b.pool s)
       in
-      c.st.freed <- c.st.freed + freed;
-      c.st.reclaim_events <- c.st.reclaim_events + 1
+      Smr_stats.add_freed c.st freed;
+      Smr_stats.add_reclaim_events c.st 1;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Reclaim freed
+          (Limbo_bag.size c.bag)
     end
 
   let on_pressure = flush
@@ -187,11 +191,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let retire c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
+    Smr_stats.add_retires c.st 1;
     Limbo_bag.push c.bag slot;
     if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then flush c;
     let g = Limbo_bag.size c.bag in
-    if g > c.st.max_garbage then c.st.max_garbage <- g
+    Smr_stats.note_garbage c.st g
+
+  let ctx_stats (c : ctx) = c.st
 
   let stats b =
     let acc = Smr_stats.zero () in

@@ -118,8 +118,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag) ~keep:pinned
           ~free:(fun s -> P.free c.b.pool s)
       in
-      c.st.freed <- c.st.freed + freed;
-      c.st.reclaim_events <- c.st.reclaim_events + 1
+      Smr_stats.add_freed c.st freed;
+      Smr_stats.add_reclaim_events c.st 1;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Reclaim freed
+          (Limbo_bag.size c.bag)
     end
 
   let on_pressure = flush
@@ -134,12 +138,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let retire c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
+    Smr_stats.add_retires c.st 1;
     Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
     Limbo_bag.push c.bag slot;
     if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then flush c;
     let g = Limbo_bag.size c.bag in
-    if g > c.st.max_garbage then c.st.max_garbage <- g
+    Smr_stats.note_garbage c.st g
 
   let phase _c ~read ~write =
     let payload, _recs = read () in
@@ -184,6 +188,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       else v
     in
     loop ()
+
+  let ctx_stats (c : ctx) = c.st
 
   let stats b =
     let acc = Smr_stats.zero () in

@@ -40,9 +40,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let retire c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
+    Smr_stats.add_retires c.st 1;
     (* Every retire is garbage forever. *)
-    c.st.max_garbage <- c.st.retires
+    Smr_stats.note_garbage c.st (Smr_stats.retires c.st)
 
   let phase _c ~read ~write =
     let payload, _recs = read () in
@@ -61,6 +61,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  let ctx_stats (c : ctx) = c.st
 
   let stats b =
     let acc = Smr_stats.zero () in

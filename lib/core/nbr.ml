@@ -33,6 +33,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let read_ptr = B.read_ptr
   let read_raw = B.read_raw
   let stats = B.stats
+  let ctx_stats = B.ctx_stats
   let on_pressure = B.flush
 
   (* Algorithm 1, lines 14–20. *)
@@ -42,8 +43,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if Limbo_bag.size c.bag >= c.b.cfg.bag_threshold then begin
       B.signal_all c;
       B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
-      c.st.reclaim_events <- c.st.reclaim_events + 1
+      Smr_stats.add_reclaim_events c.st 1
     end;
-    Limbo_bag.push c.bag slot;
-    B.note_buffered c (Limbo_bag.size c.bag)
+    B.bag_push c slot
 end

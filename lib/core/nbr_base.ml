@@ -98,6 +98,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     (* CAS(&restartable,1,0): fence broadcasting the reservations before
        the thread becomes non-restartable (paper line 12 discussion). *)
     Rt.set_restartable_t c.tid false;
+    if !Nbr_obs.Trace.on then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+        Nbr_obs.Trace.Reservation_publish r 0;
     (* Polling runtimes: a signal that arrived before the publication
        completed may have been missed by the sender's scan; restart (no
        shared write has happened yet, so this is always legal).  The
@@ -107,17 +110,29 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       && Rt.consume_pending_t c.tid
     then raise Rt.Neutralized
 
+  (* A replay entering the checkpoint body again: between the Neutralized
+     event of the aborted attempt and the Reservation_publish of the next
+     successful one, which is what puts the four timeline events of a
+     neutralized reader in causal order. *)
+  let note_attempt c attempts =
+    if attempts > 1 then begin
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Restart
+          (attempts - 1) 0
+    end
+
   let phase c ~read ~write =
     let attempts = ref 0 in
     let out =
       Rt.checkpoint (fun () ->
           incr attempts;
+          note_attempt c !attempts;
           begin_read c;
           let payload, recs = read () in
           end_read c recs;
           write payload)
     in
-    c.st.restarts <- c.st.restarts + !attempts - 1;
+    Smr_stats.add_restarts c.st (!attempts - 1);
     out
 
   let read_only c f =
@@ -125,12 +140,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let out =
       Rt.checkpoint (fun () ->
           incr attempts;
+          note_attempt c !attempts;
           begin_read c;
           let r = f () in
           end_read c [||];
           r)
     in
-    c.st.restarts <- c.st.restarts + !attempts - 1;
+    Smr_stats.add_restarts c.st (!attempts - 1);
     out
 
   (* ------------------------------------------------------------------ *)
@@ -201,12 +217,20 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      [upto]. *)
   let reclaim_freeable c ~upto =
     let k = collect_reservations c in
+    let before = Limbo_bag.size c.bag in
     let freed =
       Limbo_bag.sweep c.bag ~upto
         ~keep:(fun slot -> mem_sorted c.scratch k slot)
         ~free:(fun slot -> P.free c.b.pool slot)
     in
-    c.st.freed <- c.st.freed + freed
+    Smr_stats.add_freed c.st freed;
+    if !Nbr_obs.Trace.on then begin
+      let ns = Rt.now_ns () in
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns Nbr_obs.Trace.Bag_sweep before
+        (before - freed);
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns Nbr_obs.Trace.Reclaim freed
+        (Limbo_bag.size c.bag)
+    end
 
   (* ------------------------------------------------------------------ *)
 
@@ -222,17 +246,28 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if Limbo_bag.size c.bag > 0 then begin
       signal_all c;
       reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
-      c.st.reclaim_events <- c.st.reclaim_events + 1
+      Smr_stats.add_reclaim_events c.st 1
     end
 
   let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
 
   let note_retired c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1
+    Smr_stats.add_retires c.st 1
 
   (* Record the bounded-garbage high-water mark after a bag push. *)
-  let note_buffered c n = if n > c.st.max_garbage then c.st.max_garbage <- n
+  let note_buffered c n = Smr_stats.note_garbage c.st n
+
+  (* Buffer an unlinked record: the tail of both schemes' [retire]. *)
+  let bag_push c slot =
+    Limbo_bag.push c.bag slot;
+    let n = Limbo_bag.size c.bag in
+    if !Nbr_obs.Trace.on then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Bag_push
+        slot n;
+    note_buffered c n
+
+  let ctx_stats (c : ctx) = c.st
 
   let stats b =
     let acc = Smr_stats.zero () in

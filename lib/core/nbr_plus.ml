@@ -43,6 +43,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let read_ptr = B.read_ptr
   let read_raw = B.read_raw
   let stats = B.stats
+  let ctx_stats = B.ctx_stats
 
   let cleanup (c : ctx) =
     c.first_lo <- true;
@@ -58,7 +59,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       B.signal_all c;
       ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
       B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
-      c.st.reclaim_events <- c.st.reclaim_events + 1;
+      Smr_stats.add_reclaim_events c.st 1;
       cleanup c
     end
 
@@ -77,7 +78,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       B.signal_all c;
       ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
       B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
-      c.st.reclaim_events <- c.st.reclaim_events + 1;
+      Smr_stats.add_reclaim_events c.st 1;
       cleanup c
     end
     else if size >= cfg.lo_watermark then begin
@@ -108,12 +109,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
           done;
           if !rgp then begin
             B.reclaim_freeable c ~upto:c.bookmark;
-            c.st.lo_reclaims <- c.st.lo_reclaims + 1;
+            Smr_stats.add_lo_reclaims c.st 1;
             cleanup c
           end
         end
       end
     end;
-    Limbo_bag.push c.bag slot;
-    B.note_buffered c (Limbo_bag.size c.bag)
+    B.bag_push c slot
 end

@@ -82,8 +82,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     List.iter
       (fun p ->
         Nbr_sync.Int_vec.iter (fun slot -> P.free c.b.pool slot) p.recs;
-        c.st.freed <- c.st.freed + Nbr_sync.Int_vec.length p.recs;
-        c.st.reclaim_events <- c.st.reclaim_events + 1)
+        Smr_stats.add_freed c.st (Nbr_sync.Int_vec.length p.recs);
+        Smr_stats.add_reclaim_events c.st 1;
+        if !Nbr_obs.Trace.on then
+          Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+            Nbr_obs.Trace.Reclaim
+            (Nbr_sync.Int_vec.length p.recs)
+            0)
       ready;
     c.parked <- waiting
 
@@ -109,7 +114,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let retire c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
+    Smr_stats.add_retires c.st 1;
     Nbr_sync.Int_vec.push c.current slot;
     if Nbr_sync.Int_vec.length c.current >= c.b.cfg.Smr_config.bag_threshold
     then begin
@@ -119,7 +124,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       try_collect c
     end;
     let g = buffered c in
-    if g > c.st.max_garbage then c.st.max_garbage <- g
+    Smr_stats.note_garbage c.st g
 
   let phase _c ~read ~write =
     let payload, _recs = read () in
@@ -138,6 +143,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  let ctx_stats (c : ctx) = c.st
 
   let stats b =
     let acc = Smr_stats.zero () in

@@ -26,7 +26,7 @@ type t = {
   unsafe_end_read : bool;
       (** Ablation A2 (never enable in real use): skip the pending-signal
           check that closes the reservation-publication race in polling
-          runtimes (see {!Runtime_intf.consume_pending}).  With this on, a
+          runtimes (see {!Runtime_intf.consume_pending_t}).  With this on, a
           signal that lands between a reader's last poll and its
           reservation publish can be missed by both sides, re-opening the
           use-after-free window the writers' handshake exists to close. *)

@@ -114,4 +114,12 @@ module type S = sig
   (** {1 Introspection} *)
 
   val stats : t -> Smr_stats.t
+  (** Aggregate statistics across every registered context (plus finished
+      ones).  Allocates; never call on a hot path. *)
+
+  val ctx_stats : ctx -> Smr_stats.t
+  (** The calling thread's own live statistics record (not a copy): the
+      workload harness reads per-operation deltas from it — e.g. the
+      restart count of the operation just completed — without the
+      allocation or cross-thread traffic of {!stats}. *)
 end

@@ -31,6 +31,19 @@ let zero () =
     max_garbage = 0;
   }
 
+let retires s = s.retires
+let freed s = s.freed
+let reclaim_events s = s.reclaim_events
+let lo_reclaims s = s.lo_reclaims
+let restarts s = s.restarts
+let max_garbage s = s.max_garbage
+let add_retires s n = s.retires <- s.retires + n
+let add_freed s n = s.freed <- s.freed + n
+let add_reclaim_events s n = s.reclaim_events <- s.reclaim_events + n
+let add_lo_reclaims s n = s.lo_reclaims <- s.lo_reclaims + n
+let add_restarts s n = s.restarts <- s.restarts + n
+let note_garbage s n = if n > s.max_garbage then s.max_garbage <- n
+
 let add into from =
   into.retires <- into.retires + from.retires;
   into.freed <- into.freed + from.freed;

@@ -1,0 +1,54 @@
+(** Per-scheme reclamation statistics.
+
+    Aggregated across thread contexts by each scheme's [stats];
+    instrumentation only, never read on algorithm hot paths.  The record
+    is abstract: schemes bump counters through the [add_*]/[note_garbage]
+    mutators below and everyone else reads through the accessors, so the
+    set of writers is greppable and the representation can change without
+    touching readers. *)
+
+type t
+
+val zero : unit -> t
+(** A fresh all-zero statistics record. *)
+
+val add : t -> t -> unit
+(** [add into from] folds [from] into [into]: counters sum,
+    [max_garbage] takes the max (the bounded-garbage invariant is
+    per-thread; the worst thread is what a stalled peer inflates). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Read accessors} *)
+
+val retires : t -> int
+(** Records handed to [retire]. *)
+
+val freed : t -> int
+(** Records returned to the pool. *)
+
+val reclaim_events : t -> int
+(** Full reclamation events (NBR HiWatermark sweeps, HP/IBR scans, DEBRA
+    bag rotations, ...). *)
+
+val lo_reclaims : t -> int
+(** NBR+ opportunistic LoWatermark sweeps. *)
+
+val restarts : t -> int
+(** Read phases restarted by neutralization or protection failure. *)
+
+val max_garbage : t -> int
+(** High-water mark of records handed to [retire] but not yet returned
+    to the pool by this thread — the per-thread bounded-garbage metric of
+    the chaos suite (E2's P2 check). *)
+
+(** {1 Mutators (scheme implementations only)} *)
+
+val add_retires : t -> int -> unit
+val add_freed : t -> int -> unit
+val add_reclaim_events : t -> int -> unit
+val add_lo_reclaims : t -> int -> unit
+val add_restarts : t -> int -> unit
+
+val note_garbage : t -> int -> unit
+(** [note_garbage t n] raises [max_garbage t] to [n] if [n] is larger. *)

@@ -42,8 +42,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let retire c slot =
     P.note_retired c.b.pool slot;
-    c.st.retires <- c.st.retires + 1;
-    c.st.freed <- c.st.freed + 1;
+    Smr_stats.add_retires c.st 1;
+    Smr_stats.add_freed c.st 1;
     P.free c.b.pool slot
 
   let phase _c ~read ~write =
@@ -63,6 +63,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  let ctx_stats (c : ctx) = c.st
 
   let stats b =
     let acc = Smr_stats.zero () in

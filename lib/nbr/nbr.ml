@@ -1,0 +1,80 @@
+(** The public face of the NBR reproduction.
+
+    One curated namespace over the internal libraries, organized the way
+    a user builds things up (see examples/quickstart.ml):
+
+    + pick a runtime: {!Runtime.Native} (OCaml domains) or
+      {!Runtime.Sim} (deterministic simulated multicore);
+    + create a {!Pool} of records over it;
+    + create a reclamation {!Scheme} over the pool ({!Scheme.Nbr_plus}
+      is the paper's contribution; nine baselines ride along);
+    + instantiate a data structure from {!Ds} — or drive whole
+      scheme × structure × runtime sweeps through {!Workload};
+    + optionally watch it run through {!Obs} (event traces, latency
+      histograms) and stress it through {!Fault}.
+
+    Application code should depend on this module alone; the underlying
+    [nbr.*] libraries remain reachable for tests and internal tools but
+    make no stability promise. *)
+
+(** Execution substrates: {!Runtime.S} is the signature every algorithm
+    is written against; all functors below take one of its two
+    implementations. *)
+module Runtime = struct
+  module type S = Nbr_runtime.Runtime_intf.S
+
+  (** The signature module itself, for [signal_fate] and other auxiliary
+      types referenced in {!S}. *)
+  module Intf = Nbr_runtime.Runtime_intf
+
+  module Sim = Nbr_runtime.Sim_rt
+  module Native = Nbr_runtime.Native_rt
+end
+
+(** Simulated manual memory: records as integer slots with explicit
+    alloc/free, observable use-after-free, and graceful exhaustion. *)
+module Pool = Nbr_pool.Pool
+
+(** Safe-memory-reclamation schemes, each a functor over {!Runtime.S}
+    producing an implementation of {!Scheme.S}. *)
+module Scheme = struct
+  module type S = Nbr_core.Smr_intf.S
+
+  module Config = Nbr_core.Smr_config
+  module Stats = Nbr_core.Smr_stats
+
+  module Nbr = Nbr_core.Nbr  (** the paper's Algorithm 1 *)
+
+  module Nbr_plus = Nbr_core.Nbr_plus  (** Algorithm 2 (use this one) *)
+
+  module Debra = Nbr_core.Debra
+  module Qsbr = Nbr_core.Qsbr
+  module Rcu = Nbr_core.Rcu
+  module Ibr = Nbr_core.Ibr
+  module Hp = Nbr_core.Hp
+  module Hazard_eras = Nbr_core.Hazard_eras
+  module Leaky = Nbr_core.Leaky
+  module Unsafe_free = Nbr_core.Unsafe_free
+end
+
+(** Concurrent set data structures, functors over a runtime and a
+    scheme: {!Ds.Lazy_list}, {!Ds.Dgt_bst}, {!Ds.Harris_list},
+    {!Ds.Ab_tree}, {!Ds.Hash_set}, {!Ds.Skip_list}. *)
+module Ds = Nbr_ds
+
+(** The benchmark/validation harness: {!Workload.Trial} configs and
+    results, {!Workload.Harness} (scheme × structure registry),
+    {!Workload.Experiments} (the paper's figures), {!Workload.Table}. *)
+module Workload = Nbr_workload
+
+(** Observability: {!Obs.Trace} (flag-gated event rings, Chrome
+    trace-event export) and {!Obs.Histogram} (log-bucket latency
+    quantiles).  See DESIGN.md §10. *)
+module Obs = Nbr_obs
+
+(** Deterministic fault plans: stalls, crashes, pool hogs, dropped or
+    delayed neutralization signals. *)
+module Fault = Nbr_fault.Fault_plan
+
+(** SplitMix64 PRNG, the repo-wide randomness source. *)
+module Rng = Nbr_sync.Rng

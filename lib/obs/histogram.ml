@@ -1,0 +1,102 @@
+(* See histogram.mli for the contract.  Bucket [i] holds values whose
+   two's-complement bit length is [i]: bucket 0 is {0}, bucket i covers
+   [2^(i-1), 2^i).  63 buckets span every non-negative OCaml int, so
+   [record] never range-checks; quantiles are read back as the geometric
+   midpoint of the crossing bucket, giving the usual <= 2x relative error
+   of log2 histograms — plenty for p50/p99 latency triage, and constant
+   memory no matter how many samples land. *)
+
+type t = {
+  counts : int array;  (** [counts.(bits v)] *)
+  mutable n : int;
+  mutable sum : int;
+  mutable vmax : int;
+  mutable vmin : int;
+}
+
+let buckets = 63
+
+let create () =
+  { counts = Array.make buckets 0; n = 0; sum = 0; vmax = 0; vmin = max_int }
+
+let bucket_of v =
+  (* bit length of v: 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ... *)
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v > t.vmax then t.vmax <- v;
+  if v < t.vmin then t.vmin <- v
+
+let count t = t.n
+
+let merge_into ~into t =
+  for i = 0 to buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + t.counts.(i)
+  done;
+  into.n <- into.n + t.n;
+  into.sum <- into.sum + t.sum;
+  if t.vmax > into.vmax then into.vmax <- t.vmax;
+  if t.vmin < into.vmin then into.vmin <- t.vmin
+
+(* Midpoint (geometric mean) of bucket [b]'s value range, clamped to the
+   observed extrema so tiny histograms don't report values never seen. *)
+let bucket_mid t b =
+  let v =
+    if b = 0 then 0.0
+    else begin
+      let lo = float_of_int (1 lsl (b - 1)) in
+      lo *. sqrt 2.0
+    end
+  in
+  let v = Float.min v (float_of_int t.vmax) in
+  if t.vmin < max_int then Float.max v (float_of_int t.vmin) else v
+
+let quantile t q =
+  if t.n = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+    let acc = ref 0 and b = ref 0 and out = ref (float_of_int t.vmax) in
+    let found = ref false in
+    while (not !found) && !b < buckets do
+      acc := !acc + t.counts.(!b);
+      if !acc >= rank then begin
+        out := bucket_mid t !b;
+        found := true
+      end;
+      incr b
+    done;
+    !out
+  end
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_p999 : float;
+  s_max : int;
+}
+
+let summary t =
+  {
+    s_count = t.n;
+    s_mean = (if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n);
+    s_p50 = quantile t 0.50;
+    s_p90 = quantile t 0.90;
+    s_p99 = quantile t 0.99;
+    s_p999 = quantile t 0.999;
+    s_max = t.vmax;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%d" s.s_count
+    s.s_mean s.s_p50 s.s_p90 s.s_p99 s.s_p999 s.s_max

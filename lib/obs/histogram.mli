@@ -1,0 +1,40 @@
+(** Power-of-two-bucket log histogram for latency-scale integers.
+
+    Fixed memory (63 buckets covering every non-negative int), O(1)
+    [record] with no allocation — safe to call once per operation on the
+    measurement path.  Quantiles come back as the geometric midpoint of
+    the bucket the rank falls in (<= 2x relative error, the standard
+    log-histogram trade), clamped to the exact observed min/max.
+
+    Single-writer: one histogram per thread, merged after the run with
+    {!merge_into}.  Never share one instance across concurrent writers. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record t v] counts sample [v] (negative values clamp to 0). *)
+
+val count : t -> int
+(** Samples recorded so far. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold a (finished) per-thread histogram into an aggregate. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: estimated value at that rank, [0.0]
+    when empty. *)
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_p999 : float;
+  s_max : int;  (** exact, not bucketed *)
+}
+
+val summary : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,9 @@
+(** Observability substrate: flag-gated event tracing ({!Trace}) and
+    log-bucket latency histograms ({!Histogram}).
+
+    Depends only on [nbr.sync]; the runtimes, schemes, pool and workload
+    all emit into it, and {!Nbr.Obs} re-exports it as the user-facing
+    configuration surface.  See DESIGN.md §10. *)
+
+module Trace = Trace
+module Histogram = Histogram

@@ -1,0 +1,197 @@
+(* See trace.mli.  Hot-path shape: each worker owns one ring (struct of
+   plain int arrays, the whole record padded so two writers never share a
+   cache line), writes are [idx <- next mod cap] stores plus one mutable
+   increment — no allocation, no atomics, drop-oldest by construction.
+   The [on] flag is a plain ref: emission sites guard with [if !Trace.on]
+   so a disabled trace costs exactly one load and a not-taken branch,
+   mirroring the [faults_active] idiom of the native runtime. *)
+
+type kind =
+  | Signal_sent
+  | Signal_delivered
+  | Signal_consumed
+  | Neutralized
+  | Restart
+  | Reservation_publish
+  | Reclaim
+  | Bag_push
+  | Bag_sweep
+  | Pool_starvation
+  | Pool_overflow
+  | Fault_action
+
+let kind_code = function
+  | Signal_sent -> 0
+  | Signal_delivered -> 1
+  | Signal_consumed -> 2
+  | Neutralized -> 3
+  | Restart -> 4
+  | Reservation_publish -> 5
+  | Reclaim -> 6
+  | Bag_push -> 7
+  | Bag_sweep -> 8
+  | Pool_starvation -> 9
+  | Pool_overflow -> 10
+  | Fault_action -> 11
+
+let kind_of_code = function
+  | 0 -> Signal_sent
+  | 1 -> Signal_delivered
+  | 2 -> Signal_consumed
+  | 3 -> Neutralized
+  | 4 -> Restart
+  | 5 -> Reservation_publish
+  | 6 -> Reclaim
+  | 7 -> Bag_push
+  | 8 -> Bag_sweep
+  | 9 -> Pool_starvation
+  | 10 -> Pool_overflow
+  | _ -> Fault_action
+
+let kind_name = function
+  | Signal_sent -> "signal_sent"
+  | Signal_delivered -> "signal_delivered"
+  | Signal_consumed -> "signal_consumed"
+  | Neutralized -> "neutralized"
+  | Restart -> "restart"
+  | Reservation_publish -> "reservation_publish"
+  | Reclaim -> "reclaim"
+  | Bag_push -> "bag_push"
+  | Bag_sweep -> "bag_sweep"
+  | Pool_starvation -> "pool_starvation"
+  | Pool_overflow -> "pool_overflow"
+  | Fault_action -> "fault_action"
+
+type event = { e_ns : int; e_tid : int; e_seq : int; e_kind : kind; e_a : int; e_b : int }
+
+(* One per thread; single writer.  [next] counts every event ever emitted
+   to this ring, so [next - cap] (when positive) is the dropped count and
+   [next mod cap] the write cursor. *)
+type ring = {
+  r_kind : int array;
+  r_ns : int array;
+  r_a : int array;
+  r_b : int array;
+  mutable next : int;
+}
+
+let mk_ring cap =
+  Nbr_sync.Padded.copy_as_padded
+    {
+      r_kind = Array.make cap 0;
+      r_ns = Array.make cap 0;
+      r_a = Array.make cap 0;
+      r_b = Array.make cap 0;
+      next = 0;
+    }
+
+let on = ref false
+let rings : ring array ref = ref [||]
+let cap = ref 0
+
+let default_capacity = 8192
+
+let enable ?(capacity = default_capacity) ~nthreads () =
+  if nthreads < 1 then invalid_arg "Trace.enable: nthreads";
+  if capacity < 1 then invalid_arg "Trace.enable: capacity";
+  cap := capacity;
+  rings := Array.init nthreads (fun _ -> mk_ring capacity);
+  on := true
+
+let disable () = on := false
+
+let clear () =
+  on := false;
+  rings := [||];
+  cap := 0
+
+let enabled () = !on
+
+let emit ~tid ~ns k a b =
+  let rs = !rings in
+  if tid >= 0 && tid < Array.length rs then begin
+    let r = Array.unsafe_get rs tid in
+    let c = !cap in
+    let i = r.next mod c in
+    Array.unsafe_set r.r_kind i (kind_code k);
+    Array.unsafe_set r.r_ns i ns;
+    Array.unsafe_set r.r_a i a;
+    Array.unsafe_set r.r_b i b;
+    r.next <- r.next + 1
+  end
+
+let dropped () =
+  Array.fold_left
+    (fun acc r -> acc + max 0 (r.next - !cap))
+    0 !rings
+
+(* ------------------------------------------------------------------ *)
+(* Merge: per-ring order is program order (single writer); across rings
+   we sort by timestamp, breaking ties by (tid, per-ring sequence) so the
+   merged timeline is deterministic and never reorders one thread's
+   events against themselves. *)
+
+let events () =
+  let out = ref [] in
+  Array.iteri
+    (fun tid r ->
+      let c = !cap in
+      let n = min r.next c in
+      let oldest = r.next - n in
+      for i = 0 to n - 1 do
+        let seq = oldest + i in
+        let idx = seq mod c in
+        out :=
+          {
+            e_ns = r.r_ns.(idx);
+            e_tid = tid;
+            e_seq = seq;
+            e_kind = kind_of_code r.r_kind.(idx);
+            e_a = r.r_a.(idx);
+            e_b = r.r_b.(idx);
+          }
+          :: !out
+      done)
+    !rings;
+  let a = Array.of_list !out in
+  Array.sort
+    (fun x y ->
+      if x.e_ns <> y.e_ns then compare x.e_ns y.e_ns
+      else if x.e_tid <> y.e_tid then compare x.e_tid y.e_tid
+      else compare x.e_seq y.e_seq)
+    a;
+  Array.to_list a
+
+(* ------------------------------------------------------------------ *)
+(* Exports. *)
+
+let to_text () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "%12d t%-3d %-20s a=%d b=%d\n" e.e_ns e.e_tid
+           (kind_name e.e_kind) e.e_a e.e_b))
+    (events ());
+  Buffer.contents b
+
+(* Chrome trace-event format (the JSON Object Format variant), loadable
+   in Perfetto / chrome://tracing.  Every event is an instant event
+   ([ph:"i"], thread scope); [ts] is microseconds as a float, which keeps
+   ns resolution for any plausible trial length. *)
+let to_chrome_json () =
+  let b = Buffer.create 16384 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"a\":%d,\"b\":%d}}"
+           (kind_name e.e_kind)
+           (float_of_int e.e_ns /. 1000.0)
+           e.e_tid e.e_a e.e_b))
+    (events ());
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b

@@ -1,0 +1,87 @@
+(** Flag-gated event tracing: per-thread rings, merged timelines, Chrome
+    trace-event export.
+
+    The repository's layers (runtimes, schemes, pool, workload) emit
+    typed events here from their interesting transitions — signal
+    traffic, neutralizations, read-phase restarts, reservation
+    publications, reclamation sweeps, pool pressure, injected faults.
+    Each worker thread writes to its own fixed-capacity ring
+    (drop-oldest, no allocation, no atomics, cache-line padded), so
+    tracing a run perturbs it as little as possible; a disabled trace
+    costs emission sites exactly one plain load of {!on} and a not-taken
+    branch.
+
+    Protocol: call {!enable} before the run (it sizes one ring per
+    thread), run, then read {!events} / {!to_chrome_json} /
+    {!to_text}.  Timestamps are the runtime's [now_ns] — virtual in the
+    simulator (deterministic timelines), CLOCK_MONOTONIC natively — and
+    are passed in by the emitter, which keeps this library independent
+    of the runtimes it observes. *)
+
+type kind =
+  | Signal_sent  (** a = target tid *)
+  | Signal_delivered  (** a = pending count observed *)
+  | Signal_consumed  (** a = signals consumed without restart *)
+  | Neutralized  (** restartable victim aborts to its checkpoint *)
+  | Restart  (** a read phase re-enters after an abort; a = attempt # *)
+  | Reservation_publish  (** a = records published *)
+  | Reclaim  (** a = records freed, b = records still pinned *)
+  | Bag_push  (** a = slot, b = bag size after push *)
+  | Bag_sweep  (** a = entries examined *)
+  | Pool_starvation
+      (** allocator entered the pressure retry loop; a = slots in use,
+          b = retired-but-unreclaimed slots *)
+  | Pool_overflow  (** a = slot rerouted to the shared overflow stack *)
+  | Fault_action  (** a = 0 stall / 1 crash / 2 hog (fault-plan actions) *)
+
+val kind_name : kind -> string
+
+type event = {
+  e_ns : int;  (** runtime timestamp, ns *)
+  e_tid : int;
+  e_seq : int;  (** per-thread emission index (absolute, monotone) *)
+  e_kind : kind;
+  e_a : int;
+  e_b : int;
+}
+
+val on : bool ref
+(** The gate.  Emission sites must check [!on] {e before} computing
+    timestamps or arguments:
+    [if !Trace.on then Trace.emit ~tid ~ns:(now_ns ()) Reclaim freed 0].
+    Treat as read-only outside this module — {!enable} / {!disable} flip
+    it. *)
+
+val enable : ?capacity:int -> nthreads:int -> unit -> unit
+(** Allocate one ring of [capacity] events (default 8192) per thread and
+    start recording.  Replaces any previous rings. *)
+
+val disable : unit -> unit
+(** Stop recording; the rings stay readable. *)
+
+val clear : unit -> unit
+(** Stop recording and drop the rings. *)
+
+val enabled : unit -> bool
+
+val emit : tid:int -> ns:int -> kind -> int -> int -> unit
+(** Record one event in [tid]'s ring (drop-oldest past capacity; no-op
+    for out-of-range tids).  Single-writer: only thread [tid] may call
+    this with its own id. *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wrap-around, across all threads. *)
+
+val events : unit -> event list
+(** The merged timeline: all surviving events sorted by timestamp, ties
+    broken by (tid, per-thread order) — deterministic, and never
+    reorders one thread's events against each other. *)
+
+val to_text : unit -> string
+(** Compact fixed-width text timeline (one event per line), for tests
+    and terminal inspection. *)
+
+val to_chrome_json : unit -> string
+(** The merged timeline as Chrome trace-event JSON (instant events,
+    [ts] in microseconds) — load the file in Perfetto or
+    chrome://tracing. *)

@@ -188,6 +188,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
              nothing do we conclude the pool is genuinely exhausted. *)
           Atomic.incr t.starving;
           Atomic.incr t.pressure_events;
+          if !Nbr_obs.Trace.on then
+            Nbr_obs.Trace.emit ~tid ~ns:(Rt.now_ns ())
+              Nbr_obs.Trace.Pool_starvation (Atomic.get t.in_use)
+              (Atomic.get t.garbage);
           Fun.protect ~finally:(fun () -> Atomic.decr t.starving) @@ fun () ->
           let rec retry attempt =
             Atomic.incr t.alloc_retries;
@@ -248,6 +252,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if Atomic.get t.starving > 0 then begin
       (* Cross-thread hand-off is an allocator slow path. *)
       Rt.work t.c_free_slow;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Pool_overflow slot 0;
       Nbr_sync.Treiber.push t.overflow slot
     end
     else begin

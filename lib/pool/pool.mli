@@ -1,0 +1,141 @@
+(** Simulated manual memory: a pool of fixed-shape records.
+
+    OCaml is garbage-collected, so "freeing" a record cannot unmap it.
+    The pool provides explicitly allocated and freed memory where a slot
+    freed too early gets recycled under a reader's feet — real
+    use-after-free dynamics, minus the segfault.  Records are integer
+    slots into pre-allocated field arrays; following a stale index is
+    always memory-safe, exactly like reading jemalloc-recycled memory
+    that was never unmapped (the situation the paper's own safety
+    argument leans on).
+
+    Exhaustion is graceful: [alloc] invokes the caller-supplied
+    reclamation flush, announces itself as starving (rerouting concurrent
+    frees to a shared overflow stack), and retries with exponential
+    backoff before giving up with {!Exhausted}.  See DESIGN.md
+    "Fault model". *)
+
+type exhausted_info = {
+  x_capacity : int;
+  x_in_use : int;  (** Live + Retired slots at the moment of failure *)
+  x_garbage : int;  (** Retired-but-unreclaimed slots *)
+  x_allocs : int;
+  x_frees : int;
+  x_attempts : int;  (** pressure-loop retries performed before giving up *)
+}
+
+exception Exhausted of exhausted_info
+(** Raised by [alloc] only after the pressure retry loop fails — shared
+    by every {!Make} instance so CLI entry points can catch it
+    uniformly. *)
+
+val pp_exhausted : Format.formatter -> exhausted_info -> unit
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
+  type aint = Rt.aint
+
+  exception Exhausted of exhausted_info
+  (** Alias of the top-level {!exception-Exhausted}. *)
+
+  type t
+  (** A pool instance.  All mutation goes through the functions below;
+      the representation (field arrays, free lists, instrumentation
+      counters) is private to the implementation. *)
+
+  val nil : int
+  (** The null "pointer" (-1). *)
+
+  val create :
+    ?c_alloc:int ->
+    ?slab_threshold:int ->
+    ?c_free_slow:int ->
+    capacity:int ->
+    data_fields:int ->
+    ptr_fields:int ->
+    nthreads:int ->
+    unit ->
+    t
+  (** [c_alloc] is the simulated cycle cost of the malloc/free fast
+      path; frees past [slab_threshold] entries on a thread's free list
+      (burst reclamation overflowing its arena) and cross-thread
+      hand-offs pay [c_free_slow] extra. *)
+
+  val capacity : t -> int
+
+  (** {1 Lifecycle} *)
+
+  val alloc : ?on_pressure:(unit -> unit) -> t -> int
+  (** Allocate a slot: the caller's own free list, then fresh slots, and
+      under exhaustion the pressure loop — announce starvation, call
+      [on_pressure] (the SMR scheme's flush), retry with backoff, and
+      raise {!Exhausted} only when repeated flushes yield nothing. *)
+
+  val note_retired : t -> int -> unit
+  (** Mark a slot retired (unlinked, awaiting reclamation).  Called by
+      the SMR layer from [retire]; affects instrumentation only. *)
+
+  val free : t -> int -> unit
+  (** Return a slot to a free list: the calling thread's own, or — while
+      any allocator is starving — the shared overflow stack, so freed
+      capacity is visible across threads.  Double frees raise
+      [Invalid_argument]. *)
+
+  (** {1 Field access}
+
+      Read-side accessors redirect out-of-range indices to slot 0 (the
+      never-unmapped-arena semantics of DESIGN.md §3); write-side
+      accessors stay strict, because writers only touch validated,
+      reserved records. *)
+
+  val data_cell : t -> int -> int -> aint
+  val ptr_cell : t -> int -> int -> aint
+  val lock_cell : t -> int -> aint
+  val get_data : t -> int -> int -> int
+  val set_data : t -> int -> int -> int -> unit
+  val get_data_sync : t -> int -> int -> int
+  val cas_data : t -> int -> int -> int -> int -> bool
+  val get_ptr : t -> int -> int -> int
+  val set_ptr : t -> int -> int -> int -> unit
+  val cas_ptr : t -> int -> int -> int -> int -> bool
+
+  (** {1 Instrumentation} *)
+
+  type state = Free | Live | Retired
+
+  val state : t -> int -> state
+
+  val seqno : t -> int -> int
+  (** Allocation stamp, bumped on each free: the ABA/UAF witness. *)
+
+  val live : t -> int -> bool
+  (** Costed lifecycle check for protection validation (hazard-style
+      schemes): whether the slot is currently Live.  Charged like the
+      cache-hit mark load it models. *)
+
+  val stamp : t -> int -> int
+  (** {!seqno} with an access charge: lets validators detect
+      free-and-recycle (ABA on the slot) between two reads. *)
+
+  val record_read : t -> int -> unit
+  (** Called by the SMR layer when a guarded dereference lands on a
+      slot; counts reads that hit freed memory.  Zero for a sound scheme
+      under the exact-delivery (sim) runtime. *)
+
+  type stats = {
+    s_allocs : int;
+    s_frees : int;
+    s_in_use : int;
+    s_peak_in_use : int;
+    s_garbage : int;
+    s_peak_garbage : int;
+    s_pressure_events : int;
+    s_alloc_retries : int;
+    s_uaf_reads : int;
+  }
+
+  val stats : t -> stats
+
+  val reset_peak : t -> unit
+  (** Reset the high-water marks to the current values (called after
+      prefill so E2 measures steady-state peaks, not setup). *)
+end

@@ -4,7 +4,7 @@
     {!Runtime_intf.S}.  POSIX signals cannot be used for neutralization in
     OCaml (long-jumping out of an asynchronous handler would corrupt the
     runtime), so signals become per-thread monotone counters that the SMR
-    layer consumes at {!poll} points — the top of every guarded dereference
+    layer consumes at {!poll_t} points — the top of every guarded dereference
     and the tail of [end_read].  When a pending signal is observed by a
     restartable thread, {!Neutralized} unwinds to the innermost
     {!checkpoint}, which replays the read phase: the [siglongjmp] of the
@@ -26,10 +26,12 @@
     back to back otherwise pack ~8 per 64-byte line).  [poll] on the
     fault-free path is a single plain flag load, one [Atomic.get] and a
     compare — the [delayed]-list drain hides behind [faults_active], set
-    only while a fault decider is installed.  The [_t] fast paths take the
-    caller's tid as an argument so the SMR layer (which already knows its
-    tid from the operation context) skips the [Domain.DLS] lookup that
-    otherwise costs more than the poll itself. *)
+    only while a fault decider is installed, and trace emission behind
+    [Nbr_obs.Trace.on], checked only on the rare signal-observed branch.
+    The delivery points take the caller's tid as an argument so the SMR
+    layer (which already knows its tid from the operation context) skips
+    the [Domain.DLS] lookup that otherwise costs more than the poll
+    itself. *)
 
 let name = "native"
 
@@ -146,6 +148,10 @@ let send_signal t =
   let ts = !tstates in
   if t >= 0 && t < Array.length ts then begin
     Atomic.incr sigs_sent;
+    if !Nbr_obs.Trace.on then
+      Nbr_obs.Trace.emit
+        ~tid:(Domain.DLS.get tid_key)
+        ~ns:(now_ns ()) Nbr_obs.Trace.Signal_sent t 0;
     let s = Array.unsafe_get ts t in
     match !fault_fn with
     | None -> Atomic.incr s.pending
@@ -176,7 +182,15 @@ let poll_t t =
     let v = Atomic.get s.pending in
     if v > s.last_seen then begin
       s.last_seen <- v;
-      if Atomic.get s.restartable then raise Neutralized
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:t ~ns:(now_ns ())
+          Nbr_obs.Trace.Signal_delivered v 0;
+      if Atomic.get s.restartable then begin
+        if !Nbr_obs.Trace.on then
+          Nbr_obs.Trace.emit ~tid:t ~ns:(now_ns ()) Nbr_obs.Trace.Neutralized
+            v 0;
+        raise Neutralized
+      end
     end
   end
 
@@ -191,6 +205,9 @@ let consume_pending_t t =
     let v = Atomic.get s.pending in
     if v > s.last_seen then begin
       s.last_seen <- v;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:t ~ns:(now_ns ())
+          Nbr_obs.Trace.Signal_consumed v 0;
       true
     end
     else false
@@ -202,21 +219,17 @@ let drain_signals_t t =
   if t < Array.length ts then begin
     let s = Array.unsafe_get ts t in
     if !faults_active then promote_delayed ~all:true s;
-    s.last_seen <- Atomic.get s.pending
+    let v = Atomic.get s.pending in
+    if v > s.last_seen && !Nbr_obs.Trace.on then
+      Nbr_obs.Trace.emit ~tid:t ~ns:(now_ns ()) Nbr_obs.Trace.Signal_consumed
+        v 1;
+    s.last_seen <- v
   end
-
-(* Argless variants: one DLS lookup, then the fast path. *)
-
-let set_restartable b = set_restartable_t (self ()) b
 
 let is_restartable () =
   let t = self () in
   let ts = !tstates in
   t < Array.length ts && Atomic.get (Array.unsafe_get ts t).restartable
-
-let poll () = poll_t (self ())
-let consume_pending () = consume_pending_t (self ())
-let drain_signals () = drain_signals_t (self ())
 
 let checkpoint f =
   let rec go () = try f () with Neutralized -> go () in

@@ -15,8 +15,8 @@
       simulate the paper's 192-thread machine on this container's single
       core.
     - {!Native_rt}: real OCaml domains.  Signals become per-thread monotone
-      counters consumed by {!poll}; neutralization is an exception unwinding
-      to the nearest {!checkpoint}.
+      counters consumed by {!S.poll_t}; neutralization is an exception
+      unwinding to the nearest {!S.checkpoint}.
 
     The unit of "shared memory" is the atomic integer cell {!aint}.  All
     shared state in the repository — record fields in the pool, reservation
@@ -28,7 +28,7 @@ type signal_fate =
   | Sig_delay of int
       (** deliver, but only after this many nanoseconds: the handler does
           not run until the delay matures.  The signal stays {e visible} to
-          {!S.consume_pending} from the moment it is sent — delivery is
+          {!S.consume_pending_t} from the moment it is sent — delivery is
           late, the kernel's bookkeeping is not — so NBR's [end_read]
           re-check (the writers' handshake closer) still observes it and
           the discipline stays safe; what the delay stresses is Assumption
@@ -98,10 +98,17 @@ module type S = sig
 
       The paper's signal machinery, distilled: a reclaimer
       {!send_signal}s a victim; the victim's "handler" runs before its next
-      shared-memory access ({!Sim_rt}) or at its next {!poll}
+      shared-memory access ({!Sim_rt}) or at its next {!poll_t}
       ({!Native_rt}); the handler restarts the victim's current read phase
       — by raising {!Neutralized}, caught by the innermost {!checkpoint} —
-      iff the victim is restartable. *)
+      iff the victim is restartable.
+
+      All delivery-point operations take the calling thread's id
+      explicitly ([poll_t] and friends below).  PR 2 introduced these as
+      fast paths next to argless wrappers; the wrappers cost a
+      {!Domain.DLS} lookup per call in the native runtime and every
+      caller already threads its tid, so the wrappers are gone and the
+      [_t] forms are the API. *)
 
   exception Neutralized
   (** The [siglongjmp] analogue.  Raised at a delivery point when the thread
@@ -116,14 +123,6 @@ module type S = sig
       allocation, no writes to shared memory before the thread becomes
       non-restartable) so that abandoning it mid-flight is harmless. *)
 
-  val set_restartable : bool -> unit
-  (** Set the calling thread's restartable flag.  Implements the fenced
-      transitions of Algorithm 1 lines 8 and 12: the flag change is a
-      sequentially-consistent read-modify-write, so reservations published
-      before [set_restartable false] are visible to any thread that
-      subsequently observes the thread as non-restartable, and no read of a
-      shared record can be reordered before [set_restartable true]. *)
-
   val is_restartable : unit -> bool
   (** The calling thread's restartable flag (handlers and assertions). *)
 
@@ -134,57 +133,54 @@ module type S = sig
       that [t] executes a handler after the send and before its next
       dereference of a shared record. *)
 
-  val poll : unit -> unit
-  (** A signal-delivery point.  In {!Native_rt} this is where pending signals
-      are consumed (raising {!Neutralized} when restartable); in {!Sim_rt}
-      every shared access is already a delivery point and [poll] is free.
-      The SMR layer calls this at the top of every guarded dereference and in
-      [end_read]. *)
+  (** {2 Delivery points (tid-threaded)}
 
-  val consume_pending : unit -> bool
-  (** Mark pending signals handled and report whether there were any,
-      without restarting.  NBR's [end_read] calls this right after the
-      fenced flag flip: in a polling runtime a signal that arrived before
-      the thread's reservations were published would otherwise be missed by
-      both sides (the reclaimer's scan preceded the publication, and the
-      thread is no longer restartable), so [end_read] restarts the phase
-      itself — legal, since no shared write has happened yet.  In the
-      delivery-exact simulator such signals are already delivered at the
-      flag-flip access, so this always returns [false] there. *)
-
-  val drain_signals : unit -> unit
-  (** Consume any pending signals without restarting, regardless of the
-      restartable flag.  Used when (re-)entering a read phase: the thread
-      holds no shared pointers yet, so signals sent earlier need no action —
-      this is the "handler runs while quiescent" case of the paper. *)
-
-  (** {2 Tid-threaded fast paths}
-
-      [poll] & friends must discover the calling thread's identity on
-      every call — a {!Domain.DLS} lookup in the native runtime, charged
-      on {e every guarded dereference}.  The SMR layer already holds the
-      thread id in its per-thread context, so these variants take it as an
-      argument and skip the lookup.  [t] {b must} be the calling thread's
-      id (the one {!self} would return): passing another thread's id reads
-      and writes that thread's single-writer state and voids the
-      discipline.  The argless versions above are wrappers over these and
-      remain correct everywhere; use the [_t] forms on hot paths. *)
+      Each function takes the calling thread's id explicitly: the SMR
+      layer already holds it in its per-thread context, and discovering
+      it afresh — a {!Domain.DLS} lookup in the native runtime — would be
+      charged on {e every guarded dereference}.  [t] {b must} be the
+      calling thread's id (the one {!self} would return): passing another
+      thread's id reads and writes that thread's single-writer state and
+      voids the discipline. *)
 
   val poll_t : int -> unit
-  (** {!poll} for the calling thread [t].  When no fault decider is
-      installed this must cost one plain flag check plus one load-compare
-      of the thread's pending counter — the paper's "no per-access
-      overhead" claim lives or dies here. *)
+  (** A signal-delivery point for the calling thread [t].  In
+      {!Native_rt} this is where pending signals are consumed (raising
+      {!Neutralized} when restartable); in {!Sim_rt} every shared access
+      is already a delivery point and [poll_t] is free.  The SMR layer
+      calls this at the top of every guarded dereference and in
+      [end_read].  When no fault decider is installed this must cost one
+      plain flag check plus one load-compare of the thread's pending
+      counter — the paper's "no per-access overhead" claim lives or dies
+      here. *)
 
   val consume_pending_t : int -> bool
-  (** {!consume_pending} for the calling thread [t]. *)
+  (** Mark the calling thread [t]'s pending signals handled and report
+      whether there were any, without restarting.  NBR's [end_read] calls
+      this right after the fenced flag flip: in a polling runtime a
+      signal that arrived before the thread's reservations were published
+      would otherwise be missed by both sides (the reclaimer's scan
+      preceded the publication, and the thread is no longer restartable),
+      so [end_read] restarts the phase itself — legal, since no shared
+      write has happened yet.  In the delivery-exact simulator such
+      signals are already delivered at the flag-flip access, so this
+      always returns [false] there. *)
 
   val set_restartable_t : int -> bool -> unit
-  (** {!set_restartable} for the calling thread [t]; same fenced-RMW
-      semantics. *)
+  (** Set the calling thread [t]'s restartable flag.  Implements the
+      fenced transitions of Algorithm 1 lines 8 and 12: the flag change
+      is a sequentially-consistent read-modify-write, so reservations
+      published before [set_restartable_t t false] are visible to any
+      thread that subsequently observes the thread as non-restartable,
+      and no read of a shared record can be reordered before
+      [set_restartable_t t true]. *)
 
   val drain_signals_t : int -> unit
-  (** {!drain_signals} for the calling thread [t]. *)
+  (** Consume any signals pending for the calling thread [t] without
+      restarting, regardless of the restartable flag.  Used when
+      (re-)entering a read phase: the thread holds no shared pointers
+      yet, so signals sent earlier need no action — this is the "handler
+      runs while quiescent" case of the paper. *)
 
   val signals_sent : unit -> int
   (** Total signals sent since the current {!run} began (for the O(n) vs

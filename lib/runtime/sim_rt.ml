@@ -181,13 +181,23 @@ let promote_matured f =
         f.pending <- f.pending + List.length matured
       end
 
+(* Virtual-clock timestamp of a fiber, in ns (what [now_ns] returns for
+   the current fiber). *)
+let fiber_ns f = int_of_float (float_of_int f.clock /. !cfg.ghz)
+
 let deliver_pending f =
   promote_matured f;
   if f.pending > f.delivered then begin
     f.delivered <- f.pending;
     f.clock <- f.clock + !cfg.c_signal_handle;
+    if !Nbr_obs.Trace.on then
+      Nbr_obs.Trace.emit ~tid:f.id ~ns:(fiber_ns f)
+        Nbr_obs.Trace.Signal_delivered f.pending 0;
     if f.restartable then begin
       f.clock <- f.clock + !cfg.c_longjmp;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:f.id ~ns:(fiber_ns f)
+          Nbr_obs.Trace.Neutralized f.pending 0;
       raise Neutralized
     end
   end
@@ -286,7 +296,7 @@ let xchg a v =
 (* ------------------------------------------------------------------ *)
 (* Neutralization.                                                     *)
 
-let set_restartable b =
+let set_restartable_t _ b =
   (* Charged like an atomic RMW: the paper uses CAS/XCHG here purely for
      its fence (Algorithm 1, lines 8 and 12). *)
   if in_fiber () then prologue !cfg.c_atomic;
@@ -297,6 +307,10 @@ let is_restartable () = (!cur).restartable
 let send_signal t =
   if in_fiber () then prologue !cfg.c_signal_send;
   incr sigs_sent;
+  if !Nbr_obs.Trace.on then
+    Nbr_obs.Trace.emit ~tid:(self ())
+      ~ns:(if in_fiber () then fiber_ns !cur else 0)
+      Nbr_obs.Trace.Signal_sent t 0;
   let fs = !fibers in
   if t >= 0 && t < Array.length fs then begin
     let v = fs.(t) in
@@ -314,11 +328,16 @@ let send_signal t =
             v.delayed <- at :: v.delayed)
   end
 
-let poll () =
+(* The delivery points take the caller's tid to keep the signature aligned
+   with the native runtime, where the argument saves a DLS lookup; the sim
+   has no DLS (the current fiber is a ref), so the tid is ignored and
+   charged nothing. *)
+
+let poll_t _ =
   (* Every access is already a delivery point; polling is free here. *)
   ()
 
-let consume_pending () =
+let consume_pending_t _ =
   (* Deliveries happen inline at every access; by the time a fiber runs
      straight-line code after an access, nothing can be pending — unless a
      fault delayed delivery.  An in-flight delayed signal was {e sent}
@@ -331,25 +350,23 @@ let consume_pending () =
     let had = f.delayed <> [] || f.pending > f.delivered in
     f.delayed <- [];
     f.delivered <- f.pending;
+    if had && !Nbr_obs.Trace.on then
+      Nbr_obs.Trace.emit ~tid:f.id ~ns:(fiber_ns f)
+        Nbr_obs.Trace.Signal_consumed f.pending 0;
     had
   end
 
-let drain_signals () =
+let drain_signals_t _ =
   let f = !cur in
   if f.id >= 0 then begin
+    if
+      (f.delayed <> [] || f.pending > f.delivered) && !Nbr_obs.Trace.on
+    then
+      Nbr_obs.Trace.emit ~tid:f.id ~ns:(fiber_ns f)
+        Nbr_obs.Trace.Signal_consumed f.pending 1;
     f.delayed <- [];
     f.delivered <- f.pending
   end
-
-(* The tid-threaded fast paths exist to skip a DLS lookup in the native
-   runtime; the sim has no DLS (the current fiber is a ref), so they are
-   plain aliases.  The [_ =] binding of the tid keeps the signatures
-   aligned without charging anything extra to the cost model. *)
-
-let poll_t _ = ()
-let consume_pending_t _ = consume_pending ()
-let drain_signals_t _ = drain_signals ()
-let set_restartable_t _ b = set_restartable b
 
 let checkpoint f =
   if in_fiber () then prologue !cfg.c_setjmp;

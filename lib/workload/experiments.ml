@@ -327,7 +327,7 @@ let chaos quick =
             Format.printf "VALIDATION FAILURE: %a@." Trial.pp_row r
           end;
           let bound = Trial.garbage_bound cfg in
-          let mg = r.smr_stats.Nbr_core.Smr_stats.max_garbage in
+          let mg = Nbr_core.Smr_stats.max_garbage r.smr_stats in
           let verdict =
             if claims_bounded scheme then
               if mg <= bound then "bounded (P2 holds)"

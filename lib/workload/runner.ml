@@ -62,6 +62,16 @@ struct
     let inserts = Array.make n 0
     and deletes = Array.make n 0
     and ops = Array.make n 0 in
+    (* Latency histograms, per thread (single-writer) when requested:
+       index 0/1/2 = insert/delete/contains op latency, 3 = restarts
+       per op (via the scheme's live per-context counter). *)
+    let lat =
+      if cfg.record_latency then
+        Some
+          (Array.init n (fun _ ->
+               Array.init 4 (fun _ -> Nbr_obs.Histogram.create ())))
+      else None
+    in
     let deadline = Rt.now_ns () + cfg.duration_ns in
     (* A stall pauses inside an operation — and, for phase-based schemes,
        inside a read phase — holding whatever the scheme pins for
@@ -102,6 +112,14 @@ struct
           (match !faults with
           | f :: rest when Nbr_fault.Fault_plan.fault_op f <= !my_ops -> (
               faults := rest;
+              if !Nbr_obs.Trace.on then
+                Nbr_obs.Trace.emit ~tid ~ns:(Rt.now_ns ())
+                  Nbr_obs.Trace.Fault_action
+                  (match f with
+                  | Nbr_fault.Fault_plan.Stall _ -> 0
+                  | Nbr_fault.Fault_plan.Crash _ -> 1
+                  | Nbr_fault.Fault_plan.Hog _ -> 2)
+                  !my_ops;
               match f with
               | Nbr_fault.Fault_plan.Stall { ns; _ } -> stall_in_op ctx ns
               | Nbr_fault.Fault_plan.Crash _ ->
@@ -127,13 +145,32 @@ struct
           if not !crashed then begin
             let k = Nbr_sync.Rng.below rng cfg.key_range in
             let p = Nbr_sync.Rng.below rng 100 in
-            if p < cfg.ins_pct then begin
-              if Ds.insert ds ctx k then incr my_ins
-            end
-            else if p < cfg.ins_pct + cfg.del_pct then begin
-              if Ds.delete ds ctx k then incr my_del
-            end
-            else ignore (Ds.contains ds ctx k);
+            (* Returns the histogram index of the operation performed. *)
+            let do_op () =
+              if p < cfg.ins_pct then begin
+                if Ds.insert ds ctx k then incr my_ins;
+                0
+              end
+              else if p < cfg.ins_pct + cfg.del_pct then begin
+                if Ds.delete ds ctx k then incr my_del;
+                1
+              end
+              else begin
+                ignore (Ds.contains ds ctx k);
+                2
+              end
+            in
+            (match lat with
+            | None -> ignore (do_op ())
+            | Some hists ->
+                let h = hists.(tid) in
+                let st = Smr.ctx_stats ctx in
+                let r0 = Nbr_core.Smr_stats.restarts st in
+                let t0 = Rt.now_ns () in
+                let idx = do_op () in
+                Nbr_obs.Histogram.record h.(idx) (Rt.now_ns () - t0);
+                Nbr_obs.Histogram.record h.(3)
+                  (Nbr_core.Smr_stats.restarts st - r0));
             incr my_ops
           end
         done;
@@ -163,5 +200,23 @@ struct
       smr_stats = Smr.stats smr;
       final_size = Ds.size ds;
       expected_size = cfg.prefill + ins - del;
+      latency =
+        (match lat with
+        | None -> None
+        | Some hists ->
+            let merged =
+              Array.init 4 (fun _ -> Nbr_obs.Histogram.create ())
+            in
+            Array.iter
+              (Array.iteri (fun i h ->
+                   Nbr_obs.Histogram.merge_into ~into:merged.(i) h))
+              hists;
+            Some
+              {
+                Trial.lat_insert = Nbr_obs.Histogram.summary merged.(0);
+                lat_delete = Nbr_obs.Histogram.summary merged.(1);
+                lat_contains = Nbr_obs.Histogram.summary merged.(2);
+                lat_restarts = Nbr_obs.Histogram.summary merged.(3);
+              });
     }
 end

@@ -30,12 +30,16 @@ type cfg = {
       (** chaos schedule (multi-thread stalls, crashes, hogs, signal
           faults) interpreted by the runner; [stall] above is the simpler
           fixed-thread E2 knob and composes with it *)
+  record_latency : bool;
+      (** per-operation latency + restarts-per-op histograms (two clock
+          reads and two O(1) histogram inserts per operation while on —
+          a single bool check while off) *)
 }
 
 let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     ?prefill ?(ins_pct = 25) ?(del_pct = 25)
     ?(smr = Nbr_core.Smr_config.default) ?pool_capacity ?(seed = 1)
-    ?stall ?faults () =
+    ?stall ?faults ?(record_latency = false) () =
   let prefill = match prefill with Some p -> p | None -> key_range / 2 in
   let pool_capacity =
     match pool_capacity with
@@ -60,6 +64,7 @@ let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     seed;
     stall;
     faults;
+    record_latency;
   }
 
 (** Whether the configuration tampers with neutralization signals.
@@ -87,6 +92,16 @@ let garbage_bound cfg =
   + (cfg.nthreads * cfg.smr.Nbr_core.Smr_config.max_reservations)
   + (2 * cfg.key_range) + 64
 
+type latency = {
+  lat_insert : Nbr_obs.Histogram.summary;
+  lat_delete : Nbr_obs.Histogram.summary;
+  lat_contains : Nbr_obs.Histogram.summary;
+  lat_restarts : Nbr_obs.Histogram.summary;
+      (** read-phase restarts per operation (counts, not nanoseconds) *)
+}
+(** Merged across threads after the run; nanosecond scale (virtual under
+    the simulator).  Present iff [cfg.record_latency]. *)
+
 type result = {
   scheme : string;
   structure : string;
@@ -105,6 +120,7 @@ type result = {
   smr_stats : Nbr_core.Smr_stats.t;
   final_size : int;
   expected_size : int;  (** prefill + successful inserts - deletes *)
+  latency : latency option;
 }
 
 (* Validity: set semantics must hold everywhere.  Freedom from reads of
@@ -123,5 +139,23 @@ let pp_row ppf r =
   Format.fprintf ppf
     "%-12s %-8s n=%-3d %3di/%3dd  %8.3f Mops/s  peak=%-8d sig=%-8d restarts=%-6d %s"
     r.structure r.scheme r.cfg.nthreads r.cfg.ins_pct r.cfg.del_pct
-    r.throughput_mops r.peak_unreclaimed r.signals r.smr_stats.restarts
+    r.throughput_mops r.peak_unreclaimed r.signals (Nbr_core.Smr_stats.restarts r.smr_stats)
     (if valid r then "" else "INVALID")
+
+(** One line per operation type: count and the latency quantiles the
+    paper-style tables quote.  Prints nothing when the trial ran without
+    [record_latency]. *)
+let pp_latency ppf r =
+  match r.latency with
+  | None -> ()
+  | Some l ->
+      let line name (s : Nbr_obs.Histogram.summary) =
+        Format.fprintf ppf
+          "%-9s n=%-9d p50=%-9.0f p90=%-9.0f p99=%-9.0f p99.9=%-9.0f max=%d@."
+          name s.Nbr_obs.Histogram.s_count s.s_p50 s.s_p90 s.s_p99 s.s_p999
+          s.s_max
+      in
+      line "insert" l.lat_insert;
+      line "delete" l.lat_delete;
+      line "contains" l.lat_contains;
+      line "restarts" l.lat_restarts

@@ -14,4 +14,5 @@ let () =
       ("properties", Test_properties.suite);
       ("fault", Test_fault.suite);
       ("native-runtime", Test_native.suite);
+      ("obs", Test_obs.suite);
     ]

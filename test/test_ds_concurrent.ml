@@ -124,9 +124,9 @@ let test_neutralization_exercised () =
   in
   Alcotest.(check bool)
     (Printf.sprintf "restarts observed (%d), signals sent (%d)"
-       r.T.smr_stats.restarts r.T.signals)
+       (Nbr_core.Smr_stats.restarts r.T.smr_stats) r.T.signals)
     true
-    (r.T.smr_stats.restarts > 0 && r.T.signals > 0)
+    ((Nbr_core.Smr_stats.restarts r.T.smr_stats) > 0 && r.T.signals > 0)
 
 (* NBR+ opportunistic reclamation fires in steady state. *)
 let test_nbrp_lo_reclaims_exercised () =
@@ -136,9 +136,9 @@ let test_nbrp_lo_reclaims_exercised () =
   in
   Alcotest.(check bool)
     (Printf.sprintf "lo-watermark reclaims observed (%d)"
-       r.T.smr_stats.lo_reclaims)
+       (Nbr_core.Smr_stats.lo_reclaims r.T.smr_stats))
     true
-    (r.T.smr_stats.lo_reclaims > 0)
+    ((Nbr_core.Smr_stats.lo_reclaims r.T.smr_stats) > 0)
 
 let suite =
   List.map

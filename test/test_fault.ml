@@ -87,13 +87,13 @@ let test_drop_counted () =
         while not !sent do
           Sim.stall_ns 100
         done;
-        saw := Sim.consume_pending ()
+        saw := Sim.consume_pending_t tid
       end);
   Alcotest.(check int) "counted as dropped" 1 (Sim.signals_dropped ());
   Alcotest.(check bool) "never visible" false !saw
 
 (* A delayed signal suppresses the *handler*, but stays visible to
-   [consume_pending] from the moment it is sent — the property the
+   [consume_pending_t] from the moment it is sent — the property the
    writers' handshake (signal_all/end_read) depends on. *)
 let test_delay_visible () =
   Sim.set_config { Sim.default_config with cores = 2; granularity = 1; seed = 9 };
@@ -111,7 +111,7 @@ let test_delay_visible () =
         while not !sent do
           Sim.stall_ns 100
         done;
-        saw := Sim.consume_pending ()
+        saw := Sim.consume_pending_t tid
       end);
   Alcotest.(check bool) "visible while delayed" true !saw;
   Alcotest.(check int) "not dropped" 0 (Sim.signals_dropped ())
@@ -139,7 +139,7 @@ let chaos_trial ~seed ~signal scheme =
   if r.T.total_ops = 0 then Alcotest.fail "no operations completed";
   if claims_bounded scheme then begin
     let bound = T.garbage_bound cfg in
-    let mg = r.T.smr_stats.Nbr_core.Smr_stats.max_garbage in
+    let mg = Nbr_core.Smr_stats.max_garbage r.T.smr_stats in
     if mg > bound then
       Alcotest.failf "%s seed %d: max_garbage %d > bound %d (P2 violated)"
         scheme seed mg bound

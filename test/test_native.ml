@@ -40,16 +40,16 @@ let test_signal_counters () =
         (* Poll until the signal lands; consume it while restartable to
            observe Neutralized. *)
         Nat.checkpoint (fun () ->
-            Nat.set_restartable true;
+            Nat.set_restartable_t tid true;
             let deadline = Nat.now_ns () + 2_000_000_000 in
             (try
                while Nat.now_ns () < deadline do
-                 Nat.poll ()
+                 Nat.poll_t tid
                done
              with Nat.Neutralized ->
-               Nat.set_restartable false;
+               Nat.set_restartable_t tid false;
                Atomic.incr seen);
-            Nat.set_restartable false)
+            Nat.set_restartable_t tid false)
       end);
   Alcotest.(check int) "neutralization delivered" 1 (Atomic.get seen)
 
@@ -90,7 +90,7 @@ let check_parity ~scheme ~structure () =
     (* Per-thread buffered-garbage high-water mark, like the E2 chaos
        suite: the bound caps each thread's limbo buffer, not the pool-wide
        sum across threads. *)
-    let mg = r.T.smr_stats.Nbr_core.Smr_stats.max_garbage in
+    let mg = Nbr_core.Smr_stats.max_garbage r.T.smr_stats in
     if List.mem scheme bounded_schemes && mg > bound then
       Alcotest.failf "%s/%s (%s): max_garbage %d exceeds bound %d" scheme
         structure r.T.runtime mg bound

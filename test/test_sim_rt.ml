@@ -102,14 +102,14 @@ let test_signal_restarts_restartable () =
             let attempts = ref 0 in
             Sim.checkpoint (fun () ->
                 incr attempts;
-                Sim.set_restartable true;
+                Sim.set_restartable_t tid true;
                 if Sim.load flag = 0 then Sim.store flag 1;
                 (* Wait in restartable mode until the signal arrives;
                    the replay sees flag = 2 and falls straight through. *)
                 while Sim.load flag <> 2 do
                   Sim.cpu_relax ()
                 done;
-                Sim.set_restartable false);
+                Sim.set_restartable_t tid false);
             restarts := !attempts - 1
           end);
       Alcotest.(check bool)
@@ -122,7 +122,7 @@ let test_signal_ignored_when_non_restartable () =
       Sim.run ~nthreads:2 (fun tid ->
           if tid = 0 then Sim.send_signal 1
           else begin
-            Sim.set_restartable false;
+            Sim.set_restartable_t tid false;
             let c = Sim.make 0 in
             for _ = 1 to 200 do
               ignore (Sim.load c)
@@ -157,17 +157,17 @@ let test_checkpoint_nesting () =
           else
             Sim.checkpoint (fun () ->
                 incr outer;
-                Sim.set_restartable false;
+                Sim.set_restartable_t tid false;
                 Sim.checkpoint (fun () ->
                     incr inner;
-                    Sim.set_restartable true;
+                    Sim.set_restartable_t tid true;
                     if Sim.load finished = 0 then begin
                       Sim.store ready 1;
                       while Sim.load finished = 0 do
                         Sim.cpu_relax ()
                       done
                     end;
-                    Sim.set_restartable false)));
+                    Sim.set_restartable_t tid false)));
       Alcotest.(check int) "outer ran once" 1 !outer;
       Alcotest.(check bool)
         (Printf.sprintf "inner restarted (%d)" !inner)

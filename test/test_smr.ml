@@ -70,12 +70,12 @@ let test_nbr_reclaims_at_threshold () =
       done);
   let st = N.stats smr in
   Alcotest.(check bool)
-    (Printf.sprintf "reclaim events happened (%d)" st.reclaim_events)
-    true (st.reclaim_events >= 5);
+    (Printf.sprintf "reclaim events happened (%d)" (Nbr_core.Smr_stats.reclaim_events st))
+    true ((Nbr_core.Smr_stats.reclaim_events st) >= 5);
   Alcotest.(check bool)
-    (Printf.sprintf "most records freed (%d/100)" st.freed)
+    (Printf.sprintf "most records freed (%d/100)" (Nbr_core.Smr_stats.freed st))
     true
-    (st.freed >= 64)
+    ((Nbr_core.Smr_stats.freed st) >= 64)
 
 let test_nbr_neutralizes_readers () =
   let pool = mk_pool () in
@@ -137,8 +137,8 @@ let test_nbrp_lo_watermark_reclaims_without_signalling () =
       done);
   let st = NP.stats smr in
   Alcotest.(check bool)
-    (Printf.sprintf "LoWatermark reclaims happened (%d)" st.lo_reclaims)
-    true (st.lo_reclaims >= 1)
+    (Printf.sprintf "LoWatermark reclaims happened (%d)" (Nbr_core.Smr_stats.lo_reclaims st))
+    true ((Nbr_core.Smr_stats.lo_reclaims st) >= 1)
 
 let test_nbrp_signals_fewer_than_nbr () =
   (* Same retire-churn workload under NBR and NBR+: the + variant must
@@ -200,9 +200,9 @@ let test_nbrp_signals_fewer_than_nbr () =
      fires and strictly reduces signal traffic at equal reclamation. *)
   Alcotest.(check bool)
     (Printf.sprintf "nbr+ sends fewer signals (nbr=%d nbr+=%d, lo=%d)"
-       sig_nbr sig_nbrp stp.Nbr_core.Smr_stats.lo_reclaims)
+       sig_nbr sig_nbrp (Nbr_core.Smr_stats.lo_reclaims stp))
     true
-    (sig_nbrp * 10 <= sig_nbr * 9 && stp.Nbr_core.Smr_stats.lo_reclaims > 0)
+    (sig_nbrp * 10 <= sig_nbr * 9 && (Nbr_core.Smr_stats.lo_reclaims stp) > 0)
 
 (* The parity round-up: an odd snapshot must not accept the completion of
    the in-flight broadcast plus the start of the next as an RGP. *)
@@ -241,8 +241,8 @@ let test_debra_epoch_reclamation () =
       done);
   let st = D.stats smr in
   Alcotest.(check bool)
-    (Printf.sprintf "epoch advance freed records (%d)" st.freed)
-    true (st.freed >= 200)
+    (Printf.sprintf "epoch advance freed records (%d)" (Nbr_core.Smr_stats.freed st))
+    true ((Nbr_core.Smr_stats.freed st) >= 200)
 
 let test_debra_stalled_thread_blocks () =
   let pool = mk_pool ~capacity:65_536 () in
@@ -265,9 +265,9 @@ let test_debra_stalled_thread_blocks () =
   let st = D.stats smr in
   Alcotest.(check bool)
     (Printf.sprintf "stalled thread froze reclamation (freed=%d of %d)"
-       st.freed st.retires)
+       (Nbr_core.Smr_stats.freed st) (Nbr_core.Smr_stats.retires st))
     true
-    (st.freed < st.retires / 2)
+    ((Nbr_core.Smr_stats.freed st) < (Nbr_core.Smr_stats.retires st) / 2)
 
 (* ------------------------------------------------------------------ *)
 (* IBR: a stalled thread pins only its interval (bounded garbage).      *)
@@ -294,9 +294,9 @@ let test_ibr_bounded_under_stall () =
   let st = I.stats smr in
   Alcotest.(check bool)
     (Printf.sprintf "IBR kept reclaiming despite stall (freed=%d of %d)"
-       st.freed st.retires)
+       (Nbr_core.Smr_stats.freed st) (Nbr_core.Smr_stats.retires st))
     true
-    (st.freed > st.retires / 2)
+    ((Nbr_core.Smr_stats.freed st) > (Nbr_core.Smr_stats.retires st) / 2)
 
 (* ------------------------------------------------------------------ *)
 (* HP: hazard announcement protects; validation failure restarts.       *)
@@ -395,8 +395,8 @@ let test_qsbr_reclaims () =
       done);
   let st = Q.stats smr in
   Alcotest.(check bool)
-    (Printf.sprintf "qsbr freed (%d)" st.freed)
-    true (st.freed > 0)
+    (Printf.sprintf "qsbr freed (%d)" (Nbr_core.Smr_stats.freed st))
+    true ((Nbr_core.Smr_stats.freed st) > 0)
 
 module R = Nbr_core.Rcu.Make (Sim)
 
@@ -414,8 +414,8 @@ let test_rcu_reclaims () =
       done);
   let st = R.stats smr in
   Alcotest.(check bool)
-    (Printf.sprintf "rcu freed (%d)" st.freed)
-    true (st.freed > 0)
+    (Printf.sprintf "rcu freed (%d)" (Nbr_core.Smr_stats.freed st))
+    true ((Nbr_core.Smr_stats.freed st) > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Hazard eras: protection + bounded under stall.                       *)
@@ -442,9 +442,9 @@ let test_he_bounded_under_stall () =
   let st = HE.stats smr in
   Alcotest.(check bool)
     (Printf.sprintf "HE kept reclaiming despite stall (freed=%d of %d)"
-       st.freed st.retires)
+       (Nbr_core.Smr_stats.freed st) (Nbr_core.Smr_stats.retires st))
     true
-    (st.freed > st.retires / 2)
+    ((Nbr_core.Smr_stats.freed st) > (Nbr_core.Smr_stats.retires st) / 2)
 
 let test_he_era_protects () =
   let pool = mk_pool () in
