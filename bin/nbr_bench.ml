@@ -119,21 +119,62 @@ let trial_cmd =
       & info [ "stall-ms" ]
           ~doc:"Stall thread 1 inside an operation for this long (E2).")
   in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:"Install the standard seeded chaos plan (2 stalls, 1 crash, \
+                25% delayed signals), arming the watchdog/recovery layer.")
+  in
+  let churn =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ] ~docv:"N"
+          ~doc:"Dynamic membership: workers (except thread 0) deregister \
+                and rejoin every N completed ops.  0 = static.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Record the full event trace and write it as Chrome \
+                trace-event JSON (Perfetto-loadable).")
+  in
   let run scheme structure runtime threads cores granularity quantum range
-      ins del duration_ms threshold seed stall_ms =
+      ins del duration_ms threshold seed stall_ms chaos churn trace_out =
     let duration_ns = duration_ms * 1_000_000 in
     let stall =
       if stall_ms > 0 then
         Some { T.stall_tid = 1; stall_ns = stall_ms * 1_000_000 }
       else None
     in
+    let faults =
+      if chaos then
+        Some
+          (Nbr_fault.Fault_plan.chaos ~seed ~nthreads:threads ~stalls:2
+             ~crashes:1 ~stall_ns:(duration_ns / 2) ~ops_window:100
+             ~signal:
+               {
+                 Nbr_fault.Fault_plan.delay_pct = 25;
+                 delay_ns = 20_000;
+                 drop_pct = 0;
+               }
+             ())
+      else None
+    in
+    (match faults with
+    | Some p -> Format.printf "%a@." Nbr_fault.Fault_plan.pp p
+    | None -> ());
+    if trace_out <> None then
+      Nbr_obs.Trace.enable ~capacity:65536 ~nthreads:threads ();
     let cfg =
       T.mk ~nthreads:threads ~duration_ns ~key_range:range ~ins_pct:ins
         ~del_pct:del
         ~smr:
           (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
              threshold)
-        ~seed ?stall ()
+        ~seed ?stall ?faults ~churn_ops:churn ()
     in
     let r =
       match runtime with
@@ -146,6 +187,17 @@ let trial_cmd =
           Printf.eprintf "unknown runtime %s\n" other;
           exit 2
     in
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Nbr_obs.Trace.to_chrome_json ());
+        close_out oc;
+        Printf.printf "trace: %d events -> %s (%d dropped)\n"
+          (List.length (Nbr_obs.Trace.events ()))
+          file
+          (Nbr_obs.Trace.dropped ());
+        Nbr_obs.Trace.clear ());
     Format.printf "%a@." T.pp_row r;
     Format.printf
       "ops=%d freed=%d retired=%d reclaim_events=%d lo_reclaims=%d \
@@ -160,7 +212,7 @@ let trial_cmd =
     Term.(
       const run $ scheme $ structure $ runtime $ threads $ cores
       $ granularity $ quantum $ range $ ins $ del $ duration_ms $ threshold
-      $ seed $ stall_ms)
+      $ seed $ stall_ms $ chaos $ churn $ trace_out)
 
 (* ---------------- main ---------------- *)
 

@@ -16,6 +16,7 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
@@ -26,6 +27,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     cfg : Smr_config.t;
     epoch : Rt.aint;
     announce : Rt.aint array;  (** (epoch lsl 1) lor quiescent-bit *)
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
@@ -52,11 +54,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
          Nbr_base.create for the false-sharing rationale). *)
       epoch = Rt.make_padded 0;
       announce = Array.init nthreads (fun _ -> Rt.make_padded 1 (* quiescent *));
+      lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
 
   let register b ~tid =
+    L.reset_slot b.lc tid;
     let c =
       {
         b;
@@ -85,8 +89,41 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
           Nbr_obs.Trace.Reclaim freed (Limbo_bag.size bag)
     end
 
+  let buffered c =
+    Limbo_bag.size c.bags.(0) + Limbo_bag.size c.bags.(1)
+    + Limbo_bag.size c.bags.(2)
+
+  (* Departed/crashed threads' retires go into our current retire bag:
+     retired "now" from the epoch discipline's point of view, which only
+     delays their release — never frees early. *)
+  let adopt_orphans c =
+    let n =
+      L.adopt c.b.lc ~tid:c.tid ~push:(fun slot ->
+          Limbo_bag.push c.bags.(c.local_epoch mod 3) slot)
+    in
+    if n > 0 then Smr_stats.note_garbage c.st (buffered c)
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      (* Quiescent announcement: a departed thread must never pin the
+         epoch. *)
+      Rt.store c.b.announce.(c.tid) ((c.local_epoch lsl 1) lor 1);
+      let slots = ref [] in
+      Array.iter
+        (fun bag ->
+          ignore
+            (Limbo_bag.sweep bag ~upto:(Limbo_bag.abs_tail bag)
+               ~keep:(fun _ -> false)
+               ~free:(fun s -> slots := s :: !slots)))
+        c.bags;
+      L.push_parcel c.b.lc ~origin:c.tid !slots;
+      L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);
+      c.b.ctxs.(c.tid) <- None
+    end
+
   (* leaveQstate *)
   let begin_op c =
+    L.check_self c.b.lc c.tid;
     let e = Rt.load c.b.epoch in
     if e <> c.local_epoch then begin
       (* Entering epoch [e]: records retired in epoch [e-2] (bag index
@@ -118,7 +155,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
 
   (* enterQstate *)
-  let end_op c = Rt.store c.b.announce.(c.tid) ((c.local_epoch lsl 1) lor 1)
+  let end_op c =
+    Rt.store c.b.announce.(c.tid) ((c.local_epoch lsl 1) lor 1);
+    if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
 
   (* Pool-pressure flush.  While this thread is inside an operation its
      own announcement pins the global epoch to at most [local_epoch + 1],
@@ -146,10 +185,6 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       free_bag c c.bags.((e' + 1) mod 3)
 
   let alloc c = P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
-
-  let buffered c =
-    Limbo_bag.size c.bags.(0) + Limbo_bag.size c.bags.(1)
-    + Limbo_bag.size c.bags.(2)
 
   let retire c slot =
     P.note_retired c.b.pool slot;
@@ -181,7 +216,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

@@ -19,6 +19,7 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
@@ -32,6 +33,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     slots : Rt.aint array array;  (** published eras; -1 = empty *)
     birth : Rt.aint array;
     retire_era : Rt.aint array;
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
@@ -65,11 +67,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
             Array.init window (fun _ -> Rt.make_padded empty_slot));
       birth = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
       retire_era = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
+      lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
 
   let register b ~tid =
+    L.reset_slot b.lc tid;
     let c =
       {
         b;
@@ -84,13 +88,59 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op _c = ()
+  let begin_op c = L.check_self c.b.lc c.tid
+
+  (* Orphan birth/retire eras live in the t-level metadata arrays, so the
+     slots alone carry everything the era sweep needs. *)
+  let adopt_orphans c =
+    let n =
+      L.adopt c.b.lc ~tid:c.tid ~push:(fun slot -> Limbo_bag.push c.bag slot)
+    in
+    if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
 
   let end_op c =
     let sl = c.b.slots.(c.tid) in
     for i = 0 to c.b.window - 1 do
       Rt.store sl.(i) empty_slot
+    done;
+    if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
+
+  (* Retract [tid]'s published eras so they stop pinning records. *)
+  let retract_published b tid =
+    let sl = b.slots.(tid) in
+    for i = 0 to b.window - 1 do
+      Rt.store sl.(i) empty_slot
     done
+
+  let orphan_ctx b ~into (vc : ctx) =
+    let slots = ref [] in
+    ignore
+      (Limbo_bag.sweep vc.bag ~upto:(Limbo_bag.abs_tail vc.bag)
+         ~keep:(fun _ -> false)
+         ~free:(fun s -> slots := s :: !slots));
+    L.push_parcel b.lc ~origin:vc.tid !slots;
+    Smr_stats.add into vc.st;
+    b.ctxs.(vc.tid) <- None
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      retract_published c.b c.tid;
+      L.with_stats_lock c.b.lc (fun () ->
+          orphan_ctx c.b ~into:c.b.done_stats c)
+    end
+
+  (* Crash watchdog (see [Lifecycle]): HE is bounded, so it takes part in
+     recovery — a peer frozen past the death threshold is claimed, its
+     era slots cleared and its bag orphaned.  No signals to re-send. *)
+  let watchdog c =
+    L.scan c.b.lc ~self:c.tid ~timeout_ns:c.b.cfg.Smr_config.wd_timeout_ns
+      ~rounds:c.b.cfg.Smr_config.wd_rounds
+      ~on_round:(fun ~peer:_ ~round:_ -> ())
+      ~reap:(fun v ->
+        retract_published c.b v;
+        match c.b.ctxs.(v) with
+        | None -> ()
+        | Some vc -> orphan_ctx c.b ~into:c.st vc)
 
   let alloc_with c ~on_pressure =
     let slot = P.alloc ~on_pressure c.b.pool in
@@ -170,6 +220,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      published eras are part of the scan, pinning anything we might still
      dereference. *)
   let flush c =
+    watchdog c;
     if Limbo_bag.size c.bag > 0 then begin
       let k = ref 0 in
       for t = 0 to c.b.n - 1 do
@@ -219,7 +270,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

@@ -18,6 +18,7 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
@@ -28,6 +29,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     cfg : Smr_config.t;
     window : int;
     hazards : Rt.aint array array;  (** [hazards.(tid).(i)] *)
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
@@ -58,11 +60,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       hazards =
         Array.init nthreads (fun _ ->
             Array.init window (fun _ -> Rt.make_padded P.nil));
+      lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
 
   let register b ~tid =
+    L.reset_slot b.lc tid;
     let c =
       {
         b;
@@ -76,13 +80,57 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op _c = ()
+  let begin_op c = L.check_self c.b.lc c.tid
+
+  let adopt_orphans c =
+    let n =
+      L.adopt c.b.lc ~tid:c.tid ~push:(fun slot -> Limbo_bag.push c.bag slot)
+    in
+    if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
 
   let end_op c =
     let hz = c.b.hazards.(c.tid) in
     for i = 0 to c.b.window - 1 do
       Rt.store hz.(i) P.nil
+    done;
+    if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
+
+  (* Retract [tid]'s hazard slots so they stop pinning records. *)
+  let retract_published b tid =
+    let hz = b.hazards.(tid) in
+    for i = 0 to b.window - 1 do
+      Rt.store hz.(i) P.nil
     done
+
+  let orphan_ctx b ~into (vc : ctx) =
+    let slots = ref [] in
+    ignore
+      (Limbo_bag.sweep vc.bag ~upto:(Limbo_bag.abs_tail vc.bag)
+         ~keep:(fun _ -> false)
+         ~free:(fun s -> slots := s :: !slots));
+    L.push_parcel b.lc ~origin:vc.tid !slots;
+    Smr_stats.add into vc.st;
+    b.ctxs.(vc.tid) <- None
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      retract_published c.b c.tid;
+      L.with_stats_lock c.b.lc (fun () ->
+          orphan_ctx c.b ~into:c.b.done_stats c)
+    end
+
+  (* Crash watchdog (see [Lifecycle]): HP is bounded, so it takes part in
+     recovery — a peer frozen past the death threshold is claimed, its
+     hazard slots cleared and its bag orphaned.  No signals to re-send. *)
+  let watchdog c =
+    L.scan c.b.lc ~self:c.tid ~timeout_ns:c.b.cfg.Smr_config.wd_timeout_ns
+      ~rounds:c.b.cfg.Smr_config.wd_rounds
+      ~on_round:(fun ~peer:_ ~round:_ -> ())
+      ~reap:(fun v ->
+        retract_published c.b v;
+        match c.b.ctxs.(v) with
+        | None -> ()
+        | Some vc -> orphan_ctx c.b ~into:c.st vc)
 
   (* Announce-and-validate: publish [target] read from [cell], then check
      that [cell] still holds it, that the target has not been unlinked,
@@ -158,6 +206,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      in the retire-time scan: records in our bag were retired by us and
      are never touched again, whatever our hazard slots still point at. *)
   let flush c =
+    watchdog c;
     if Limbo_bag.size c.bag > 0 then begin
       let k = ref 0 in
       for t = 0 to c.b.n - 1 do
@@ -201,7 +250,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

@@ -11,10 +11,23 @@
 
     Bounded: a stalled thread pins a fixed interval, so only records whose
     lifetime overlaps it leak — everything born after the stall reclaims
-    normally. *)
+    normally.
+
+    Era protection shares HP's structure obligation (paper P5): the
+    ratcheted upper bound only covers records reached through links that
+    are re-read from {e live} sources.  A thread descheduled mid-traversal
+    can wake inside a retired (but still pinned) record whose frozen link
+    points at a record born {e after} the sleeper's announced upper bound —
+    by then already swept, and no amount of ratcheting resurrects it.
+    [read_ptr] therefore validates its source whenever the ratchet fires
+    and aborts the read phase through the checkpoint, exactly like HP's
+    announce-and-validate; and structures that traverse mark-tagged links
+    of unlinked records ([read_raw]: Harris list and its hash-set buckets)
+    are never paired with IBR, as with HP/HE. *)
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
@@ -28,6 +41,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     hi : Rt.aint array;
     birth : Rt.aint array;  (** per-record metadata (real algorithm state) *)
     retire_era : Rt.aint array;
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
@@ -64,11 +78,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       hi = Array.init nthreads (fun _ -> Rt.make_padded inactive_hi);
       birth = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
       retire_era = Array.init (P.capacity pool) (fun _ -> Rt.make 0);
+      lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
 
   let register b ~tid =
+    L.reset_slot b.lc tid;
     let c =
       {
         b;
@@ -85,20 +101,66 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     c
 
   let begin_op c =
+    L.check_self c.b.lc c.tid;
     let e = Rt.load c.b.era in
     Rt.store c.b.lo.(c.tid) e;
     Rt.store c.b.hi.(c.tid) e;
     c.cached_hi <- e
 
+  (* Orphan birth/retire eras live in the t-level metadata arrays, so the
+     slots alone carry everything the interval sweep needs. *)
+  let adopt_orphans c =
+    let n =
+      L.adopt c.b.lc ~tid:c.tid ~push:(fun slot -> Limbo_bag.push c.bag slot)
+    in
+    if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
+
   let end_op c =
     Rt.store c.b.lo.(c.tid) inactive_lo;
-    Rt.store c.b.hi.(c.tid) inactive_hi
+    Rt.store c.b.hi.(c.tid) inactive_hi;
+    if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
+
+  (* Retract [tid]'s announced interval so it stops pinning records. *)
+  let retract_published b tid =
+    Rt.store b.lo.(tid) inactive_lo;
+    Rt.store b.hi.(tid) inactive_hi
+
+  let orphan_ctx b ~into (vc : ctx) =
+    let slots = ref [] in
+    ignore
+      (Limbo_bag.sweep vc.bag ~upto:(Limbo_bag.abs_tail vc.bag)
+         ~keep:(fun _ -> false)
+         ~free:(fun s -> slots := s :: !slots));
+    L.push_parcel b.lc ~origin:vc.tid !slots;
+    Smr_stats.add into vc.st;
+    b.ctxs.(vc.tid) <- None
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      retract_published c.b c.tid;
+      L.with_stats_lock c.b.lc (fun () ->
+          orphan_ctx c.b ~into:c.b.done_stats c)
+    end
+
+  (* Crash watchdog (see [Lifecycle]): IBR is bounded, so it takes part
+     in recovery — a peer frozen past the death threshold is claimed, its
+     interval retracted and its bag orphaned.  No signals to re-send. *)
+  let watchdog c =
+    L.scan c.b.lc ~self:c.tid ~timeout_ns:c.b.cfg.Smr_config.wd_timeout_ns
+      ~rounds:c.b.cfg.Smr_config.wd_rounds
+      ~on_round:(fun ~peer:_ ~round:_ -> ())
+      ~reap:(fun v ->
+        retract_published c.b v;
+        match c.b.ctxs.(v) with
+        | None -> ()
+        | Some vc -> orphan_ctx c.b ~into:c.st vc)
 
   (* Interval scan + sweep — the threshold-crossing body of [retire],
      also run threshold-free under pool pressure.  Safe mid-operation:
      our own announced interval is part of the scan, so anything we might
      still dereference stays pinned. *)
   let flush c =
+    watchdog c;
     if Limbo_bag.size c.bag > 0 then begin
       for t = 0 to c.b.n - 1 do
         c.slo.(t) <- Rt.load c.b.lo.(t);
@@ -145,24 +207,54 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let g = Limbo_bag.size c.bag in
     Smr_stats.note_garbage c.st g
 
-  let phase _c ~read ~write =
-    let payload, _recs = read () in
-    write payload
+  (* IBR imposes the same restart obligation on structures as HP: a
+     dereference that cannot be revalidated aborts the read phase through
+     the checkpoint (see [guarded_read]). *)
+  let phase c ~read ~write =
+    let attempts = ref 0 in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          let payload, _recs = read () in
+          write payload)
+    in
+    Smr_stats.add_restarts c.st (!attempts - 1);
+    out
 
-  let read_only _c f = f ()
+  let read_only c f =
+    let attempts = ref 0 in
+    let out = Rt.checkpoint (fun () -> incr attempts; f ()) in
+    Smr_stats.add_restarts c.st (!attempts - 1);
+    out
 
   (* The 2GE per-dereference protocol (Wen et al., fig. 4): read the
      pointer, then check that the global era still equals the announced
      upper bound; if not, extend the announcement and re-read.  The value
      finally returned was read while [hi = era], so its birth era is
-     covered by the announced interval. *)
-  let guarded_read c cell =
+     covered by the announced interval.
+
+     That induction has a second leg: the re-read only proves anything if
+     the cell reflects the current structure.  When the ratchet fires, the
+     era moved while we held the cell — potentially a whole deschedule, in
+     which [src] itself may have been retired.  Its links are then frozen
+     stale copies: they can point at a record born after our old upper
+     bound that a sweep (correctly) never saw as pinned and has already
+     freed, and re-reading the frozen cell just returns the same dangling
+     value.  So a fired ratchet validates that the source is still live,
+     and aborts the read phase through the checkpoint when it is not —
+     HP's validation obligation, surfacing in IBR only on the era-moved
+     slow path.  ([src] is [-1] for the root: structure heads are never
+     retired, so their cells are always current and need no validation;
+     an int sentinel rather than an option keeps the per-read fast path
+     allocation-free.) *)
+  let guarded_read c cell ~src =
     let rec loop () =
       let v = Rt.load cell in
       let e = Rt.plain_load c.b.era in
       if e <> c.cached_hi then begin
         Rt.store c.b.hi.(c.tid) e;
         c.cached_hi <- e;
+        if src >= 0 && not (P.live c.b.pool src) then raise Rt.Neutralized;
         loop ()
       end
       else v
@@ -171,11 +263,15 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if v >= 0 then P.record_read c.b.pool v;
     v
 
-  let read_root c root = guarded_read c root
-  let read_ptr c ~src ~field = guarded_read c (P.ptr_cell c.b.pool src field)
+  let read_root c root = guarded_read c root ~src:(-1)
 
-  (* Mark-tagged links: extend the interval exactly as for a plain pointer
-     (the value is opaque to IBR; only the era ratchet matters). *)
+  let read_ptr c ~src ~field =
+    guarded_read c (P.ptr_cell c.b.pool src field) ~src
+
+  (* Mark-tagged links are read out of unlinked records (Harris traversal),
+     where no liveness validation is possible — the P5 limitation, exactly
+     as for HP/HE.  Structures that need [read_raw] are never paired with
+     IBR; the ratchet is kept so the announced interval stays monotone. *)
   let read_raw c cell =
     let rec loop () =
       let v = Rt.load cell in
@@ -193,7 +289,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

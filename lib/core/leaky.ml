@@ -7,31 +7,49 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
 
   type t = {
     pool : P.t;
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
 
-  and ctx = { b : t; st : Smr_stats.t }
+  and ctx = { b : t; tid : int; st : Smr_stats.t }
 
   let scheme_name = "none"
   let bounded_garbage = false
 
   let create pool ~nthreads _cfg =
-    { pool; done_stats = Smr_stats.zero (); ctxs = Array.make nthreads None }
+    {
+      pool;
+      lc = L.create ~nthreads;
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
 
   let register b ~tid =
-    let c = { b; st = Smr_stats.zero () } in
+    L.reset_slot b.lc tid;
+    let c = { b; tid; st = Smr_stats.zero () } in
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op _ = ()
+  let begin_op c = L.check_self c.b.lc c.tid
   let end_op _ = ()
+
+  (* Nothing to adopt into: abandoned records leak by design, and a
+     departing thread buffers nothing, so no parcels are ever pushed. *)
+  let adopt_orphans _ = ()
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);
+      c.b.ctxs.(c.tid) <- None
+    end
 
   (* Nothing to flush: abandoned records are gone for good, which is the
      point of the baseline — under pool pressure it simply exhausts. *)
@@ -66,7 +84,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

@@ -24,6 +24,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let create = B.create
   let register = B.register
+  let deregister = B.deregister
+  let adopt_orphans = B.adopt_orphans
   let begin_op = B.begin_op
   let end_op = B.end_op
   let alloc = B.alloc
@@ -41,7 +43,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     B.note_retired c slot;
     let open Smr_config in
     if Limbo_bag.size c.bag >= c.b.cfg.bag_threshold then begin
-      B.signal_all c;
+      B.broadcast c;
       B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
       Smr_stats.add_reclaim_events c.st 1
     end;

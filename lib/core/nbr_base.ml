@@ -8,6 +8,7 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
@@ -21,6 +22,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     announce_ts : Rt.aint array;
         (** NBR+ per-thread even/odd broadcast timestamps (Algorithm 2);
             allocated here so the base can stay scheme-agnostic. *)
+    lc : L.t;  (** thread lifecycle: orphan parcels + crash watchdog *)
     done_stats : Smr_stats.t;  (** folded in from finished contexts *)
     mutable ctxs : ctx option array;
   }
@@ -31,6 +33,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     bag : Limbo_bag.t;
     scratch : int array;  (** collected reservations, sorted in place *)
     st : Smr_stats.t;
+    (* Handshake snapshots (one slot per peer), scratch for [broadcast]: *)
+    hs_seen0 : int array;
+    hs_hb0 : int array;
     (* NBR+ LoWatermark state (unused by plain NBR): *)
     scan_ts : int array;
     mutable first_lo : bool;
@@ -52,11 +57,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
             Array.init cfg.Smr_config.max_reservations (fun _ ->
                 Rt.make_padded P.nil));
       announce_ts = Array.init nthreads (fun _ -> Rt.make_padded 0);
+      lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
 
   let register b ~tid =
+    L.reset_slot b.lc tid;
     let c =
       {
         b;
@@ -64,6 +71,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         bag = Limbo_bag.create ~capacity:(b.cfg.Smr_config.bag_threshold + 8) ();
         scratch = Array.make (b.n * b.cfg.Smr_config.max_reservations) 0;
         st = Smr_stats.zero ();
+        hs_seen0 = Array.make b.n 0;
+        hs_hb0 = Array.make b.n 0;
         scan_ts = Array.make b.n 0;
         first_lo = true;
         bookmark = 0;
@@ -180,6 +189,121 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       if t <> c.tid then Rt.send_signal t
     done
 
+  (* ------------------------------------------------------------------ *)
+  (* Crash recovery (see [Lifecycle]): reap a peer declared dead by the
+     watchdog, and confirm broadcasts when signal delivery is suspect.   *)
+
+  (* Retract [tid]'s published protection so it stops pinning records:
+     reservations to nil, and a dead broadcaster's announce_ts rounded up
+     to even so NBR+ LoWatermark scanners never treat its aborted
+     broadcast as forever in-flight. *)
+  let retract_published b tid =
+    let res = b.reservations.(tid) in
+    for i = 0 to Array.length res - 1 do
+      Rt.store res.(i) P.nil
+    done;
+    let v = Rt.load b.announce_ts.(tid) in
+    if v land 1 = 1 then Rt.store b.announce_ts.(tid) (v + 1)
+
+  (* Drain [vc]'s limbo bag into an orphan parcel and fold its stats into
+     [st] (the claimer's own, single-writer).  The records stay Retired
+     in the pool; adopters re-buffer and free them through their sweeps. *)
+  let orphan_ctx b ~into vc =
+    let slots = ref [] in
+    ignore
+      (Limbo_bag.sweep vc.bag ~upto:(Limbo_bag.abs_tail vc.bag)
+         ~keep:(fun _ -> false)
+         ~free:(fun s -> slots := s :: !slots));
+    L.push_parcel b.lc ~origin:vc.tid !slots;
+    Smr_stats.add into vc.st;
+    b.ctxs.(vc.tid) <- None
+
+  let reap_peer c victim =
+    retract_published c.b victim;
+    match c.b.ctxs.(victim) with
+    | None -> ()
+    | Some vc -> orphan_ctx c.b ~into:c.st vc
+
+  let watchdog c =
+    L.scan c.b.lc ~self:c.tid ~timeout_ns:c.b.cfg.Smr_config.wd_timeout_ns
+      ~rounds:c.b.cfg.Smr_config.wd_rounds
+      ~on_round:(fun ~peer ~round:_ -> Rt.send_signal peer)
+      ~reap:(fun v -> reap_peer c v)
+
+  (* Wait until every live, executing peer has observed *some* signal
+     since our pre-broadcast snapshot.  Any observation after the
+     snapshot suffices: the observing thread restarts (or re-checks at
+     end_read) after our retires were unlinked, which is all the
+     handshake needs — the handler does not care who signalled.  Peers
+     whose heartbeat freezes are dropped from the wait: a frozen peer is
+     not executing, so its pending signal is delivered before its next
+     access regardless (and the watchdog will deal with it if it stays
+     frozen).  Peers that keep executing without observing — dropped
+     signals — get escalating re-sends, then we give up: total wait is
+     bounded by [wd_timeout_ns * 2^wd_rounds]. *)
+  let confirm_broadcast c =
+    let timeout = c.b.cfg.Smr_config.wd_timeout_ns in
+    let rounds = c.b.cfg.Smr_config.wd_rounds in
+    let t0 = Rt.now_ns () in
+    let round = ref 0 in
+    let unacked = ref [] in
+    for t = c.b.n - 1 downto 0 do
+      if
+        t <> c.tid
+        && L.is_active c.b.lc t
+        && not (L.looks_stale c.b.lc t ~timeout_ns:timeout)
+      then unacked := t :: !unacked
+    done;
+    let give_up = ref false in
+    while (not !give_up) && !unacked <> [] do
+      let late = Rt.now_ns () - t0 > timeout in
+      unacked :=
+        List.filter
+          (fun t ->
+            Rt.signals_seen t <= c.hs_seen0.(t)
+            && not (late && Rt.heartbeat t = c.hs_hb0.(t)))
+          !unacked;
+      if !unacked <> [] then begin
+        let age = Rt.now_ns () - t0 in
+        if age > timeout lsl !round then
+          if !round >= rounds then give_up := true
+          else begin
+            List.iter
+              (fun t ->
+                if !Nbr_obs.Trace.on then
+                  Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+                    Nbr_obs.Trace.Heartbeat_timeout t !round;
+                Rt.send_signal t)
+              !unacked;
+            incr round
+          end
+        else begin
+          (* Acknowledge peers' signals (and advance our own heartbeat)
+             while we spin, so two concurrently-confirming writers
+             unblock each other; we are non-restartable here, so this
+             only consumes. *)
+          Rt.poll_t c.tid;
+          Rt.cpu_relax ()
+        end
+      end
+    done
+
+  (* [signal_all], upgraded: runs the crash watchdog first, and — only
+     when a fault decider is installed, i.e. delivery is suspect — the
+     blocking confirmation above.  Fault-free runs keep the paper's
+     wait-free fire-and-forget broadcast. *)
+  let broadcast c =
+    watchdog c;
+    if Rt.fault_injection_active () then begin
+      for t = 0 to c.b.n - 1 do
+        c.hs_seen0.(t) <- Rt.signals_seen t;
+        c.hs_hb0.(t) <- Rt.heartbeat t
+      done;
+      signal_all c;
+      confirm_broadcast c
+    end
+    else signal_all c
+
   (* Collect every other thread's reservations into [c.scratch], sorted;
      returns the count.  Scanned *after* signalling (writers' handshake
      step 3). *)
@@ -234,8 +358,31 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   (* ------------------------------------------------------------------ *)
 
-  let begin_op _c = ()
-  let end_op _c = ()
+  (* Record the bounded-garbage high-water mark after a bag push. *)
+  let note_buffered c n = Smr_stats.note_garbage c.st n
+
+  let begin_op c = L.check_self c.b.lc c.tid
+
+  (* Re-buffer departed/crashed threads' retires as our own: they free
+     through our normal sweeps and count against *our* garbage bound. *)
+  let adopt_orphans c =
+    let n =
+      L.adopt c.b.lc ~tid:c.tid ~push:(fun slot -> Limbo_bag.push c.bag slot)
+    in
+    if n > 0 then note_buffered c (Limbo_bag.size c.bag)
+
+  let end_op c =
+    (* One stdlib atomic load on the hot path; the active check guards a
+       thread resuming after an [Expelled] verdict from adopting. *)
+    if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      retract_published c.b c.tid;
+      L.with_stats_lock c.b.lc (fun () ->
+          orphan_ctx c.b ~into:c.b.done_stats c)
+    end
+  (* else: a watchdog claimed us first and owns all of this state. *)
 
   (* Threshold-independent reclamation event, for pool pressure: a full
      broadcast + sweep regardless of bag size (Algorithm 1's HiWatermark
@@ -244,19 +391,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      touches records it has retired. *)
   let flush c =
     if Limbo_bag.size c.bag > 0 then begin
-      signal_all c;
+      broadcast c;
       reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
       Smr_stats.add_reclaim_events c.st 1
     end
+    else watchdog c
 
   let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
 
   let note_retired c slot =
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1
-
-  (* Record the bounded-garbage high-water mark after a bag push. *)
-  let note_buffered c n = Smr_stats.note_garbage c.st n
 
   (* Buffer an unlinked record: the tail of both schemes' [retire]. *)
   let bag_push c slot =
@@ -271,7 +416,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

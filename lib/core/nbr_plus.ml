@@ -35,6 +35,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let create = B.create
   let register = B.register
+  let deregister = B.deregister
+  let adopt_orphans = B.adopt_orphans
   let begin_op = B.begin_op
   let end_op = B.end_op
   let phase = B.phase
@@ -56,12 +58,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let on_pressure (c : ctx) =
     if Limbo_bag.size c.bag > 0 then begin
       ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* odd: broadcasting  *);
-      B.signal_all c;
+      B.broadcast c;
       ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
       B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
       Smr_stats.add_reclaim_events c.st 1;
       cleanup c
     end
+    else B.watchdog c
 
   let alloc (c : ctx) =
     B.P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
@@ -75,7 +78,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if size >= cfg.bag_threshold then begin
       (* HiWatermark: trigger an RGP of our own. *)
       ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* odd: broadcasting  *);
-      B.signal_all c;
+      B.broadcast c;
       ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
       B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
       Smr_stats.add_reclaim_events c.st 1;

@@ -12,6 +12,7 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
@@ -23,6 +24,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     n : int;
     cfg : Smr_config.t;
     qs : Rt.aint array;
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
@@ -46,11 +48,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       (* Padded per-thread quiescence counters: bumped by their owner on
          every operation, scanned by every reclaimer. *)
       qs = Array.init nthreads (fun _ -> Rt.make_padded 0);
+      lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
 
   let register b ~tid =
+    L.reset_slot b.lc tid;
     let c =
       {
         b;
@@ -63,8 +67,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op c = ignore (Rt.faa c.b.qs.(c.tid) 1) (* odd: active *)
-  let end_op c = ignore (Rt.faa c.b.qs.(c.tid) 1) (* even: quiescent *)
+  let begin_op c =
+    L.check_self c.b.lc c.tid;
+    ignore (Rt.faa c.b.qs.(c.tid) 1) (* odd: active *)
 
   let grace_elapsed c (p : parked) =
     let ok = ref true in
@@ -112,6 +117,37 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         (fun acc p -> acc + Nbr_sync.Int_vec.length p.recs)
         0 c.parked
 
+  (* Orphans join our current (unparked) buffer: they get a fresh
+     snapshot when it parks, which only delays their release. *)
+  let adopt_orphans c =
+    let n =
+      L.adopt c.b.lc ~tid:c.tid ~push:(fun slot ->
+          Nbr_sync.Int_vec.push c.current slot)
+    in
+    if n > 0 then Smr_stats.note_garbage c.st (buffered c)
+
+  let end_op c =
+    ignore (Rt.faa c.b.qs.(c.tid) 1) (* even: quiescent *);
+    if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      (* Leave the counter even: a departed thread is forever quiescent
+         and must never block a peer's grace period. *)
+      if Rt.load c.b.qs.(c.tid) land 1 = 1 then
+        ignore (Rt.faa c.b.qs.(c.tid) 1);
+      let slots = ref [] in
+      Nbr_sync.Int_vec.iter (fun s -> slots := s :: !slots) c.current;
+      List.iter
+        (fun p -> Nbr_sync.Int_vec.iter (fun s -> slots := s :: !slots) p.recs)
+        c.parked;
+      c.current <- Nbr_sync.Int_vec.create ();
+      c.parked <- [];
+      L.push_parcel c.b.lc ~origin:c.tid !slots;
+      L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);
+      c.b.ctxs.(c.tid) <- None
+    end
+
   let retire c slot =
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1;
@@ -148,7 +184,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

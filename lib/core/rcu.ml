@@ -11,6 +11,7 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
@@ -24,6 +25,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     epoch : Rt.aint;
     ann : Rt.aint array;
     retire_ep : int array;  (** per-slot retire epoch (thread-owned writes) *)
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
@@ -44,17 +46,47 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       epoch = Rt.make_padded 1;
       ann = Array.init nthreads (fun _ -> Rt.make_padded idle);
       retire_ep = Array.make (P.capacity pool) 0;
+      lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
     }
 
   let register b ~tid =
+    L.reset_slot b.lc tid;
     let c = { b; tid; bag = Limbo_bag.create (); st = Smr_stats.zero () } in
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op c = Rt.store c.b.ann.(c.tid) (Rt.load c.b.epoch)
-  let end_op c = Rt.store c.b.ann.(c.tid) idle
+  let begin_op c =
+    L.check_self c.b.lc c.tid;
+    Rt.store c.b.ann.(c.tid) (Rt.load c.b.epoch)
+
+  (* Orphan retire epochs live in the t-level [retire_ep] array, so the
+     slots alone carry everything the sweep predicate needs. *)
+  let adopt_orphans c =
+    let n =
+      L.adopt c.b.lc ~tid:c.tid ~push:(fun slot -> Limbo_bag.push c.bag slot)
+    in
+    if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
+
+  let end_op c =
+    Rt.store c.b.ann.(c.tid) idle;
+    if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      (* Withdraw the announcement: a departed reader must not pin the
+         minimum epoch. *)
+      Rt.store c.b.ann.(c.tid) idle;
+      let slots = ref [] in
+      ignore
+        (Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag)
+           ~keep:(fun _ -> false)
+           ~free:(fun s -> slots := s :: !slots));
+      L.push_parcel c.b.lc ~origin:c.tid !slots;
+      L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);
+      c.b.ctxs.(c.tid) <- None
+    end
 
   (* Bump the epoch and free everything retired strictly before the
      minimum announced epoch — the threshold-crossing body of [retire],
@@ -116,7 +148,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

@@ -23,6 +23,20 @@ type t = {
           of the epoch-advance scan (checks epoch_freq/8 threads per
           begin_op, so the default of 16 gives DEBRA its characteristic
           two-load per-operation overhead). *)
+  wd_timeout_ns : int;
+      (** Crash-recovery watchdog base interval: a peer whose runtime
+          heartbeat stays frozen longer than this triggers escalation
+          (trace event + NBR signal re-send); frozen past
+          [wd_timeout_ns * 2^wd_rounds] the peer is declared dead and its
+          state reaped (see [Lifecycle]).  Must sit well above any
+          legitimate pause — the chaos plans stall threads for up to
+          ~100µs, so the default of 150µs escalating to a 600µs death
+          threshold never expels a merely-stalled thread there.  Only
+          consulted while a fault decider is installed. *)
+  wd_rounds : int;
+      (** Escalation rounds before the watchdog declares a frozen peer
+          dead (exponential back-off: round [r] fires at
+          [wd_timeout_ns * 2^r]). *)
   unsafe_end_read : bool;
       (** Ablation A2 (never enable in real use): skip the pending-signal
           check that closes the reservation-publication race in polling
@@ -39,6 +53,8 @@ let default =
     scan_period = 4;
     max_reservations = 3;
     epoch_freq = 16;
+    wd_timeout_ns = 150_000;
+    wd_rounds = 2;
     unsafe_end_read = false;
   }
 

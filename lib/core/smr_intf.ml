@@ -28,6 +28,16 @@
     [read_ptr] performs the announce/fence/validate dance and aborts the
     read phase (via the checkpoint) when validation fails. *)
 
+exception Expelled
+(** Raised by {!S.begin_op} when the calling thread was declared dead by a
+    peer's crash-recovery watchdog while it was frozen (stalled or
+    descheduled past the watchdog threshold) and its SMR state has been
+    reaped.  The context is unusable from then on: the thread must stop,
+    or rejoin with a fresh {!S.register}.  Raised before the operation
+    touches any shared state, so a mistaken claim of a live-but-slow
+    thread never races its reaper through an operation.  Only possible
+    while fault injection is active (see [Lifecycle.check_self]). *)
+
 module type S = sig
   type aint
   type pool
@@ -46,7 +56,26 @@ module type S = sig
 
   val register : t -> tid:int -> ctx
   (** The context for worker [tid]; must be called by each worker (or
-      before the run) exactly once per instance. *)
+      before the run) before its first operation on this instance.
+      Calling it again after {!deregister} (or after an {!Expelled}
+      verdict) re-joins with a fresh context — the dynamic-membership
+      path exercised by the churn workloads. *)
+
+  val deregister : ctx -> unit
+  (** Graceful leave.  Retracts the thread's published protection state
+      (reservations, hazard/era slots, epoch announcements), hands its
+      buffered retires to the scheme's orphan stack for any live thread
+      to adopt, and folds its statistics into the instance aggregate.
+      The context must not be used afterwards; the same [tid] may
+      {!register} again later.  If a crash-recovery watchdog claimed the
+      thread first, this is a no-op (the reaper owns the state). *)
+
+  val adopt_orphans : ctx -> unit
+  (** Drain any orphan parcels (buffered retires of departed or crashed
+      threads) into the calling thread's own limbo state, where they are
+      reclaimed by its normal sweeps and counted against {e its} garbage
+      bound.  Called automatically from [end_op] when orphans are
+      pending; exposed for explicit end-of-run draining. *)
 
   (** {1 Operation lifecycle} *)
 

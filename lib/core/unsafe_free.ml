@@ -10,31 +10,49 @@
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module L = Lifecycle.Make (Rt)
 
   type aint = Rt.aint
   type pool = P.t
 
   type t = {
     pool : P.t;
+    lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
   }
 
-  and ctx = { b : t; st : Smr_stats.t }
+  and ctx = { b : t; tid : int; st : Smr_stats.t }
 
   let scheme_name = "unsafe-free"
   let bounded_garbage = true (* trivially: nothing is ever buffered *)
 
   let create pool ~nthreads _cfg =
-    { pool; done_stats = Smr_stats.zero (); ctxs = Array.make nthreads None }
+    {
+      pool;
+      lc = L.create ~nthreads;
+      done_stats = Smr_stats.zero ();
+      ctxs = Array.make nthreads None;
+    }
 
   let register b ~tid =
-    let c = { b; st = Smr_stats.zero () } in
+    L.reset_slot b.lc tid;
+    let c = { b; tid; st = Smr_stats.zero () } in
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op _ = ()
+  let begin_op c = L.check_self c.b.lc c.tid
   let end_op _ = ()
+
+  (* Records are freed at retire, so nothing is ever buffered and no
+     parcels are ever pushed. *)
+  let adopt_orphans _ = ()
+
+  let deregister c =
+    if L.depart c.b.lc c.tid then begin
+      L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);
+      c.b.ctxs.(c.tid) <- None
+    end
 
   (* Nothing is ever buffered; [max_garbage] stays 0. *)
   let on_pressure _ = ()
@@ -68,7 +86,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let stats b =
     let acc = Smr_stats.zero () in
-    Smr_stats.add acc b.done_stats;
+    L.with_stats_lock b.lc (fun () -> Smr_stats.add acc b.done_stats);
     Array.iter (function None -> () | Some c -> Smr_stats.add acc c.st) b.ctxs;
     acc
 end

@@ -56,19 +56,38 @@ let none ~nthreads = { seed = 0; threads = Array.make nthreads []; signals = Non
 
 let fault_op = function Stall { at_op; _ } | Crash { at_op } | Hog { at_op; _ } -> at_op
 
-(** Seeded chaos: [stalls] stalled threads and [crashes] crashed threads
-    (victims drawn without replacement, never thread 0, so every plan
-    leaves at least one thread running to completion), each triggered at a
-    random operation index in [\[1, ops_window\]].  Stall durations are
-    uniform in [\[stall_ns, 2*stall_ns)].  [signal] installs a signal-fate
-    policy (delays stress Assumption 4 but remain safe; drops are opt-in
-    and unsafe by design). *)
+(* Orders a thread's fault list for the runner: by trigger op, and for a
+   tie a Crash fires after anything else at the same index — a thread that
+   both stalls and crashes at op [k] should suffer the stall first, since
+   the crash is terminal (faults after it are unreachable). *)
+let fault_rank = function Stall _ -> 0 | Hog _ -> 1 | Crash _ -> 2
+
+let sort_faults l =
+  List.sort
+    (fun a b ->
+      match compare (fault_op a) (fault_op b) with
+      | 0 -> compare (fault_rank a) (fault_rank b)
+      | c -> c)
+    l
+
+(** Seeded chaos: [stalls] stalled threads and [crashes] crashed threads,
+    each triggered at a random operation index in [\[1, ops_window\]].
+    Victims are drawn without replacement {e within} each fault kind but
+    the pool resets between kinds, so one thread can draw both a stall and
+    a crash — the paper's worst case of a delayed thread that then dies.
+    Thread 0 is never a victim, so every plan leaves at least one thread
+    running to completion.  Stall durations are uniform in
+    [\[stall_ns, 2*stall_ns)].  Per-thread fault lists are ordered by
+    trigger op with crashes last on ties (a crash is terminal).  [signal]
+    installs a signal-fate policy (delays stress Assumption 4 but remain
+    safe; drops are opt-in and unsafe by design). *)
 let chaos ~seed ~nthreads ?(stalls = 2) ?(crashes = 1) ?(stall_ns = 50_000)
     ?(ops_window = 100) ?signal () =
   if nthreads < 2 then invalid_arg "Fault_plan.chaos: nthreads must be >= 2";
   let rng = Nbr_sync.Rng.create (seed lxor 0x5eed_fa17) in
   let threads = Array.make nthreads [] in
-  let avail = ref (List.init (nthreads - 1) (fun i -> i + 1)) in
+  let victims () = List.init (nthreads - 1) (fun i -> i + 1) in
+  let avail = ref (victims ()) in
   let draw_victim () =
     match !avail with
     | [] -> None
@@ -85,15 +104,14 @@ let chaos ~seed ~nthreads ?(stalls = 2) ?(crashes = 1) ?(stall_ns = 50_000)
         let ns = stall_ns + Nbr_sync.Rng.below rng (max 1 stall_ns) in
         threads.(tid) <- Stall { at_op = at (); ns } :: threads.(tid)
   done;
+  (* Fresh victim pool: a stalled thread may also crash. *)
+  avail := victims ();
   for _ = 1 to crashes do
     match draw_victim () with
     | None -> ()
     | Some tid -> threads.(tid) <- Crash { at_op = at () } :: threads.(tid)
   done;
-  Array.iteri
-    (fun i l ->
-      threads.(i) <- List.sort (fun a b -> compare (fault_op a) (fault_op b)) l)
-    threads;
+  Array.iteri (fun i l -> threads.(i) <- sort_faults l) threads;
   { seed; threads; signals = signal }
 
 let faults_for t tid =

@@ -19,6 +19,9 @@ type kind =
   | Pool_starvation
   | Pool_overflow
   | Fault_action
+  | Heartbeat_timeout
+  | Peer_declared_dead
+  | Orphan_adopted
 
 let kind_code = function
   | Signal_sent -> 0
@@ -33,6 +36,9 @@ let kind_code = function
   | Pool_starvation -> 9
   | Pool_overflow -> 10
   | Fault_action -> 11
+  | Heartbeat_timeout -> 12
+  | Peer_declared_dead -> 13
+  | Orphan_adopted -> 14
 
 let kind_of_code = function
   | 0 -> Signal_sent
@@ -46,7 +52,10 @@ let kind_of_code = function
   | 8 -> Bag_sweep
   | 9 -> Pool_starvation
   | 10 -> Pool_overflow
-  | _ -> Fault_action
+  | 11 -> Fault_action
+  | 12 -> Heartbeat_timeout
+  | 13 -> Peer_declared_dead
+  | _ -> Orphan_adopted
 
 let kind_name = function
   | Signal_sent -> "signal_sent"
@@ -61,6 +70,9 @@ let kind_name = function
   | Pool_starvation -> "pool_starvation"
   | Pool_overflow -> "pool_overflow"
   | Fault_action -> "fault_action"
+  | Heartbeat_timeout -> "heartbeat_timeout"
+  | Peer_declared_dead -> "peer_declared_dead"
+  | Orphan_adopted -> "orphan_adopted"
 
 type event = { e_ns : int; e_tid : int; e_seq : int; e_kind : kind; e_a : int; e_b : int }
 

@@ -33,6 +33,15 @@ type kind =
           b = retired-but-unreclaimed slots *)
   | Pool_overflow  (** a = slot rerouted to the shared overflow stack *)
   | Fault_action  (** a = 0 stall / 1 crash / 2 hog (fault-plan actions) *)
+  | Heartbeat_timeout
+      (** writer's handshake wait on a peer exceeded one backoff round;
+          a = peer tid, b = backoff attempt # *)
+  | Peer_declared_dead
+      (** watchdog gave up on a frozen peer and adopted its state;
+          a = peer tid, b = heartbeat value observed frozen *)
+  | Orphan_adopted
+      (** a live thread adopted an orphan parcel; a = origin tid,
+          b = records adopted *)
 
 val kind_name : kind -> string
 

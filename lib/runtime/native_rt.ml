@@ -79,6 +79,12 @@ type tstate = {
   delayed : int list Atomic.t;
       (** fault-injected in-flight signals: maturity timestamps (ns) *)
   mutable last_seen : int;
+  mutable hb : int;
+      (** progress heartbeat, bumped per poll.  Plain field on the
+          thread's own padded line: the owner's increment is one store
+          with no fence, and the watchdog's cross-domain read tolerates
+          staleness (a monotone counter read late only delays
+          detection). *)
 }
 
 let mk_tstate () =
@@ -88,6 +94,7 @@ let mk_tstate () =
       restartable = Nbr_sync.Padded.make false;
       delayed = Nbr_sync.Padded.make [];
       last_seen = 0;
+      hb = 0;
     }
 
 (* Sized at [run]; index = tid. *)
@@ -176,6 +183,7 @@ let poll_t t =
   let ts = !tstates in
   if t < Array.length ts then begin
     let s = Array.unsafe_get ts t in
+    s.hb <- s.hb + 1;
     (* Matured fault-delayed signals become pending now; unmatured ones
        stay parked (the handler must not run before the delay elapses). *)
     if !faults_active then promote_delayed ~all:false s;
@@ -225,6 +233,22 @@ let drain_signals_t t =
         v 1;
     s.last_seen <- v
   end
+
+(* Cross-thread progress readouts for the crash-recovery watchdog: plain
+   reads of another thread's padded counters.  Both are monotone and
+   stale-tolerant — a value the hardware has not propagated yet reads
+   like a slow peer and only delays the watchdog's verdict. *)
+
+let heartbeat t =
+  let ts = !tstates in
+  if t >= 0 && t < Array.length ts then (Array.unsafe_get ts t).hb else 0
+
+let signals_seen t =
+  let ts = !tstates in
+  if t >= 0 && t < Array.length ts then (Array.unsafe_get ts t).last_seen
+  else 0
+
+let fault_injection_active () = !fault_fn <> None
 
 let is_restartable () =
   let t = self () in

@@ -186,6 +186,40 @@ module type S = sig
   (** Total signals sent since the current {!run} began (for the O(n) vs
       O(n²) ablation).  Counts sends, including delayed and dropped ones. *)
 
+  (** {2 Cross-thread progress observation}
+
+      The two readouts below are the raw material of the crash-recovery
+      watchdog (see [Nbr_core.Lifecycle]): unlike the [_t] family they
+      take {e any} thread's id and may be called by {e other} threads.
+      Both are monotone counters read without synchronisation — a stale
+      value is indistinguishable from a slow peer and merely delays
+      detection, never causes a false "alive" verdict to persist. *)
+
+  val heartbeat : int -> int
+  (** [heartbeat t] is a monotone progress counter for thread [t],
+      advanced by the runtime every time [t] passes a delivery point
+      (every shared access in the simulator, every {!poll_t} natively).
+      A value frozen across a watchdog interval means [t] has not
+      executed any guarded step in that interval: it is stalled, crashed,
+      or descheduled.  Returns 0 for out-of-range ids or outside
+      {!run}. *)
+
+  val signals_seen : int -> int
+  (** [signals_seen t]: how many signal observations thread [t] has made
+      (handler deliveries plus [consume_pending_t]/[drain_signals_t]
+      consumptions).  A reclaimer snapshots this before {!send_signal}
+      and knows its signal reached [t] once the counter advances — the
+      confirmation step of the watchdog's blocking handshake, sound
+      because [t]'s reservation publication precedes its observation
+      bump in program order.  Returns 0 for out-of-range ids. *)
+
+  val fault_injection_active : unit -> bool
+  (** Whether a signal-fate decider is currently installed
+      ({!set_signal_fault}).  The SMR layer uses it to gate the blocking
+      handshake: with no decider, delivery is reliable by construction
+      and the wait-free fire-and-forget broadcast needs no
+      confirmation. *)
+
   (** {1 Fault injection}
 
       Hooks for the chaos harness ([lib/fault]): deterministic adversity —

@@ -107,6 +107,8 @@ type fiber = {
   mutable qacc : int;  (** cycles in current time slice *)
   mutable pending : int;  (** signals sent to this fiber *)
   mutable delivered : int;  (** signals already handled *)
+  mutable hb : int;  (** progress heartbeat: bumped per delivery point *)
+  mutable seen : int;  (** signal observations (deliveries + consumes) *)
   mutable delayed : int list;
       (** fault-injected in-flight signals: the clock values at which each
           matures into [pending].  Written by senders, promoted by the
@@ -124,6 +126,8 @@ let mk_fiber id =
     qacc = 0;
     pending = 0;
     delivered = 0;
+    hb = 0;
+    seen = 0;
     delayed = [];
     restartable = false;
     finished = id < 0;
@@ -188,6 +192,7 @@ let fiber_ns f = int_of_float (float_of_int f.clock /. !cfg.ghz)
 let deliver_pending f =
   promote_matured f;
   if f.pending > f.delivered then begin
+    f.seen <- f.seen + (f.pending - f.delivered);
     f.delivered <- f.pending;
     f.clock <- f.clock + !cfg.c_signal_handle;
     if !Nbr_obs.Trace.on then
@@ -222,6 +227,7 @@ let prologue cost =
   let f = !cur in
   if f.id >= 0 then begin
     let cost = cost + jitter_cycles () in
+    f.hb <- f.hb + 1;
     f.clock <- f.clock + cost;
     f.acc <- f.acc + cost;
     f.qacc <- f.qacc + cost;
@@ -350,6 +356,7 @@ let consume_pending_t _ =
     let had = f.delayed <> [] || f.pending > f.delivered in
     f.delayed <- [];
     f.delivered <- f.pending;
+    if had then f.seen <- f.seen + 1;
     if had && !Nbr_obs.Trace.on then
       Nbr_obs.Trace.emit ~tid:f.id ~ns:(fiber_ns f)
         Nbr_obs.Trace.Signal_consumed f.pending 0;
@@ -359,14 +366,31 @@ let consume_pending_t _ =
 let drain_signals_t _ =
   let f = !cur in
   if f.id >= 0 then begin
-    if
-      (f.delayed <> [] || f.pending > f.delivered) && !Nbr_obs.Trace.on
-    then
+    let had = f.delayed <> [] || f.pending > f.delivered in
+    if had && !Nbr_obs.Trace.on then
       Nbr_obs.Trace.emit ~tid:f.id ~ns:(fiber_ns f)
         Nbr_obs.Trace.Signal_consumed f.pending 1;
     f.delayed <- [];
-    f.delivered <- f.pending
+    f.delivered <- f.pending;
+    if had then f.seen <- f.seen + 1
   end
+
+(* Cross-thread progress readouts for the crash-recovery watchdog.  The
+   reads are charged like plain loads of a remote line; values are exact
+   here (single domain), which is what makes watchdog verdicts — and the
+   chaos trials built on them — deterministic in sim. *)
+
+let heartbeat t =
+  if in_fiber () then prologue (!cfg).c_plain_load;
+  let fs = !fibers in
+  if t >= 0 && t < Array.length fs then fs.(t).hb else 0
+
+let signals_seen t =
+  if in_fiber () then prologue (!cfg).c_plain_load;
+  let fs = !fibers in
+  if t >= 0 && t < Array.length fs then fs.(t).seen else 0
+
+let fault_injection_active () = !fault_fn <> None
 
 let checkpoint f =
   if in_fiber () then prologue !cfg.c_setjmp;

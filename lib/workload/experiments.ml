@@ -346,6 +346,154 @@ let chaos quick =
     seeds
 
 (* ------------------------------------------------------------------ *)
+(* E2-churn: dynamic membership — workers leave and rejoin mid-trial.   *)
+
+(* One churn trial: run, validate, count lifecycle trace events, and
+   check the garbage bound for P2 schemes (orphans count against the
+   adopter, so the bound covers them).  Returns (max_garbage, bound,
+   orphans adopted, watchdog deaths, worst escalation round). *)
+let churn_trial ~scheme ~structure ~nthreads ~duration ~key_range ~seed
+    ?faults ~churn_ops () =
+  Sim.set_config { base_sim_config with seed };
+  Nbr_obs.Trace.enable ~nthreads ();
+  let cfg =
+    Trial.mk ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
+      ~del_pct:50
+      ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 64)
+      ~seed ?faults ~churn_ops ()
+  in
+  let r = H.run ~scheme ~structure cfg in
+  let adopted = ref 0 and deaths = ref 0 and worst_round = ref 0 in
+  List.iter
+    (fun e ->
+      match e.Nbr_obs.Trace.e_kind with
+      | Nbr_obs.Trace.Orphan_adopted -> adopted := !adopted + e.Nbr_obs.Trace.e_b
+      | Nbr_obs.Trace.Peer_declared_dead -> incr deaths
+      | Nbr_obs.Trace.Heartbeat_timeout ->
+          worst_round := max !worst_round e.Nbr_obs.Trace.e_b
+      | _ -> ())
+    (Nbr_obs.Trace.events ());
+  Nbr_obs.Trace.clear ();
+  incr validated;
+  if not (Trial.valid r) then begin
+    incr failures;
+    Format.printf "VALIDATION FAILURE: %a@." Trial.pp_row r
+  end;
+  let bound = Trial.garbage_bound cfg in
+  let mg = Nbr_core.Smr_stats.max_garbage r.smr_stats in
+  if claims_bounded scheme && mg > bound then begin
+    incr failures;
+    Format.printf "VALIDATION FAILURE: %s/%s churn max_garbage %d > bound %d@."
+      scheme structure mg bound
+  end;
+  (mg, bound, !adopted, !deaths, !worst_round)
+
+let churn quick =
+  let p = if quick then quick_profile else std_profile in
+  let nthreads = 8 in
+  let duration = p.duration_ns * 4 in
+  let key_range = 128 in
+  let schemes =
+    [ "nbr+"; "nbr"; "ibr"; "hp"; "he"; "debra"; "qsbr"; "rcu"; "none" ]
+  in
+  let seeds = if quick then [ 21 ] else [ 21; 22 ] in
+  print_newline ();
+  print_endline
+    "## E2-churn: dynamic membership (join/leave) across all schemes";
+  print_endline
+    "   Every worker but thread 0 deregisters and immediately re-registers";
+  print_endline
+    "   each 64 completed ops, orphaning its buffered retires for survivors";
+  print_endline
+    "   to adopt.  Set semantics must hold, P2 schemes must keep max garbage";
+  print_endline
+    "   under the bound counting orphans, and — with no faults injected —";
+  print_endline
+    "   the watchdog must never fire (a leaving thread is not a dead one).";
+  List.iter
+    (fun seed ->
+      Printf.printf "\nseed %d (churn only):\n" seed;
+      Printf.printf "%-8s %-12s %12s %8s %8s %7s  %s\n" "scheme" "structure"
+        "max_garbage" "bound" "adopted" "deaths" "verdict";
+      List.iter
+        (fun scheme ->
+          let structure =
+            if H.supported ~scheme ~structure:"harris-list" then "harris-list"
+            else "lazy-list"
+          in
+          let mg, bound, adopted, deaths, _ =
+            churn_trial ~scheme ~structure ~nthreads ~duration ~key_range
+              ~seed ~churn_ops:64 ()
+          in
+          (* No fault plan ⇒ the watchdog is disarmed; any death here means
+             lifecycle state leaked across a clean deregister. *)
+          if deaths > 0 then begin
+            incr failures;
+            Format.printf
+              "VALIDATION FAILURE: %s spurious watchdog death under pure churn@."
+              scheme
+          end;
+          let verdict =
+            if claims_bounded scheme then
+              if mg <= bound then "bounded (P2 holds)" else "BOUND VIOLATION"
+            else "no P2 claim"
+          in
+          Printf.printf "%-8s %-12s %12d %8d %8d %7d  %s\n%!" scheme structure
+            mg bound adopted deaths verdict)
+        schemes)
+    seeds;
+  (* Churn composed with the chaos plan: leavers, stallers and a crasher
+     at once.  The watchdog may now legitimately declare stalled threads
+     dead; what must still hold is the garbage bound (orphans included)
+     and that no writer wedges on the handshake — every escalation stays
+     within the configured round budget. *)
+  let wd_rounds = Nbr_core.Smr_config.default.Nbr_core.Smr_config.wd_rounds in
+  List.iter
+    (fun seed ->
+      let plan =
+        Nbr_fault.Fault_plan.chaos ~seed ~nthreads ~stalls:2 ~crashes:1
+          ~stall_ns:(duration / 2) ~ops_window:200
+          ~signal:
+            {
+              Nbr_fault.Fault_plan.delay_pct = 25;
+              delay_ns = 20_000;
+              drop_pct = 0;
+            }
+          ()
+      in
+      Format.printf "@.seed %d (churn + chaos): %a@." seed
+        Nbr_fault.Fault_plan.pp plan;
+      Printf.printf "%-8s %-12s %12s %8s %8s %7s %6s  %s\n" "scheme"
+        "structure" "max_garbage" "bound" "adopted" "deaths" "rounds"
+        "verdict";
+      List.iter
+        (fun scheme ->
+          let structure =
+            if H.supported ~scheme ~structure:"harris-list" then "harris-list"
+            else "lazy-list"
+          in
+          let mg, bound, adopted, deaths, worst_round =
+            churn_trial ~scheme ~structure ~nthreads ~duration ~key_range
+              ~seed ~faults:plan ~churn_ops:64 ()
+          in
+          if worst_round > wd_rounds then begin
+            incr failures;
+            Format.printf
+              "VALIDATION FAILURE: %s handshake escalated to round %d (budget %d)@."
+              scheme worst_round wd_rounds
+          end;
+          let verdict =
+            if claims_bounded scheme then
+              if mg <= bound then "bounded (P2 holds)" else "BOUND VIOLATION"
+            else if mg > bound then "grew past bound (expected: no P2)"
+            else "under bound (no P2 claim)"
+          in
+          Printf.printf "%-8s %-12s %12d %8d %8d %7d %6d  %s\n%!" scheme
+            structure mg bound adopted deaths worst_round verdict)
+        schemes)
+    (if quick then [ 31 ] else [ 31; 32 ])
+
+(* ------------------------------------------------------------------ *)
 (* A1: signal-count ablation — NBR's O(n²) vs NBR+'s O(n) (paper §5).  *)
 
 let ablation_signals quick =
@@ -390,7 +538,9 @@ let ext_structures quick =
     ~title:
       "EXT: hash set (Harris-list buckets) — short traversals, high \
        allocation churn"
-    ~structure:"hash-set" ~schemes:[ "nbr+"; "nbr"; "debra"; "ibr"; "none" ]
+    (* No ibr: hash-set buckets are Harris lists, whose mark-tagged
+       traversal era protection cannot cover (see Harness.unsupported). *)
+    ~structure:"hash-set" ~schemes:[ "nbr+"; "nbr"; "debra"; "qsbr"; "none" ]
     ~key_range:16384 ~smr_threshold:256 p;
   throughput_sweep ~mixes
     ~title:
@@ -482,6 +632,8 @@ let all : (string * string * (bool -> unit)) list =
     ("fig4c", "peak memory with stalled thread (E2)", fig4c);
     ("fig4d", "peak memory without stalled thread (E2)", fig4d);
     ("chaos", "bounded garbage under seeded fault plans (E2-chaos)", chaos);
+    ("churn", "dynamic join/leave, alone and composed with chaos (E2-churn)",
+     churn);
     ("fig5a", "DGT tree, large size (appendix B)", fig5a);
     ("fig5b", "DGT tree, small size (appendix B)", fig5b);
     ("fig6a", "lazy list, moderate size (appendix B)", fig6a);

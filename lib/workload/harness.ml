@@ -80,11 +80,19 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   (* Era/hazard protection cannot cover traversals through unlinked
      records (paper P5), and the rotation-window HP/HE variants here
      cannot keep a skiplist's many cross-level predecessors protected:
-     never pair these schemes with those structures. *)
+     never pair these schemes with those structures.  IBR shares the P5
+     half of that: its era ratchet cannot protect a mark-tagged link read
+     out of an already-retired record (a thread descheduled mid-traversal
+     can wake inside one whose frozen link points at a freed record born
+     after its announced upper bound — found by the churn QCheck property),
+     so the [read_raw]-traversing structures are off limits to it too.
+     IBR's validated [read_ptr] keeps it safe on the remaining structures,
+     skiplist included. *)
   let unsupported =
     [
       ("hp", "harris-list"); ("hp", "hash-set"); ("hp", "skip-list");
       ("he", "harris-list"); ("he", "hash-set"); ("he", "skip-list");
+      ("ibr", "harris-list"); ("ibr", "hash-set");
     ]
 
   let supported ~scheme ~structure =

@@ -86,17 +86,36 @@ struct
           end);
       Smr.end_op ctx
     in
+    let thread_faults =
+      match cfg.faults with
+      | None -> false
+      | Some p -> Nbr_fault.Fault_plan.has_thread_faults p
+    in
     (* Injected signal faults live only for the duration of this run: the
-       decider is process-global runtime state. *)
+       decider is process-global runtime state.  A plan that faults
+       threads but leaves signals alone still installs a (pass-through)
+       decider: [Rt.fault_injection_active] is what arms the schemes'
+       watchdog/recovery machinery, and a plan with stalled or crashed
+       threads is exactly when it must be armed. *)
     (match cfg.faults with
     | None -> ()
-    | Some p -> Rt.set_signal_fault (Nbr_fault.Fault_plan.fate_fn p));
+    | Some p -> (
+        match Nbr_fault.Fault_plan.fate_fn p with
+        | Some _ as f -> Rt.set_signal_fault f
+        | None ->
+            if thread_faults then
+              Rt.set_signal_fault
+                (Some
+                   (fun ~sender:_ ~target:_ ->
+                     Nbr_runtime.Runtime_intf.Sig_deliver))));
     Fun.protect ~finally:(fun () -> Rt.set_signal_fault None) @@ fun () ->
     Rt.run ~nthreads:n (fun tid ->
-        let ctx = ctxs.(tid) in
+        (* A ref so dynamic membership (churn) can swap in the fresh
+           context of a re-registration. *)
+        let ctx = ref ctxs.(tid) in
         let rng = Nbr_sync.Rng.for_thread ~seed:cfg.seed ~tid in
         (match cfg.stall with
-        | Some s when s.stall_tid = tid -> stall_in_op ctx s.stall_ns
+        | Some s when s.stall_tid = tid -> stall_in_op !ctx s.stall_ns
         | _ -> ());
         (* Chaos-plan faults fire between operations, once their trigger
            index is reached. *)
@@ -109,6 +128,7 @@ struct
         let crashed = ref false in
         let my_ins = ref 0 and my_del = ref 0 and my_ops = ref 0 in
         while (not !crashed) && Rt.now_ns () < deadline do
+          try
           (match !faults with
           | f :: rest when Nbr_fault.Fault_plan.fault_op f <= !my_ops -> (
               faults := rest;
@@ -121,13 +141,13 @@ struct
                   | Nbr_fault.Fault_plan.Hog _ -> 2)
                   !my_ops;
               match f with
-              | Nbr_fault.Fault_plan.Stall { ns; _ } -> stall_in_op ctx ns
+              | Nbr_fault.Fault_plan.Stall { ns; _ } -> stall_in_op !ctx ns
               | Nbr_fault.Fault_plan.Crash _ ->
                   (* Die mid-operation: enter but never leave.  The
                      scheme's in-op state — epoch/interval announcements,
                      the reservations left published by the previous
                      phase, the whole limbo bag — is orphaned forever. *)
-                  Smr.begin_op ctx;
+                  Smr.begin_op !ctx;
                   crashed := true
               | Nbr_fault.Fault_plan.Hog { slots; ns; _ } ->
                   (* Manufactured pool pressure: grab raw slots (no
@@ -148,15 +168,15 @@ struct
             (* Returns the histogram index of the operation performed. *)
             let do_op () =
               if p < cfg.ins_pct then begin
-                if Ds.insert ds ctx k then incr my_ins;
+                if Ds.insert ds !ctx k then incr my_ins;
                 0
               end
               else if p < cfg.ins_pct + cfg.del_pct then begin
-                if Ds.delete ds ctx k then incr my_del;
+                if Ds.delete ds !ctx k then incr my_del;
                 1
               end
               else begin
-                ignore (Ds.contains ds ctx k);
+                ignore (Ds.contains ds !ctx k);
                 2
               end
             in
@@ -164,16 +184,41 @@ struct
             | None -> ignore (do_op ())
             | Some hists ->
                 let h = hists.(tid) in
-                let st = Smr.ctx_stats ctx in
+                let st = Smr.ctx_stats !ctx in
                 let r0 = Nbr_core.Smr_stats.restarts st in
                 let t0 = Rt.now_ns () in
                 let idx = do_op () in
                 Nbr_obs.Histogram.record h.(idx) (Rt.now_ns () - t0);
                 Nbr_obs.Histogram.record h.(3)
                   (Nbr_core.Smr_stats.restarts st - r0));
-            incr my_ops
+            incr my_ops;
+            (* Dynamic membership: leave (orphaning our buffered retires
+               for survivors to adopt) and immediately rejoin with a
+               fresh context.  Thread 0 stays put so the trial always has
+               one stable member. *)
+            if cfg.churn_ops > 0 && tid > 0 && !my_ops mod cfg.churn_ops = 0
+            then begin
+              Smr.deregister !ctx;
+              ctx := Smr.register smr ~tid
+            end
           end
+          with Nbr_core.Smr_intf.Expelled ->
+            (* A peer's watchdog declared this thread dead while it was
+               frozen past the death threshold (a long stall) and reaped
+               its state.  The context is unusable: stop, like a crash —
+               completed operations all committed before the expulsion
+               point, so the size invariant is unaffected. *)
+            crashed := true
         done;
+        (* Post-trial drain when membership was dynamic or threads were
+           faulted: surviving workers adopt any orphan parcels still on
+           the stack and flush, so end-of-trial outstanding garbage is a
+           meaningful bounded-reclamation measure (and the chaos tests
+           can assert it). *)
+        if (not !crashed) && (thread_faults || cfg.churn_ops > 0) then begin
+          Smr.adopt_orphans !ctx;
+          Smr.on_pressure !ctx
+        end;
         inserts.(tid) <- !my_ins;
         deletes.(tid) <- !my_del;
         ops.(tid) <- !my_ops);

@@ -30,6 +30,11 @@ type cfg = {
       (** chaos schedule (multi-thread stalls, crashes, hogs, signal
           faults) interpreted by the runner; [stall] above is the simpler
           fixed-thread E2 knob and composes with it *)
+  churn_ops : int;
+      (** dynamic membership: when positive, every worker except thread 0
+          deregisters from the scheme and re-registers after each
+          [churn_ops] completed operations, orphaning whatever it had
+          buffered for the survivors to adopt.  0 = static membership. *)
   record_latency : bool;
       (** per-operation latency + restarts-per-op histograms (two clock
           reads and two O(1) histogram inserts per operation while on —
@@ -39,7 +44,7 @@ type cfg = {
 let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     ?prefill ?(ins_pct = 25) ?(del_pct = 25)
     ?(smr = Nbr_core.Smr_config.default) ?pool_capacity ?(seed = 1)
-    ?stall ?faults ?(record_latency = false) () =
+    ?stall ?faults ?(churn_ops = 0) ?(record_latency = false) () =
   let prefill = match prefill with Some p -> p | None -> key_range / 2 in
   let pool_capacity =
     match pool_capacity with
@@ -64,6 +69,7 @@ let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     seed;
     stall;
     faults;
+    churn_ops;
     record_latency;
   }
 

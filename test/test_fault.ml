@@ -53,6 +53,46 @@ let test_plan_shape () =
         (Format.asprintf "%a" FP.pp p'))
     [ 1; 2; 3; 4; 5 ]
 
+(* The victim pool resets between fault kinds: across seeds, some plan
+   must put a stall AND the crash on the same thread (the paper's worst
+   case — a delayed thread that then dies), which the old
+   draw-without-replacement-across-kinds generator could never emit. *)
+let test_plan_same_tid_collision () =
+  let found = ref false in
+  for seed = 1 to 200 do
+    let p = FP.chaos ~seed ~nthreads:4 ~stalls:2 ~crashes:1 ~stall_ns:1000 () in
+    let stalled = FP.stalled_tids p and crashed = FP.crashed_tids p in
+    if List.exists (fun t -> List.mem t stalled) crashed then found := true
+  done;
+  Alcotest.(check bool) "some seed stalls and crashes one thread" true !found
+
+(* Per-thread fault lists are ordered by trigger op, and a Crash ties
+   after other kinds at the same op: everything after a crash is
+   unreachable, so the runner must see the stall first. *)
+let test_plan_fault_order () =
+  for seed = 1 to 100 do
+    let p =
+      FP.chaos ~seed ~nthreads:4 ~stalls:3 ~crashes:3 ~stall_ns:1000
+        ~ops_window:3 ()
+    in
+    Array.iteri
+      (fun tid _ ->
+        let rec check = function
+          | a :: (b :: _ as rest) ->
+              if FP.fault_op a > FP.fault_op b then
+                Alcotest.failf "seed %d t%d: faults out of op order" seed tid;
+              (match (a, b) with
+              | FP.Crash { at_op }, f when FP.fault_op f = at_op ->
+                  Alcotest.failf "seed %d t%d: crash ordered before a \
+                                  same-op fault" seed tid
+              | _ -> ());
+              check rest
+          | _ -> ()
+        in
+        check (FP.faults_for p tid))
+      p.FP.threads
+  done
+
 (* Two deciders built from the same plan must hand out identical fates:
    chaos trials stay replayable. *)
 let test_fate_deterministic () =
@@ -183,6 +223,67 @@ let chaos_native_case scheme =
           structure r.T.final_size r.T.expected_size;
       if r.T.total_ops = 0 then Alcotest.fail "no operations completed")
 
+(* ---------------- crash recovery: outstanding garbage ---------------- *)
+
+(* End-state reclamation under a crash, not just the high-water mark.
+   The trial outlives the watchdog death threshold by an order of
+   magnitude, so the crashed thread is declared dead, its published
+   state retracted and its limbo bag adopted and freed; survivors flush
+   their own bags in the post-trial drain.  Aggregate outstanding
+   garbage (retires − frees) must then be near zero: for pointer-
+   reservation schemes (nbr/nbr+/hp) only records pinned by survivors'
+   final published reservations may remain; era schemes (ibr/he)
+   additionally keep records whose lifetime overlaps a survivor's stale
+   final interval, so they get the interval slack.  Without the
+   lifecycle layer the crashed thread's bag and reservations leaked
+   permanently and every worker's bag was abandoned at the deadline —
+   far past the pointer-scheme bound. *)
+let chaos_outstanding_case scheme =
+  Alcotest.test_case (scheme ^ " chaos recovery: outstanding") `Quick
+    (fun () ->
+      let nthreads = 6 in
+      let duration = 3_000_000 in
+      (* Short stalls (well under the 600us death threshold) plus one
+         crash: the staller recovers and must not be expelled; the
+         crasher must be reaped. *)
+      let plan =
+        FP.chaos ~seed:17 ~nthreads ~stalls:1 ~crashes:1 ~stall_ns:50_000
+          ~ops_window:60 ()
+      in
+      let structure = structure_for scheme in
+      Sim.set_config
+        { Sim.default_config with cores = 8; granularity = 400; seed = 17 };
+      let cfg =
+        T.mk ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50
+          ~del_pct:50
+          ~smr:
+            (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+               128)
+          ~seed:17 ~faults:plan ()
+      in
+      let r = HS.run ~scheme ~structure cfg in
+      if not (T.valid r) then
+        Alcotest.failf "%s/%s: invalid (size %d expected %d, uaf %d)" scheme
+          structure r.T.final_size r.T.expected_size r.T.uaf_reads;
+      let st = r.T.smr_stats in
+      let outstanding =
+        Nbr_core.Smr_stats.retires st - Nbr_core.Smr_stats.freed st
+      in
+      let max_res = if structure = "harris-list" then 3 else 2 in
+      let tight = (nthreads * max_res) + 64 in
+      let bound =
+        match scheme with
+        | "nbr" | "nbr+" | "hp" -> tight
+        | _ -> tight + (2 * cfg.T.key_range)
+      in
+      if outstanding > bound then
+        Alcotest.failf
+          "%s: %d records still outstanding after recovery (bound %d, \
+           retired %d freed %d)"
+          scheme outstanding bound
+          (Nbr_core.Smr_stats.retires st)
+          (Nbr_core.Smr_stats.freed st))
+
 (* ---------------- graceful pool exhaustion ---------------- *)
 
 (* A starving allocator must succeed — not raise [Exhausted] — when a
@@ -227,6 +328,10 @@ let test_exhaustion_retry () =
 let suite =
   [
     Alcotest.test_case "chaos plan shape + determinism" `Quick test_plan_shape;
+    Alcotest.test_case "chaos plan same-tid stall+crash reachable" `Quick
+      test_plan_same_tid_collision;
+    Alcotest.test_case "chaos plan per-thread fault order" `Quick
+      test_plan_fault_order;
     Alcotest.test_case "signal fates deterministic" `Quick
       test_fate_deterministic;
     Alcotest.test_case "dropped signal counted, invisible" `Quick
@@ -237,4 +342,6 @@ let suite =
   ]
   @ List.map chaos_sim_case HS.scheme_names
   @ List.map chaos_sim_delay_case HS.scheme_names
+  @ List.map chaos_outstanding_case
+      (List.filter claims_bounded HS.scheme_names)
   @ List.map chaos_native_case HN.scheme_names

@@ -1,0 +1,239 @@
+(* Thread-lifecycle tests: clean departure (deregister), orphan adoption,
+   re-registration, watchdog reaping of a crashed thread (trace-asserted),
+   and a QCheck property that dynamic join/leave churn never double-frees
+   or breaks set semantics. *)
+
+module Sim = Nbr_runtime.Sim_rt
+module P = Nbr_pool.Pool.Make (Sim)
+module HS = Nbr_workload.Harness.Make (Sim)
+module T = Nbr_workload.Trial
+module FP = Nbr_fault.Fault_plan
+
+let cfg threshold =
+  Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default threshold
+
+let sim_cfg seed =
+  Sim.set_config { Sim.default_config with cores = 4; granularity = 1; seed }
+
+(* ------------------------------------------------------------------ *)
+(* Per-scheme: a departing thread's buffered retires are orphaned, a
+   survivor adopts them, and they are actually freed.                  *)
+
+module DeregAdopt
+    (S : Nbr_core.Smr_intf.S with type aint = Sim.aint and type pool = P.t) =
+struct
+  (* Thread 1 buffers [retired] records (threshold high enough that none
+     are freed early), departs, and thread 0 adopts and flushes.  All
+     [retired] records must end up freed and the pool must drain back to
+     zero slots in use — nothing may leak with the departed thread, and
+     nothing may be freed twice (the pool's seqno discipline would trip
+     UAF/validation on a double free). *)
+  let test_dereg_adopt () =
+    sim_cfg 7;
+    let retired = 20 in
+    let pool = P.create ~capacity:4096 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+    let smr = S.create pool ~nthreads:2 (cfg 64) in
+    let c0 = S.register smr ~tid:0 and c1 = S.register smr ~tid:1 in
+    let departed = ref false in
+    Sim.run ~nthreads:2 (fun tid ->
+        if tid = 1 then begin
+          S.begin_op c1;
+          for _ = 1 to retired do
+            let s = S.alloc c1 in
+            S.retire c1 s
+          done;
+          S.end_op c1;
+          S.deregister c1;
+          departed := true
+        end
+        else begin
+          while not !departed do
+            Sim.stall_ns 200
+          done;
+          S.adopt_orphans c0;
+          (* Epoch-based schemes need a few clean operations from the
+             only remaining member before their grace periods elapse. *)
+          for _ = 1 to 3 do
+            S.begin_op c0;
+            S.end_op c0;
+            S.on_pressure c0
+          done
+        end);
+    let st = S.stats smr in
+    Alcotest.(check int)
+      "all retires accounted" retired
+      (Nbr_core.Smr_stats.retires st);
+    Alcotest.(check int) "all freed exactly once" retired
+      (Nbr_core.Smr_stats.freed st);
+    Alcotest.(check int) "pool drained" 0 (P.stats pool).P.s_in_use;
+    Alcotest.(check int) "no UAF" 0 (P.stats pool).P.s_uaf_reads
+
+  (* Departure is not death: a deregistered thread may re-register under
+     the same tid and keep operating, and the scheme's aggregate stats
+     survive the round trip. *)
+  let test_rejoin () =
+    sim_cfg 8;
+    let pool = P.create ~capacity:4096 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+    let smr = S.create pool ~nthreads:2 (cfg 64) in
+    let c0 = S.register smr ~tid:0 in
+    ignore c0;
+    Sim.run ~nthreads:1 (fun _ ->
+        let c1 = ref (S.register smr ~tid:1) in
+        for _ = 1 to 3 do
+          S.begin_op !c1;
+          let s = S.alloc !c1 in
+          S.retire !c1 s;
+          S.end_op !c1;
+          S.deregister !c1;
+          c1 := S.register smr ~tid:1
+        done;
+        (* The final incarnation is fully functional. *)
+        S.begin_op !c1;
+        let s = S.alloc !c1 in
+        S.retire !c1 s;
+        S.end_op !c1);
+    Alcotest.(check int)
+      "retires accumulate across incarnations" 4
+      (Nbr_core.Smr_stats.retires (S.stats smr))
+
+  let cases name =
+    [
+      Alcotest.test_case (name ^ " deregister/adopt frees orphans") `Quick
+        test_dereg_adopt;
+      Alcotest.test_case (name ^ " deregister + re-register round trip")
+        `Quick test_rejoin;
+    ]
+end
+
+(* Leaky reclamation never buffers, so departure has nothing to orphan —
+   but the lifecycle round trip must still work. *)
+module Leaky = Nbr_core.Leaky.Make (Sim)
+
+let test_leaky_lifecycle () =
+  sim_cfg 9;
+  let pool = P.create ~capacity:4096 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+  let smr = Leaky.create pool ~nthreads:2 (cfg 64) in
+  let c1 = Leaky.register smr ~tid:1 in
+  Sim.run ~nthreads:1 (fun _ ->
+      Leaky.begin_op c1;
+      let s = Leaky.alloc c1 in
+      Leaky.retire c1 s;
+      Leaky.end_op c1;
+      Leaky.deregister c1;
+      let c1' = Leaky.register smr ~tid:1 in
+      Leaky.adopt_orphans c1' (* no-op: nothing is ever buffered *));
+  Alcotest.(check int) "leaked record stays in use" 1
+    (P.stats pool).P.s_in_use;
+  Alcotest.(check int)
+    "stats survive departure" 1
+    (Nbr_core.Smr_stats.retires (Leaky.stats smr))
+
+module D_nbr = DeregAdopt (Nbr_core.Nbr.Make (Sim))
+module D_nbrp = DeregAdopt (Nbr_core.Nbr_plus.Make (Sim))
+module D_debra = DeregAdopt (Nbr_core.Debra.Make (Sim))
+module D_qsbr = DeregAdopt (Nbr_core.Qsbr.Make (Sim))
+module D_rcu = DeregAdopt (Nbr_core.Rcu.Make (Sim))
+module D_ibr = DeregAdopt (Nbr_core.Ibr.Make (Sim))
+module D_hp = DeregAdopt (Nbr_core.Hp.Make (Sim))
+module D_he = DeregAdopt (Nbr_core.Hazard_eras.Make (Sim))
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: a crashed thread is declared dead, reaped, and its orphans
+   adopted — observed through the trace events the recovery layer emits. *)
+
+let test_watchdog_reaps_crashed () =
+  let nthreads = 4 in
+  let duration = 2_000_000 in
+  (* Crash-only plan: no signal policy, so this also pins down that the
+     runner arms the fault machinery (and with it the watchdog) for
+     thread-fault-only plans. *)
+  let plan =
+    FP.chaos ~seed:5 ~nthreads ~stalls:0 ~crashes:1 ~ops_window:30 ()
+  in
+  Sim.set_config
+    { Sim.default_config with cores = 4; granularity = 400; seed = 5 };
+  Nbr_obs.Trace.enable ~nthreads ();
+  Fun.protect ~finally:Nbr_obs.Trace.clear @@ fun () ->
+  let cfg =
+    T.mk ~nthreads ~duration_ns:duration ~key_range:64 ~ins_pct:50 ~del_pct:50
+      ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 16)
+      ~seed:5 ~faults:plan ()
+  in
+  let r = HS.run ~scheme:"nbr+" ~structure:"harris-list" cfg in
+  if not (T.valid r) then
+    Alcotest.failf "invalid trial (size %d expected %d, uaf %d)"
+      r.T.final_size r.T.expected_size r.T.uaf_reads;
+  let deaths = ref 0 and adoptions = ref 0 and timeouts = ref 0 in
+  let crashed_tid = List.hd (FP.crashed_tids plan) in
+  List.iter
+    (fun e ->
+      match e.Nbr_obs.Trace.e_kind with
+      | Nbr_obs.Trace.Peer_declared_dead ->
+          incr deaths;
+          Alcotest.(check int)
+            "the declared-dead peer is the crashed thread" crashed_tid
+            e.Nbr_obs.Trace.e_a
+      | Nbr_obs.Trace.Orphan_adopted ->
+          incr adoptions;
+          Alcotest.(check int)
+            "adopted parcel originates from the crashed thread" crashed_tid
+            e.Nbr_obs.Trace.e_a
+      | Nbr_obs.Trace.Heartbeat_timeout -> incr timeouts
+      | _ -> ())
+    (Nbr_obs.Trace.events ());
+  Alcotest.(check int) "crashed thread declared dead exactly once" 1 !deaths;
+  Alcotest.(check bool)
+    (Printf.sprintf "escalation rounds preceded the verdict (%d)" !timeouts)
+    true (!timeouts >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "orphans adopted (%d parcels)" !adoptions)
+    true (!adoptions >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: join/leave churn never double-frees.                        *)
+
+(* Random scheme, churn period, thread count and seed; a sim trial with
+   dynamic membership must preserve set semantics, commit no UAF read
+   (which is what a double free surfaces as under the pool's seqno
+   discipline), and raise nothing.  [Trial.valid] checks all of it. *)
+let churn_never_double_frees =
+  QCheck.Test.make ~count:15 ~name:"churn trials stay valid (no double free)"
+    QCheck.(
+      quad (int_range 0 7) (* scheme *)
+        (int_range 2 6) (* threads *)
+        (int_range 8 80) (* churn period *)
+        (int_range 1 1000) (* seed *))
+    (fun (si, nthreads, churn_ops, seed) ->
+      let scheme =
+        List.nth
+          [ "nbr+"; "nbr"; "debra"; "qsbr"; "rcu"; "ibr"; "hp"; "he" ]
+          si
+      in
+      let structure =
+        if HS.supported ~scheme ~structure:"harris-list" then "harris-list"
+        else "lazy-list"
+      in
+      Sim.set_config
+        { Sim.default_config with cores = 4; granularity = 200; seed };
+      let cfg =
+        T.mk ~nthreads ~duration_ns:400_000 ~key_range:64 ~ins_pct:40
+          ~del_pct:40
+          ~smr:
+            (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+               16)
+          ~seed ~churn_ops ()
+      in
+      let r = HS.run ~scheme ~structure cfg in
+      T.valid r)
+
+let suite =
+  D_nbr.cases "nbr" @ D_nbrp.cases "nbr+" @ D_debra.cases "debra"
+  @ D_qsbr.cases "qsbr" @ D_rcu.cases "rcu" @ D_ibr.cases "ibr"
+  @ D_hp.cases "hp" @ D_he.cases "he"
+  @ [
+      Alcotest.test_case "leaky lifecycle round trip" `Quick
+        test_leaky_lifecycle;
+      Alcotest.test_case "watchdog reaps a crashed thread (traced)" `Quick
+        test_watchdog_reaps_crashed;
+      QCheck_alcotest.to_alcotest churn_never_double_frees;
+    ]
