@@ -1,0 +1,100 @@
+(* See certificate.mli.  The decision array is the payload; everything
+   else is provenance that lets a replayer reconstruct the simulator
+   configuration the schedule was found under.  Encoding is a single
+   human-readable line so certificates can be pasted into test sources,
+   bug reports and CI logs. *)
+
+type t = {
+  c_strategy : string;
+  c_nthreads : int;
+  c_cores : int;
+  c_granularity : int;
+  c_seed : int;
+  c_decisions : int array;
+}
+
+let magic = "nbr-cert/1"
+
+(* Run-length encoding: "4x0,1,3x2" = [|0;0;0;0;1;2;2;2|].  Decision
+   sequences are dominated by long runs of the default choice (index of
+   the fiber that ran last), so this keeps even thousand-step schedules
+   to a few dozen bytes. *)
+let encode_decisions d =
+  let b = Buffer.create 64 in
+  let n = Array.length d in
+  let i = ref 0 in
+  while !i < n do
+    let v = d.(!i) in
+    let j = ref !i in
+    while !j < n && d.(!j) = v do
+      incr j
+    done;
+    if Buffer.length b > 0 then Buffer.add_char b ',';
+    let run = !j - !i in
+    if run > 1 then Buffer.add_string b (Printf.sprintf "%dx%d" run v)
+    else Buffer.add_string b (string_of_int v);
+    i := !j
+  done;
+  Buffer.contents b
+
+let bad s = invalid_arg ("Certificate.of_string: malformed certificate: " ^ s)
+
+let decode_decisions s =
+  if s = "" then [||]
+  else begin
+    let out = ref [] in
+    let total = ref 0 in
+    List.iter
+      (fun tok ->
+        let run, v =
+          match String.index_opt tok 'x' with
+          | None -> (1, int_of_string tok)
+          | Some i ->
+              ( int_of_string (String.sub tok 0 i),
+                int_of_string (String.sub tok (i + 1) (String.length tok - i - 1))
+              )
+        in
+        if run < 1 then bad s;
+        out := (run, v) :: !out;
+        total := !total + run)
+      (String.split_on_char ',' s);
+    let a = Array.make !total 0 in
+    let i = ref !total in
+    List.iter
+      (fun (run, v) ->
+        for _ = 1 to run do
+          decr i;
+          a.(!i) <- v
+        done)
+      !out;
+    a
+  end
+
+let to_string t =
+  Printf.sprintf "%s;%s;%d;%d;%d;%d;%s" magic t.c_strategy t.c_nthreads
+    t.c_cores t.c_granularity t.c_seed
+    (encode_decisions t.c_decisions)
+
+let of_string s =
+  match String.split_on_char ';' (String.trim s) with
+  | [ m; strategy; nthreads; cores; granularity; seed; decisions ]
+    when m = magic -> (
+      try
+        {
+          c_strategy = strategy;
+          c_nthreads = int_of_string nthreads;
+          c_cores = int_of_string cores;
+          c_granularity = int_of_string granularity;
+          c_seed = int_of_string seed;
+          c_decisions = decode_decisions decisions;
+        }
+      with Failure _ -> bad s)
+  | _ -> bad s
+
+let equal a b =
+  a.c_strategy = b.c_strategy
+  && a.c_nthreads = b.c_nthreads
+  && a.c_cores = b.c_cores
+  && a.c_granularity = b.c_granularity
+  && a.c_seed = b.c_seed
+  && a.c_decisions = b.c_decisions

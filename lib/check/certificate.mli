@@ -1,0 +1,38 @@
+(** Replayable schedule certificates.
+
+    Under the simulator's pluggable schedule controller
+    ({!Nbr_runtime.Sim_rt.set_schedule_controller}) an execution is a
+    pure function of its decision sequence: at step [k] the controller is
+    shown the unfinished fibers (sorted by id) and picks an index, and
+    the runnable set at step [k+1] is determined by the first [k] picks.
+    A certificate is that decision sequence plus the simulator
+    provenance needed to reconstruct the run — thread count, simulated
+    cores, scheduling granularity and jitter seed.
+
+    The string form is a single line, safe to embed in test sources and
+    CI logs:
+
+    {v nbr-cert/1;dfs;2;2;1;24397;41x0,1,57x1,14x0 v}
+
+    [Explore.replay] feeds the decisions back through a controller and
+    reproduces the violating execution deterministically. *)
+
+type t = {
+  c_strategy : string;
+      (** which search produced it ("dfs", "pct", ...); informational *)
+  c_nthreads : int;
+  c_cores : int;  (** simulated cores ([Sim_rt.config.cores]) *)
+  c_granularity : int;  (** scheduling granularity at discovery time *)
+  c_seed : int;  (** simulator jitter seed at discovery time *)
+  c_decisions : int array;
+      (** index into the id-sorted unfinished-fiber array, per step *)
+}
+
+val to_string : t -> string
+(** One-line encoding; decisions are run-length encoded. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string} (leading/trailing whitespace tolerated).
+    Raises [Invalid_argument] on malformed input. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,212 @@
+(* See explore.mli.  Both searches drive the simulator through
+   Sim_rt.set_schedule_controller and reduce every schedule to its
+   decision-index sequence, which is what makes a violation found by any
+   strategy replayable by the same [replay] function. *)
+
+module Sim = Nbr_runtime.Sim_rt
+
+type report = {
+  r_schedules : int;
+  r_violation : (string * Certificate.t) option;
+}
+
+let mk_cert ~strategy ~nthreads decisions =
+  let c = Sim.get_config () in
+  {
+    Certificate.c_strategy = strategy;
+    c_nthreads = nthreads;
+    c_cores = c.Sim.cores;
+    c_granularity = c.Sim.granularity;
+    c_seed = c.Sim.seed;
+    c_decisions = decisions;
+  }
+
+(* Install [pick] around one execution of [run].  The controller is
+   process-global simulator state, so it must never leak past the
+   schedule it was built for. *)
+let with_controller pick run =
+  Sim.set_schedule_controller (Some pick);
+  Fun.protect ~finally:(fun () -> Sim.set_schedule_controller None) run
+
+(* The uncontrolled scheduler continues the running fiber until it
+   yields; the controlled default mirrors that — continue the fiber that
+   ran last if it is still unfinished, else fall back to the lowest id.
+   Defaults cost no preemption, so a schedule's preemption count is the
+   number of non-default decisions in it. *)
+let default_idx ~last ~(runnable : int array) =
+  let d = ref 0 in
+  Array.iteri (fun i id -> if id = last then d := i) runnable;
+  !d
+
+(* ------------------------------------------------------------------ *)
+(* Bounded exhaustive DFS (stateless model checking with a preemption
+   bound).  The search state is one schedule prefix, held in four
+   parallel vectors (one entry per decision level):
+
+     chosen    the decision replayed at this level
+     dflt      the default index computed when the level was first hit
+     width     |runnable| at this level
+     next_alt  next alternative index to try on backtrack; [width] when
+               exhausted (or when the preemption budget barred branching)
+
+   Each iteration re-executes from scratch, replaying [chosen] for the
+   prefix and extending with defaults beyond it (recording alternatives
+   as it goes), then backtracks to the deepest level with an untried
+   alternative.  Re-execution is sound because the simulator is a pure
+   function of the decision sequence. *)
+
+module Vec = Nbr_sync.Int_vec
+
+(* Advance [c] to the next alternative at a level, skipping the default
+   (the default was the original choice, not an alternative). *)
+let rec next_alt_from ~dflt ~width c =
+  if c >= width then width
+  else if c = dflt then next_alt_from ~dflt ~width (c + 1)
+  else c
+
+let dfs ?(preemption_bound = 2) ?(max_schedules = 5000) ~nthreads ~run () =
+  let chosen = Vec.create () in
+  let dflt = Vec.create () in
+  let width = Vec.create () in
+  let next_alt = Vec.create () in
+  let truncate v n =
+    while Vec.length v > n do
+      ignore (Vec.pop v)
+    done
+  in
+  let schedules = ref 0 in
+  let violation = ref None in
+  let exhausted = ref false in
+  while !violation = None && (not !exhausted) && !schedules < max_schedules do
+    incr schedules;
+    let prefix = Vec.length chosen in
+    let preempts = ref 0 in
+    for i = 0 to prefix - 1 do
+      if Vec.get chosen i <> Vec.get dflt i then incr preempts
+    done;
+    let step = ref 0 in
+    let pick ~last ~runnable =
+      let s = !step in
+      incr step;
+      if s < prefix then Vec.get chosen s
+      else begin
+        let d = default_idx ~last ~runnable in
+        let k = Array.length runnable in
+        Vec.push chosen d;
+        Vec.push dflt d;
+        Vec.push width k;
+        (* Branch here later only while the preemption budget holds. *)
+        let first_alt =
+          if !preempts < preemption_bound && k > 1 then
+            next_alt_from ~dflt:d ~width:k 0
+          else k
+        in
+        Vec.push next_alt first_alt;
+        d
+      end
+    in
+    (match with_controller pick run with
+    | None -> ()
+    | Some msg ->
+        violation :=
+          Some
+            ( msg,
+              mk_cert ~strategy:"dfs" ~nthreads
+                (Array.init (Vec.length chosen) (Vec.get chosen)) ));
+    if !violation = None then begin
+      (* Backtrack: deepest level with an untried alternative. *)
+      let lvl = ref (Vec.length chosen - 1) in
+      let found = ref false in
+      while (not !found) && !lvl >= 0 do
+        let d = Vec.get dflt !lvl and k = Vec.get width !lvl in
+        let c = next_alt_from ~dflt:d ~width:k (Vec.get next_alt !lvl) in
+        if c < k then begin
+          found := true;
+          truncate chosen !lvl;
+          truncate dflt (!lvl + 1);
+          truncate width (!lvl + 1);
+          truncate next_alt (!lvl + 1);
+          Vec.push chosen c;
+          (* [chosen] now diverges from the default at [lvl]: one
+             preemption, consumed from the budget on the next replay. *)
+          ignore (Vec.pop next_alt);
+          Vec.push next_alt (c + 1)
+        end
+        else decr lvl
+      done;
+      if not !found then exhausted := true
+    end
+  done;
+  { r_schedules = !schedules; r_violation = !violation }
+
+(* ------------------------------------------------------------------ *)
+(* PCT-style randomized swarm (Burckhardt et al., ASPLOS'10).  Each
+   schedule draws random per-fiber priorities and [depth - 1] change
+   points over a step horizon; at every step the highest-priority
+   runnable fiber runs, and at a change point the current leader is
+   demoted below everyone.  A single schedule finds any bug of depth d
+   with probability >= 1/(n * horizon^(d-1)); the swarm runs many seeds.
+   Decisions are recorded as plain indices, so a PCT discovery replays
+   through the same certificate machinery as a DFS one.  *)
+
+let pct_pick ~rng ~nthreads ~depth ~horizon =
+  let prio = Array.init nthreads (fun _ -> Nbr_sync.Rng.below rng 1_000_000) in
+  let change = Array.init (max 0 (depth - 1)) (fun _ -> Nbr_sync.Rng.below rng horizon) in
+  let floor = ref (-1) in
+  let step = ref 0 in
+  fun ~last:_ ~(runnable : int array) ->
+    let s = !step in
+    incr step;
+    let leader () =
+      let best = ref 0 in
+      Array.iteri
+        (fun i id -> if prio.(id) > prio.(runnable.(!best)) then best := i)
+        runnable;
+      !best
+    in
+    if Array.exists (fun c -> c = s) change then begin
+      let l = runnable.(leader ()) in
+      prio.(l) <- !floor;
+      decr floor
+    end;
+    leader ()
+
+let pct ?(depth = 3) ?(horizon = 2000) ?(schedules = 32) ?(seed = 1) ~nthreads
+    ~run () =
+  let schedules_run = ref 0 in
+  let violation = ref None in
+  let s = ref 0 in
+  while !violation = None && !s < schedules do
+    let rng = Nbr_sync.Rng.for_thread ~seed ~tid:!s in
+    let trace = Vec.create () in
+    let inner = pct_pick ~rng ~nthreads ~depth ~horizon in
+    let pick ~last ~runnable =
+      let i = inner ~last ~runnable in
+      Vec.push trace i;
+      i
+    in
+    incr schedules_run;
+    (match with_controller pick run with
+    | None -> ()
+    | Some msg ->
+        violation :=
+          Some
+            ( msg,
+              mk_cert ~strategy:"pct" ~nthreads
+                (Array.init (Vec.length trace) (Vec.get trace)) ));
+    incr s
+  done;
+  { r_schedules = !schedules_run; r_violation = !violation }
+
+(* ------------------------------------------------------------------ *)
+
+let replay (cert : Certificate.t) ~run =
+  let d = cert.Certificate.c_decisions in
+  let n = Array.length d in
+  let step = ref 0 in
+  let pick ~last ~runnable =
+    let s = !step in
+    incr step;
+    if s < n then d.(s) else default_idx ~last ~runnable
+  in
+  with_controller pick run

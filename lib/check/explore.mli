@@ -1,0 +1,68 @@
+(** Schedule exploration for the deterministic simulator.
+
+    Every entry point drives one scenario thunk [run] repeatedly, each
+    time under a different schedule imposed through
+    {!Nbr_runtime.Sim_rt.set_schedule_controller}.  The thunk owns the
+    whole trial: it configures the simulator ([Sim_rt.set_config]),
+    builds pool/scheme/structure, calls [Sim_rt.run], and returns
+    [Some description] if the execution violated a property (typically a
+    {!Sanitizer} finding) or [None] if it was clean.  It must be
+    self-contained and deterministic given a schedule: exploration
+    re-executes it from scratch once per schedule.
+
+    A found violation comes with a {!Certificate.t}; {!replay} feeds the
+    certificate's decisions back and deterministically reproduces the
+    same execution — the property the negative tests assert
+    byte-for-byte.
+
+    Simulator-only: controllers hook the single-domain discrete-event
+    scheduler, so none of this applies to the native runtime. *)
+
+type report = {
+  r_schedules : int;  (** schedules actually executed *)
+  r_violation : (string * Certificate.t) option;
+      (** first violation found: the thunk's description plus the
+          replayable schedule; [None] if every schedule was clean *)
+}
+
+val dfs :
+  ?preemption_bound:int ->
+  ?max_schedules:int ->
+  nthreads:int ->
+  run:(unit -> string option) ->
+  unit ->
+  report
+(** Bounded exhaustive search: enumerate decision sequences by
+    depth-first backtracking, branching to a non-default fiber only
+    while the schedule's preemption count stays within
+    [preemption_bound] (default 2 — most concurrency bugs need very few
+    preemptions).  Defaults continue the previously-running fiber, so
+    the first schedule is the sequential one.  Stops at the first
+    violation, at exhaustion of the bounded space, or after
+    [max_schedules] (default 5000) executions.  Intended for tiny
+    scripted scenarios; state explosion makes it unsuitable for whole
+    trials. *)
+
+val pct :
+  ?depth:int ->
+  ?horizon:int ->
+  ?schedules:int ->
+  ?seed:int ->
+  nthreads:int ->
+  run:(unit -> string option) ->
+  unit ->
+  report
+(** Randomized swarm in the style of PCT (probabilistic concurrency
+    testing): each schedule draws per-fiber priorities and [depth - 1]
+    priority-demotion points over a [horizon] of steps from a seeded
+    generator, then always runs the highest-priority runnable fiber.
+    Runs [schedules] independent schedules (seeds [seed], [seed]+1, ...)
+    and stops at the first violation.  Scales to full trials, at the
+    price of probabilistic rather than exhaustive coverage. *)
+
+val replay : Certificate.t -> run:(unit -> string option) -> string option
+(** Re-execute [run] under the certificate's decision sequence,
+    returning the thunk's own verdict.  Decisions past the recorded
+    sequence (possible when the scenario diverges, e.g. replaying a
+    violation certificate against fixed code) fall back to the default
+    continue-last choice. *)

@@ -124,6 +124,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   (* leaveQstate *)
   let begin_op c =
     L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0;
     let e = Rt.load c.b.epoch in
     if e <> c.local_epoch then begin
       (* Entering epoch [e]: records retired in epoch [e-2] (bag index
@@ -156,6 +159,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   (* enterQstate *)
   let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0;
     Rt.store c.b.announce.(c.tid) ((c.local_epoch lsl 1) lor 1);
     if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
 
@@ -193,21 +198,26 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let g = buffered c in
     Smr_stats.note_garbage c.st g
 
-  (* EBR has no phase discipline: both phases run unguarded. *)
-  let phase _c ~read ~write =
+  (* EBR has no phase discipline: both phases run unguarded, never
+     restart — so any UAF read commits at phase completion. *)
+  let phase c ~read ~write =
     let payload, _recs = read () in
+    Smr_stats.uaf_commit c.st;
     write payload
 
-  let read_only _c f = f ()
+  let read_only c f =
+    let r = f () in
+    Smr_stats.uaf_commit c.st;
+    r
 
   let read_root c root =
     let v = Rt.load root in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_ptr c ~src ~field =
     let v = Rt.load (P.ptr_cell c.b.pool src field) in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_raw _c cell = Rt.load cell

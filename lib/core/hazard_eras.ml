@@ -88,7 +88,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op c = L.check_self c.b.lc c.tid
+  let begin_op c =
+    L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0
 
   (* Orphan birth/retire eras live in the t-level metadata arrays, so the
      slots alone carry everything the era sweep needs. *)
@@ -99,6 +103,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
 
   let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0;
     let sl = c.b.slots.(c.tid) in
     for i = 0 to c.b.window - 1 do
       Rt.store sl.(i) empty_slot
@@ -183,7 +189,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     ignore (Rt.xchg sl.(i) e0);
     match go e0 0 with
     | v ->
-        if v >= 0 then P.record_read c.b.pool v;
+        if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
         v
     | exception Validation_failed -> raise Rt.Neutralized
 
@@ -199,7 +205,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let out =
       Rt.checkpoint (fun () ->
           incr attempts;
+          if !attempts > 1 then Smr_stats.uaf_abort c.st;
           let payload, _recs = read () in
+          Smr_stats.uaf_commit c.st;
           write payload)
     in
     Smr_stats.add_restarts c.st (!attempts - 1);
@@ -210,7 +218,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let out =
       Rt.checkpoint (fun () ->
           incr attempts;
-          f ())
+          if !attempts > 1 then Smr_stats.uaf_abort c.st;
+          let r = f () in
+          Smr_stats.uaf_commit c.st;
+          r)
     in
     Smr_stats.add_restarts c.st (!attempts - 1);
     out

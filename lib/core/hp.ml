@@ -80,7 +80,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op c = L.check_self c.b.lc c.tid
+  let begin_op c =
+    L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0
 
   let adopt_orphans c =
     let n =
@@ -89,6 +93,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
 
   let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0;
     let hz = c.b.hazards.(c.tid) in
     for i = 0 to c.b.window - 1 do
       Rt.store hz.(i) P.nil
@@ -152,7 +158,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         ignore (Rt.xchg hz.(slot) p) (* fenced publish *);
         let p' = Rt.load cell in
         if p = p' && P.live c.b.pool p && P.stamp c.b.pool p = s0 then begin
-          P.record_read c.b.pool p;
+          if P.record_read c.b.pool p then Smr_stats.note_uaf c.st;
           p
         end
         else if tries >= max_validate_retries then raise Rt.Neutralized
@@ -178,7 +184,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let out =
       Rt.checkpoint (fun () ->
           incr attempts;
+          if !attempts > 1 then Smr_stats.uaf_abort c.st;
           let payload, _recs = read () in
+          Smr_stats.uaf_commit c.st;
           write payload)
     in
     Smr_stats.add_restarts c.st (!attempts - 1);
@@ -186,7 +194,14 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let read_only c f =
     let attempts = ref 0 in
-    let out = Rt.checkpoint (fun () -> incr attempts; f ()) in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          if !attempts > 1 then Smr_stats.uaf_abort c.st;
+          let r = f () in
+          Smr_stats.uaf_commit c.st;
+          r)
+    in
     Smr_stats.add_restarts c.st (!attempts - 1);
     out
 

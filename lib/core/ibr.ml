@@ -102,6 +102,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let begin_op c =
     L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0;
     let e = Rt.load c.b.era in
     Rt.store c.b.lo.(c.tid) e;
     Rt.store c.b.hi.(c.tid) e;
@@ -116,6 +119,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
 
   let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0;
     Rt.store c.b.lo.(c.tid) inactive_lo;
     Rt.store c.b.hi.(c.tid) inactive_hi;
     if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
@@ -215,7 +220,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let out =
       Rt.checkpoint (fun () ->
           incr attempts;
+          if !attempts > 1 then Smr_stats.uaf_abort c.st;
           let payload, _recs = read () in
+          Smr_stats.uaf_commit c.st;
           write payload)
     in
     Smr_stats.add_restarts c.st (!attempts - 1);
@@ -223,7 +230,14 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let read_only c f =
     let attempts = ref 0 in
-    let out = Rt.checkpoint (fun () -> incr attempts; f ()) in
+    let out =
+      Rt.checkpoint (fun () ->
+          incr attempts;
+          if !attempts > 1 then Smr_stats.uaf_abort c.st;
+          let r = f () in
+          Smr_stats.uaf_commit c.st;
+          r)
+    in
     Smr_stats.add_restarts c.st (!attempts - 1);
     out
 
@@ -254,13 +268,20 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       if e <> c.cached_hi then begin
         Rt.store c.b.hi.(c.tid) e;
         c.cached_hi <- e;
-        if src >= 0 && not (P.live c.b.pool src) then raise Rt.Neutralized;
+        (* [unsafe_ibr_no_validate] is ablation A3: skipping this check
+           reintroduces the PR 4 frozen-link unsoundness, which the
+           schedule-explorer regression re-finds from a certificate. *)
+        if
+          src >= 0
+          && (not c.b.cfg.Smr_config.unsafe_ibr_no_validate)
+          && not (P.live c.b.pool src)
+        then raise Rt.Neutralized;
         loop ()
       end
       else v
     in
     let v = loop () in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_root c root = guarded_read c root ~src:(-1)

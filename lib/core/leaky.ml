@@ -38,8 +38,15 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op c = L.check_self c.b.lc c.tid
-  let end_op _ = ()
+  let begin_op c =
+    L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0
+
+  let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0
 
   (* Nothing to adopt into: abandoned records leak by design, and a
      departing thread buffers nothing, so no parcels are ever pushed. *)
@@ -62,20 +69,26 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     (* Every retire is garbage forever. *)
     Smr_stats.note_garbage c.st (Smr_stats.retires c.st)
 
-  let phase _c ~read ~write =
+  (* No neutralization, so a phase never restarts: any UAF read it made
+     is committed when the phase completes (which is immediately). *)
+  let phase c ~read ~write =
     let payload, _recs = read () in
+    Smr_stats.uaf_commit c.st;
     write payload
 
-  let read_only _c f = f ()
+  let read_only c f =
+    let r = f () in
+    Smr_stats.uaf_commit c.st;
+    r
 
   let read_root c root =
     let v = Rt.load root in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_ptr c ~src ~field =
     let v = Rt.load (P.ptr_cell c.b.pool src field) in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_raw _c cell = Rt.load cell

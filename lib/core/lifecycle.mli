@@ -1,0 +1,87 @@
+(** Thread lifecycle and crash recovery, shared by every scheme.
+
+    PR 1's chaos plans crash threads mid-operation, orphaning their
+    announcements, reservation rows and limbo bags; this module is the
+    common machinery behind the two recovery paths of DEBRA+-style
+    robustness (Brown, PODC'17): {e graceful leave} (the departing
+    thread publishes its buffered retires as orphan parcels for live
+    threads to adopt) and {e crash detection} (a heartbeat watchdog
+    piggybacked on the reclamation scan claims frozen peers, reaps their
+    published state, and orphans their bags).
+
+    A claimed thread that turns out to be alive is {e expelled}: its
+    next [begin_op] raises {!Smr_intf.Expelled} before it touches shared
+    state, so a claim never races a live owner through an operation.
+
+    Determinism: under the simulator heartbeats are exact and every scan
+    step is a charged access of the single-domain scheduler, so watchdog
+    verdicts replay bit-for-bit from a seed.  See lifecycle.ml for the
+    full protocol narrative and state machine. *)
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
+  type parcel = { origin : int; slots : int list }
+  (** A dead or departed thread's buffered retires.  The records are
+      already marked Retired in the pool; adopters re-buffer them as
+      their own and free them through their normal sweeps. *)
+
+  type t
+
+  val create : nthreads:int -> t
+
+  val reset_slot : t -> int -> unit
+  (** Called by [register]: make the slot live (again) and forget stale
+      watchdog bookkeeping from a previous occupant. *)
+
+  val is_active : t -> int -> bool
+  (** The thread holds its slot: neither departed, claimed nor reaped. *)
+
+  val check_self : t -> int -> unit
+  (** The expulsion check at the top of every [begin_op]: raises
+      {!Smr_intf.Expelled} if a watchdog claimed this thread.  Gated on
+      [Rt.fault_injection_active], so fault-free runs pay one not-taken
+      branch. *)
+
+  val depart : t -> int -> bool
+  (** CAS-out for a graceful leave; [false] means a watchdog claimed us
+      first and owns our state — the caller must touch nothing. *)
+
+  val with_stats_lock : t -> (unit -> 'a) -> 'a
+  (** Serialize [done_stats] folds (deregistering owners and [stats]
+      readers — cold paths only). *)
+
+  val push_parcel : t -> origin:int -> int list -> unit
+  (** Publish a departing/reaped thread's buffered retires as an orphan
+      parcel (no-op on the empty list). *)
+
+  val has_orphans : t -> bool
+  (** One stdlib atomic load: cheap enough for every [end_op]. *)
+
+  val adopt : t -> tid:int -> push:(int -> unit) -> int
+  (** Drain every parcel into the adopter via [push] (one call per
+      record); returns the number adopted.  The adopter must re-account
+      the records as its own buffered garbage — orphans count against
+      the adopter's bound. *)
+
+  val scan :
+    t ->
+    self:int ->
+    timeout_ns:int ->
+    rounds:int ->
+    on_round:(peer:int -> round:int -> unit) ->
+    reap:(int -> unit) ->
+    unit
+  (** The watchdog scan, piggybacked on the reclamation path of every
+      bounded-garbage scheme.  For each active peer: record heartbeat
+      freshness; once frozen past [timeout_ns * 2^round], escalate —
+      emit [Heartbeat_timeout], run [on_round] (NBR re-sends its
+      neutralization signal here), bump the round; frozen past
+      [timeout_ns * 2^rounds], claim the peer and run [reap].  Runs only
+      under an installed fault decider (see {!check_self}). *)
+
+  val looks_stale : t -> int -> timeout_ns:int -> bool
+  (** Whether the peer's heartbeat has been frozen longer than
+      [timeout_ns] as of the last {!scan} observations: such a peer is
+      not executing, so a pending signal will reach it before its next
+      access and a broadcast handshake need not wait for its
+      acknowledgement. *)
+end

@@ -95,7 +95,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     Rt.drain_signals_t c.tid;
     (* CAS(&restartable,0,1): the RMW orders the flag before any
        subsequent read of shared records (paper line 8 discussion). *)
-    Rt.set_restartable_t c.tid true
+    Rt.set_restartable_t c.tid true;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+        Nbr_obs.Trace.Checkpoint_set 0 0
 
   let end_read c recs =
     let res = c.b.reservations.(c.tid) in
@@ -117,7 +120,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if
       (not c.b.cfg.Smr_config.unsafe_end_read)
       && Rt.consume_pending_t c.tid
-    then raise Rt.Neutralized
+    then raise Rt.Neutralized;
+    (* The phase completed: any UAF reads it performed were acted on. *)
+    Smr_stats.uaf_commit c.st
 
   (* A replay entering the checkpoint body again: between the Neutralized
      event of the aborted attempt and the Reservation_publish of the next
@@ -125,6 +130,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      neutralized reader in causal order. *)
   let note_attempt c attempts =
     if attempts > 1 then begin
+      (* The previous attempt was neutralized: its UAF reads (if any)
+         were poll-window reads whose value was discarded — benign. *)
+      Smr_stats.uaf_abort c.st;
       if !Nbr_obs.Trace.on then
         Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Restart
           (attempts - 1) 0
@@ -168,13 +176,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let read_root c root =
     Rt.poll_t c.tid;
     let v = Rt.load root in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_ptr c ~src ~field =
     Rt.poll_t c.tid;
     let v = Rt.load (P.ptr_cell c.b.pool src field) in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_raw c cell =
@@ -361,7 +369,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   (* Record the bounded-garbage high-water mark after a bag push. *)
   let note_buffered c n = Smr_stats.note_garbage c.st n
 
-  let begin_op c = L.check_self c.b.lc c.tid
+  let begin_op c =
+    L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0
 
   (* Re-buffer departed/crashed threads' retires as our own: they free
      through our normal sweeps and count against *our* garbage bound. *)
@@ -372,6 +384,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if n > 0 then note_buffered c (Limbo_bag.size c.bag)
 
   let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0;
     (* One stdlib atomic load on the hot path; the active check guards a
        thread resuming after an [Expelled] verdict from adopting. *)
     if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c

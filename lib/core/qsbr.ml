@@ -69,6 +69,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let begin_op c =
     L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0;
     ignore (Rt.faa c.b.qs.(c.tid) 1) (* odd: active *)
 
   let grace_elapsed c (p : parked) =
@@ -127,6 +130,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if n > 0 then Smr_stats.note_garbage c.st (buffered c)
 
   let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0;
     ignore (Rt.faa c.b.qs.(c.tid) 1) (* even: quiescent *);
     if L.has_orphans c.b.lc && L.is_active c.b.lc c.tid then adopt_orphans c
 
@@ -162,20 +167,25 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let g = buffered c in
     Smr_stats.note_garbage c.st g
 
-  let phase _c ~read ~write =
+  (* No neutralization, no restarts: UAF reads commit at phase end. *)
+  let phase c ~read ~write =
     let payload, _recs = read () in
+    Smr_stats.uaf_commit c.st;
     write payload
 
-  let read_only _c f = f ()
+  let read_only c f =
+    let r = f () in
+    Smr_stats.uaf_commit c.st;
+    r
 
   let read_root c root =
     let v = Rt.load root in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_ptr c ~src ~field =
     let v = Rt.load (P.ptr_cell c.b.pool src field) in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_raw _c cell = Rt.load cell

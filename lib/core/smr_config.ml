@@ -44,6 +44,15 @@ type t = {
           signal that lands between a reader's last poll and its
           reservation publish can be missed by both sides, re-opening the
           use-after-free window the writers' handshake exists to close. *)
+  unsafe_ibr_no_validate : bool;
+      (** Ablation A3 (never enable in real use): revert the PR 4 IBR
+          fix — skip the source-liveness validation [Ibr.guarded_read]
+          performs when the era ratchet fires.  With this on, a reader
+          descheduled mid-traversal can wake inside a retired record
+          whose frozen link reaches a record born after its announced
+          upper bound and already freed.  Exists so the schedule
+          explorer (lib/check) can re-find that bug from a certificate
+          as a regression. *)
 }
 
 let default =
@@ -56,6 +65,7 @@ let default =
     wd_timeout_ns = 150_000;
     wd_rounds = 2;
     unsafe_end_read = false;
+    unsafe_ibr_no_validate = false;
   }
 
 let with_threshold c n = { c with bag_threshold = n; lo_watermark = n / 2 }

@@ -19,6 +19,16 @@ type t = {
           Aggregation takes the max, not the sum: the invariant is a bound
           on each thread's buffer, and the worst thread is what a stalled
           or crashed peer inflates. *)
+  mutable uaf_reads : int;  (** guarded dereferences that hit a Free slot *)
+  mutable uaf_benign : int;
+      (** the subset of [uaf_reads] whose read phase was subsequently
+          neutralized/restarted, i.e. whose value was never acted on —
+          the native poll-window reads DESIGN.md §3 argues are
+          counted-but-never-committed *)
+  mutable uaf_pending : int;
+      (** UAF reads of the phase currently in flight, not yet classified;
+          folded into [uaf_benign] on restart, dropped on phase
+          completion (= committed) *)
 }
 
 let zero () =
@@ -29,6 +39,9 @@ let zero () =
     lo_reclaims = 0;
     restarts = 0;
     max_garbage = 0;
+    uaf_reads = 0;
+    uaf_benign = 0;
+    uaf_pending = 0;
   }
 
 let retires s = s.retires
@@ -44,16 +57,34 @@ let add_lo_reclaims s n = s.lo_reclaims <- s.lo_reclaims + n
 let add_restarts s n = s.restarts <- s.restarts + n
 let note_garbage s n = if n > s.max_garbage then s.max_garbage <- n
 
+let uaf_reads s = s.uaf_reads
+let benign_uaf s = s.uaf_benign
+let committed_uaf s = s.uaf_reads - s.uaf_benign - s.uaf_pending
+
+let note_uaf s =
+  s.uaf_reads <- s.uaf_reads + 1;
+  s.uaf_pending <- s.uaf_pending + 1
+
+let uaf_abort s =
+  s.uaf_benign <- s.uaf_benign + s.uaf_pending;
+  s.uaf_pending <- 0
+
+let uaf_commit s = s.uaf_pending <- 0
+
 let add into from =
   into.retires <- into.retires + from.retires;
   into.freed <- into.freed + from.freed;
   into.reclaim_events <- into.reclaim_events + from.reclaim_events;
   into.lo_reclaims <- into.lo_reclaims + from.lo_reclaims;
   into.restarts <- into.restarts + from.restarts;
-  into.max_garbage <- max into.max_garbage from.max_garbage
+  into.max_garbage <- max into.max_garbage from.max_garbage;
+  into.uaf_reads <- into.uaf_reads + from.uaf_reads;
+  into.uaf_benign <- into.uaf_benign + from.uaf_benign;
+  into.uaf_pending <- into.uaf_pending + from.uaf_pending
 
 let pp ppf s =
   Format.fprintf ppf
     "retires=%d freed=%d reclaim_events=%d lo_reclaims=%d restarts=%d \
-     max_garbage=%d"
+     max_garbage=%d uaf=%d (benign=%d pending=%d)"
     s.retires s.freed s.reclaim_events s.lo_reclaims s.restarts s.max_garbage
+    s.uaf_reads s.uaf_benign s.uaf_pending

@@ -42,6 +42,23 @@ val max_garbage : t -> int
     to the pool by this thread — the per-thread bounded-garbage metric of
     the chaos suite (E2's P2 check). *)
 
+val uaf_reads : t -> int
+(** Guarded dereferences that landed on a Free slot (total). *)
+
+val benign_uaf : t -> int
+(** The subset of {!uaf_reads} whose read phase was subsequently
+    neutralized/restarted: the value read was never acted on.  Under the
+    polling native runtime a sound scheme may accrue these in the window
+    between a reader's last poll and the neutralization that aborts it
+    (DESIGN.md §3) — counted, never committed. *)
+
+val committed_uaf : t -> int
+(** {!uaf_reads} minus the benign ones and minus any still-unclassified
+    in-flight phase reads: UAF reads whose enclosing phase completed, so
+    the dangling value could have been acted on.  Zero for every sound
+    scheme on both runtimes — the invariant [examples/quickstart.ml]
+    asserts. *)
+
 (** {1 Mutators (scheme implementations only)} *)
 
 val add_retires : t -> int -> unit
@@ -52,3 +69,20 @@ val add_restarts : t -> int -> unit
 
 val note_garbage : t -> int -> unit
 (** [note_garbage t n] raises [max_garbage t] to [n] if [n] is larger. *)
+
+val note_uaf : t -> unit
+(** A guarded dereference hit a Free slot; classification is pending
+    until the enclosing read phase restarts ({!uaf_abort}) or completes
+    ({!uaf_commit}).  Schemes without restartable phases (the EBR family,
+    the unsafe foils) follow each [note_uaf] with an immediate
+    {!uaf_commit}: with no neutralization there is nothing to undo the
+    read, so it is committed by definition. *)
+
+val uaf_abort : t -> unit
+(** The in-flight read phase restarted: its pending UAF reads were
+    benign. *)
+
+val uaf_commit : t -> unit
+(** The in-flight read phase completed: its pending UAF reads are
+    committed (they stay in {!uaf_reads} and never enter
+    {!benign_uaf}). *)

@@ -41,8 +41,15 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(tid) <- Some c;
     c
 
-  let begin_op c = L.check_self c.b.lc c.tid
-  let end_op _ = ()
+  let begin_op c =
+    L.check_self c.b.lc c.tid;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Begin_op 0
+        0
+
+  let end_op c =
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0
 
   (* Records are freed at retire, so nothing is ever buffered and no
      parcels are ever pushed. *)
@@ -64,20 +71,27 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     Smr_stats.add_freed c.st 1;
     P.free c.b.pool slot
 
-  let phase _c ~read ~write =
+  (* No protection and no restarts: every UAF read is committed — the
+     behaviour the detectors (and the sanitizer's negative tests) exist
+     to flag. *)
+  let phase c ~read ~write =
     let payload, _recs = read () in
+    Smr_stats.uaf_commit c.st;
     write payload
 
-  let read_only _c f = f ()
+  let read_only c f =
+    let r = f () in
+    Smr_stats.uaf_commit c.st;
+    r
 
   let read_root c root =
     let v = Rt.load root in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_ptr c ~src ~field =
     let v = Rt.load (P.ptr_cell c.b.pool src field) in
-    if v >= 0 then P.record_read c.b.pool v;
+    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
     v
 
   let read_raw _c cell = Rt.load cell

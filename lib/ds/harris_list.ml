@@ -69,7 +69,8 @@ struct
     let curr = ref (dec_slot !pe) in
     let result = ref None in
     while !result = None do
-      P.record_read t.pool !curr;
+      if P.record_read t.pool !curr then
+        Nbr_core.Smr_stats.note_uaf (Smr.ctx_stats ctx);
       let ce = Smr.read_raw ctx (next_cell t !curr) in
       if is_marked ce then result := Some (Marked (!pred, !curr, dec_slot ce))
       else if key t !curr >= k then result := Some (Window (!pred, !curr))
@@ -88,7 +89,8 @@ struct
       Smr.read_only ctx (fun () ->
           let curr = ref (dec_slot (Smr.read_raw ctx (next_cell t t.head))) in
           while key t !curr < k do
-            P.record_read t.pool !curr;
+            if P.record_read t.pool !curr then
+              Nbr_core.Smr_stats.note_uaf (Smr.ctx_stats ctx);
             curr := dec_slot (Smr.read_raw ctx (next_cell t !curr))
           done;
           key t !curr = k

@@ -1,0 +1,94 @@
+(** Deterministic fault schedules for chaos trials.
+
+    A plan is data, not behaviour: per-thread lists of faults anchored
+    to operation indices, plus an optional signal-fate policy.  The
+    trial runner ({!Nbr_workload.Runner}) interprets thread faults
+    between operations and installs the signal policy into the runtime
+    via [Rt.set_signal_fault]; the SMR schemes under test run
+    unmodified.  Everything is derived from one seed through
+    {!Nbr_sync.Rng}, so a chaos trial is as replayable as a clean one.
+
+    The fault vocabulary matches the adversities the paper's robustness
+    argument (E2, §7) is about: stalls (delayed threads pinning
+    garbage), crashes (the stall made permanent), allocation hogs
+    (manufactured pool pressure), and signal faults (late or lost
+    neutralization signals, probing Assumption 4). *)
+
+type thread_fault =
+  | Stall of { at_op : int; ns : int }
+      (** stop for [ns] simulated/wall nanoseconds after completing
+          operation [at_op], while {e inside} the next operation's read
+          phase (the paper's delayed-thread scenario) *)
+  | Crash of { at_op : int }
+      (** after [at_op] operations, enter an operation and never return:
+          no [end_op], reservations and limbo bag orphaned *)
+  | Hog of { at_op : int; slots : int; ns : int }
+      (** after [at_op] operations, allocate [slots] pool slots
+          directly, hold them for [ns], then free them — induced pool
+          pressure *)
+
+type signal_fault = {
+  delay_pct : int;  (** % of signals whose handler runs late *)
+  delay_ns : int;  (** how late *)
+  drop_pct : int;
+      (** % of signals lost outright.  POSIX forbids this for
+          [pthread_kill]; non-zero values are for demonstrating what the
+          guarantee buys (expect UAF reads) — keep 0 in safety-asserting
+          tests. *)
+}
+
+type t = {
+  seed : int;
+  threads : thread_fault list array;  (** per tid, sorted by trigger op *)
+  signals : signal_fault option;
+}
+
+val none : nthreads:int -> t
+(** The empty plan: no thread faults, signals untouched. *)
+
+val chaos :
+  seed:int ->
+  nthreads:int ->
+  ?stalls:int ->
+  ?crashes:int ->
+  ?stall_ns:int ->
+  ?ops_window:int ->
+  ?signal:signal_fault ->
+  unit ->
+  t
+(** Seeded chaos: [stalls] stalled threads and [crashes] crashed
+    threads, each triggered at a random operation index in
+    [\[1, ops_window\]].  Victims are drawn without replacement {e
+    within} each fault kind but the pool resets between kinds, so one
+    thread can draw both a stall and a crash.  Thread 0 is never a
+    victim, so every plan leaves at least one thread running to
+    completion.  Per-thread fault lists are ordered by trigger op with
+    crashes last on ties (a crash is terminal).  Raises
+    [Invalid_argument] when [nthreads < 2]. *)
+
+val faults_for : t -> int -> thread_fault list
+(** The (sorted) fault list for one thread; [] out of range. *)
+
+val fault_op : thread_fault -> int
+(** The operation index a fault triggers at (the runner's cursor key). *)
+
+val crashed_tids : t -> int list
+val stalled_tids : t -> int list
+
+val injects_drops : t -> bool
+(** Whether the plan can lose signals — the one injected fault that
+    makes committed UAF reads legitimately possible (chaos tests relax
+    the zero-UAF assertion only under this). *)
+
+val has_thread_faults : t -> bool
+
+val fate_fn :
+  t -> (sender:int -> target:int -> Nbr_runtime.Runtime_intf.signal_fate) option
+(** The decider to install with [Rt.set_signal_fault], or [None] if the
+    plan leaves signals alone.  Call once per trial: the returned
+    closure numbers sends with a private counter, and the fate of signal
+    [k] from [sender] to [target] is a pure function of
+    (plan seed, k, sender, target). *)
+
+val pp_thread_fault : Format.formatter -> thread_fault -> unit
+val pp : Format.formatter -> t -> unit

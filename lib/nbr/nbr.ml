@@ -76,5 +76,11 @@ module Obs = Nbr_obs
     delayed neutralization signals. *)
 module Fault = Nbr_fault.Fault_plan
 
+(** Analysis suite: {!Check.Explore} (schedule-exploring model checker
+    over the simulator), {!Check.Sanitizer} (online SMR-protocol
+    checker on the trace stream), {!Check.Certificate} (replayable
+    schedule certificates).  See DESIGN.md §11. *)
+module Check = Nbr_check
+
 (** SplitMix64 PRNG, the repo-wide randomness source. *)
 module Rng = Nbr_sync.Rng

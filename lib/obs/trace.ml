@@ -4,7 +4,14 @@
    increment — no allocation, no atomics, drop-oldest by construction.
    The [on] flag is a plain ref: emission sites guard with [if !Trace.on]
    so a disabled trace costs exactly one load and a not-taken branch,
-   mirroring the [faults_active] idiom of the native runtime. *)
+   mirroring the [faults_active] idiom of the native runtime.
+
+   PR 5 adds a second tier: [fine] gates the protocol-event firehose
+   (per-dereference accesses, per-slot alloc/retire/free, op and
+   checkpoint boundaries) that the online sanitizer consumes.  Keeping it
+   separate means the coarse timeline consumers (Perfetto export, the CI
+   chaos assertions) never have their rings flooded by per-access events
+   unless a checker asked for them. *)
 
 type kind =
   | Signal_sent
@@ -22,6 +29,13 @@ type kind =
   | Heartbeat_timeout
   | Peer_declared_dead
   | Orphan_adopted
+  | Alloc_slot
+  | Free_slot
+  | Retire
+  | Access
+  | Begin_op
+  | End_op
+  | Checkpoint_set
 
 let kind_code = function
   | Signal_sent -> 0
@@ -39,6 +53,13 @@ let kind_code = function
   | Heartbeat_timeout -> 12
   | Peer_declared_dead -> 13
   | Orphan_adopted -> 14
+  | Alloc_slot -> 15
+  | Free_slot -> 16
+  | Retire -> 17
+  | Access -> 18
+  | Begin_op -> 19
+  | End_op -> 20
+  | Checkpoint_set -> 21
 
 let kind_of_code = function
   | 0 -> Signal_sent
@@ -55,7 +76,14 @@ let kind_of_code = function
   | 11 -> Fault_action
   | 12 -> Heartbeat_timeout
   | 13 -> Peer_declared_dead
-  | _ -> Orphan_adopted
+  | 14 -> Orphan_adopted
+  | 15 -> Alloc_slot
+  | 16 -> Free_slot
+  | 17 -> Retire
+  | 18 -> Access
+  | 19 -> Begin_op
+  | 20 -> End_op
+  | _ -> Checkpoint_set
 
 let kind_name = function
   | Signal_sent -> "signal_sent"
@@ -73,6 +101,13 @@ let kind_name = function
   | Heartbeat_timeout -> "heartbeat_timeout"
   | Peer_declared_dead -> "peer_declared_dead"
   | Orphan_adopted -> "orphan_adopted"
+  | Alloc_slot -> "alloc_slot"
+  | Free_slot -> "free_slot"
+  | Retire -> "retire"
+  | Access -> "access"
+  | Begin_op -> "begin_op"
+  | End_op -> "end_op"
+  | Checkpoint_set -> "checkpoint_set"
 
 type event = { e_ns : int; e_tid : int; e_seq : int; e_kind : kind; e_a : int; e_b : int }
 
@@ -98,8 +133,18 @@ let mk_ring cap =
     }
 
 let on = ref false
+let verbose = ref false
+let fine = ref false
 let rings : ring array ref = ref [||]
 let cap = ref 0
+
+(* Online subscriber (the protocol sanitizer).  Called synchronously from
+   [emit], i.e. in true emission order under the single-domain simulator;
+   under the native runtime concurrent emitters call it unsynchronized,
+   so online checkers are a sim-runtime tool. *)
+let sub : (event -> unit) option ref = ref None
+
+let refresh_fine () = fine := !on && !verbose
 
 let default_capacity = 8192
 
@@ -108,16 +153,26 @@ let enable ?(capacity = default_capacity) ~nthreads () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity";
   cap := capacity;
   rings := Array.init nthreads (fun _ -> mk_ring capacity);
-  on := true
+  on := true;
+  refresh_fine ()
 
-let disable () = on := false
+let disable () =
+  on := false;
+  refresh_fine ()
 
 let clear () =
   on := false;
   rings := [||];
-  cap := 0
+  cap := 0;
+  refresh_fine ()
 
 let enabled () = !on
+
+let set_verbose b =
+  verbose := b;
+  refresh_fine ()
+
+let subscribe f = sub := f
 
 let emit ~tid ~ns k a b =
   let rs = !rings in
@@ -129,7 +184,11 @@ let emit ~tid ~ns k a b =
     Array.unsafe_set r.r_ns i ns;
     Array.unsafe_set r.r_a i a;
     Array.unsafe_set r.r_b i b;
-    r.next <- r.next + 1
+    r.next <- r.next + 1;
+    match !sub with
+    | None -> ()
+    | Some f ->
+        f { e_ns = ns; e_tid = tid; e_seq = r.next - 1; e_kind = k; e_a = a; e_b = b }
   end
 
 let dropped () =

@@ -42,6 +42,17 @@ type kind =
   | Orphan_adopted
       (** a live thread adopted an orphan parcel; a = origin tid,
           b = records adopted *)
+  | Alloc_slot  (** fine: pool slot allocated; a = slot *)
+  | Free_slot  (** fine: pool slot freed; a = slot *)
+  | Retire  (** fine: slot retired (unlinked, awaiting reclamation); a = slot *)
+  | Access
+      (** fine: guarded dereference of a record; a = slot,
+          b = pool state observed (0 free / 1 live / 2 retired) *)
+  | Begin_op  (** fine: scheme [begin_op] — operation protection starts *)
+  | End_op  (** fine: scheme [end_op] — operation protection retracted *)
+  | Checkpoint_set
+      (** fine: NBR-family read-phase checkpoint armed (begin_read):
+          reservations cleared, thread restartable *)
 
 val kind_name : kind -> string
 
@@ -61,6 +72,21 @@ val on : bool ref
     Treat as read-only outside this module — {!enable} / {!disable} flip
     it. *)
 
+val fine : bool ref
+(** Second-tier gate for the protocol-event firehose ({!Alloc_slot},
+    {!Free_slot}, {!Retire}, {!Access}, {!Begin_op}, {!End_op},
+    {!Checkpoint_set}): true iff tracing is enabled {e and} verbose mode
+    is on.  Emission sites for fine-grained events guard with [!fine]
+    instead of [!on], so coarse timeline consumers (Perfetto export, CI
+    trace assertions) never have their rings flooded by per-access
+    events unless a checker asked for them via {!set_verbose}.  Treat as
+    read-only outside this module. *)
+
+val set_verbose : bool -> unit
+(** Turn the fine-grained event tier on or off (persists across
+    {!enable} / {!disable}; default off).  The protocol sanitizer sets
+    this while attached. *)
+
 val enable : ?capacity:int -> nthreads:int -> unit -> unit
 (** Allocate one ring of [capacity] events (default 8192) per thread and
     start recording.  Replaces any previous rings. *)
@@ -77,6 +103,16 @@ val emit : tid:int -> ns:int -> kind -> int -> int -> unit
 (** Record one event in [tid]'s ring (drop-oldest past capacity; no-op
     for out-of-range tids).  Single-writer: only thread [tid] may call
     this with its own id. *)
+
+val subscribe : (event -> unit) option -> unit
+(** Install (or with [None] remove) an online subscriber called
+    synchronously from {!emit} with every recorded event.  Under the
+    single-domain simulator the callbacks arrive in exact emission
+    order — the substrate for the online protocol sanitizer
+    ([Nbr_check.Sanitizer]).  Under the native runtime emitters call it
+    concurrently and unsynchronized, so online checking is a
+    sim-runtime tool.  At most one subscriber; the callback must not
+    call {!emit}. *)
 
 val dropped : unit -> int
 (** Events overwritten by ring wrap-around, across all threads. *)

@@ -225,6 +225,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     t.st.(slot) <- 1;
     Atomic.incr t.allocs;
     note_in_use t;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Alloc_slot slot
+        t.seqno.(slot);
     slot
 
   (** Mark a slot as retired (unlinked, awaiting reclamation).  Called by
@@ -233,7 +236,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if t.st.(slot) <> 2 then begin
       t.st.(slot) <- 2;
       let g = Atomic.fetch_and_add t.garbage 1 + 1 in
-      note_peak t.peak_garbage g
+      note_peak t.peak_garbage g;
+      if !Nbr_obs.Trace.fine then
+        Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Retire slot g
     end
 
   (** Return a slot to a free list: the calling thread's own, or — while
@@ -249,6 +255,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     t.seqno.(slot) <- t.seqno.(slot) + 1;
     Atomic.incr t.frees;
     Atomic.decr t.in_use;
+    if !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+        Nbr_obs.Trace.Free_slot slot t.seqno.(slot);
     if Atomic.get t.starving > 0 then begin
       (* Cross-thread hand-off is an allocator slow path. *)
       Rt.work t.c_free_slow;
@@ -320,12 +329,18 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     t.seqno.(deref t slot)
 
   (** Called by the SMR layer when a guarded dereference lands on [slot];
-      counts reads that hit freed memory.  For a sound scheme under the
-      exact-delivery (sim) runtime this stays at zero; the [unsafe_free]
-      foil drives it up. *)
+      counts reads that hit freed memory and returns whether this read
+      was one (so the scheme can classify it committed vs benign in its
+      own stats).  For a sound scheme under the exact-delivery (sim)
+      runtime this stays at zero; the [unsafe_free] foil drives it up. *)
   let record_read t slot =
-    if slot >= 0 && slot < t.capacity && t.st.(slot) = 0 then
-      Atomic.incr t.uaf_reads
+    let in_range = slot >= 0 && slot < t.capacity in
+    let uaf = in_range && t.st.(slot) = 0 in
+    if uaf then Atomic.incr t.uaf_reads;
+    if in_range && !Nbr_obs.Trace.fine then
+      Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+        Nbr_obs.Trace.Access slot t.st.(slot);
+    uaf
 
   type stats = {
     s_allocs : int;

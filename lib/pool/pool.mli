@@ -116,10 +116,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
   (** {!seqno} with an access charge: lets validators detect
       free-and-recycle (ABA on the slot) between two reads. *)
 
-  val record_read : t -> int -> unit
+  val record_read : t -> int -> bool
   (** Called by the SMR layer when a guarded dereference lands on a
-      slot; counts reads that hit freed memory.  Zero for a sound scheme
-      under the exact-delivery (sim) runtime. *)
+      slot; counts reads that hit freed memory (and, when fine-grained
+      tracing is on, emits an [Access] event).  Returns [true] iff this
+      read hit a Free slot, so the scheme can classify it committed vs
+      benign in its own {!Nbr_core.Smr_stats}.  Zero hits for a sound
+      scheme under the exact-delivery (sim) runtime. *)
 
   type stats = {
     s_allocs : int;

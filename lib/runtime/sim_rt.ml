@@ -81,6 +81,21 @@ exception Stuck of string
 let max_events = ref 0
 let set_max_events n = max_events := n
 
+(* Pluggable schedule controller (the lib/check explorer).  When
+   installed, every scheduling decision — which runnable fiber resumes
+   next — is delegated to the controller instead of the virtual-clock
+   min-heap: it is shown the ids of all unfinished fibers (sorted by id)
+   plus the id of the fiber that ran last ([-1] initially) and returns an
+   {e index} into that array.  Because the runnable set at step [k] is a
+   deterministic function of the first [k] decisions, a schedule is fully
+   described by its decision-index sequence, which is what makes
+   certificates replayable across search strategies.  Out-of-range
+   returns are clamped to 0.  Virtual clocks still advance (timestamps,
+   deadlines and watchdogs stay meaningful) but no longer drive
+   scheduling. *)
+let sched_ctl : (last:int -> runnable:int array -> int) option ref = ref None
+let set_schedule_controller f = sched_ctl := f
+
 let name = "sim"
 
 (* ------------------------------------------------------------------ *)
@@ -522,29 +537,60 @@ let run ~nthreads:n body =
           });
     cur := mk_fiber (-1)
   in
-  Array.iter (fun f -> Heap.push heap f) fs;
-  while heap.Heap.n > 0 && !failure = None do
-    let f = Heap.pop heap in
-    if not f.finished then begin
-      incr events;
-      if !max_events > 0 && !events > !max_events then begin
-        let msg =
-          String.concat "; "
-            (Array.to_list
-               (Array.map
-                  (fun g ->
-                    Printf.sprintf "t%d clock=%d fin=%b restartable=%b" g.id
-                      g.clock g.finished g.restartable)
-                  fs))
-        in
-        failure := Some (Stuck msg)
-      end
-      else begin
-        resume_one f;
-        if not f.finished then Heap.push heap f
-      end
+  let stuck_msg () =
+    String.concat "; "
+      (Array.to_list
+         (Array.map
+            (fun g ->
+              Printf.sprintf "t%d clock=%d fin=%b restartable=%b" g.id g.clock
+                g.finished g.restartable)
+            fs))
+  in
+  let budget_blown () =
+    incr events;
+    if !max_events > 0 && !events > !max_events then begin
+      failure := Some (Stuck (stuck_msg ()));
+      true
     end
-  done;
+    else false
+  in
+  (match !sched_ctl with
+  | None ->
+      Array.iter (fun f -> Heap.push heap f) fs;
+      while heap.Heap.n > 0 && !failure = None do
+        let f = Heap.pop heap in
+        if not f.finished then
+          if not (budget_blown ()) then begin
+            resume_one f;
+            if not f.finished then Heap.push heap f
+          end
+      done
+  | Some pick ->
+      (* Controlled mode: gather the unfinished fibers in id order and ask
+         the controller which one runs.  Single-domain and effect-driven,
+         so the execution is a pure function of the decision sequence. *)
+      let buf = Array.make n (-1) in
+      let last = ref (-1) in
+      let running = ref true in
+      while !running && !failure = None do
+        let k = ref 0 in
+        Array.iter
+          (fun f ->
+            if not f.finished then begin
+              buf.(!k) <- f.id;
+              incr k
+            end)
+          fs;
+        if !k = 0 then running := false
+        else if not (budget_blown ()) then begin
+          let runnable = Array.sub buf 0 !k in
+          let idx = pick ~last:!last ~runnable in
+          let idx = if idx < 0 || idx >= !k then 0 else idx in
+          let f = fs.(runnable.(idx)) in
+          last := f.id;
+          resume_one f
+        end
+      done);
   fibers := [||];
   n_threads := 1;
   match !failure with None -> () | Some e -> raise e

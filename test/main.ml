@@ -16,4 +16,5 @@ let () =
       ("lifecycle", Test_lifecycle.suite);
       ("native-runtime", Test_native.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]

@@ -1,0 +1,535 @@
+(* The analysis suite (lib/check), end to end: certificate round-trips,
+   sanitizer rules on synthetic event streams, schedule-explorer
+   negatives — unsafe-free, leaky, and the PR 4 IBR frozen-link bug
+   behind the A3 ablation knob — each with byte-for-byte certificate
+   replay, and a positive swarm smoke over every supported safe
+   scheme × structure pair. *)
+
+module Sim = Nbr_runtime.Sim_rt
+module P = Nbr_pool.Pool.Make (Sim)
+module Trace = Nbr_obs.Trace
+module Cert = Nbr_check.Certificate
+module Explore = Nbr_check.Explore
+module San = Nbr_check.Sanitizer
+
+(* Jitter off: scenario executions must be a pure function of the
+   decision sequence for certificates to replay byte-for-byte, and a
+   fixed jitter seed would do, but zero keeps failures easy to read. *)
+let det_config =
+  { Sim.default_config with cores = 2; granularity = 1; jitter = 0; seed = 7 }
+
+(* Explorer scenarios mutate process-global simulator and trace state;
+   put all of it back so later suites see the defaults they expect. *)
+let with_clean_globals f =
+  Fun.protect f ~finally:(fun () ->
+      Sim.set_config Sim.default_config;
+      Sim.set_max_events 0;
+      Trace.subscribe None;
+      Trace.set_verbose false;
+      if Trace.enabled () then Trace.disable ())
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let rules_of san = List.map (fun v -> v.San.v_rule) (San.violations san)
+
+(* Every sanitizer finding of one scenario execution as a single string:
+   the negative tests compare this across replays byte-for-byte. *)
+let verdict san =
+  match San.violations san with
+  | [] -> None
+  | vs -> Some (String.concat "\n" (List.map San.violation_to_string vs))
+
+(* ------------------------------------------------------------------ *)
+(* Certificates.                                                       *)
+
+let cert_example =
+  {
+    Cert.c_strategy = "dfs";
+    c_nthreads = 2;
+    c_cores = 2;
+    c_granularity = 1;
+    c_seed = 24397;
+    c_decisions = [| 0; 0; 0; 0; 1; 0; 1; 1; 1; 0 |];
+  }
+
+let test_cert_roundtrip () =
+  let s = Cert.to_string cert_example in
+  let c' = Cert.of_string s in
+  Alcotest.(check bool) "round-trips" true (Cert.equal cert_example c');
+  Alcotest.(check string) "stable re-encoding" s (Cert.to_string c');
+  Alcotest.(check bool) "whitespace tolerated" true
+    (Cert.equal cert_example (Cert.of_string ("  " ^ s ^ "\n")));
+  let empty = { cert_example with c_decisions = [||] } in
+  Alcotest.(check bool) "empty decisions round-trip" true
+    (Cert.equal empty (Cert.of_string (Cert.to_string empty)));
+  let long =
+    { cert_example with c_decisions = Array.init 1000 (fun i -> i / 700) }
+  in
+  Alcotest.(check bool) "long runs round-trip" true
+    (Cert.equal long (Cert.of_string (Cert.to_string long)))
+
+let test_cert_malformed () =
+  let rejected s =
+    match Cert.of_string s with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ (if s = "" then "<empty>" else s))
+        true (rejected s))
+    [
+      "";
+      "garbage";
+      "nbr-cert/2;dfs;2;2;1;5;0" (* wrong version *);
+      "nbr-cert/1;dfs;2;2;1;5" (* missing field *);
+      "nbr-cert/1;dfs;two;2;1;5;0" (* non-numeric *);
+      "nbr-cert/1;dfs;2;2;1;5;3x" (* truncated run *);
+      "nbr-cert/1;dfs;2;2;1;5;0x4" (* zero-length run *);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer rules on synthetic event streams: drive Trace.emit by hand
+   and check exactly which rules fire.                                 *)
+
+let attach ?garbage_bound family =
+  if not (Trace.enabled ()) then Trace.enable ~nthreads:2 ();
+  San.attach { San.family; nthreads = 2; garbage_bound }
+
+let test_san_unbalanced () =
+  with_clean_globals @@ fun () ->
+  let san = attach San.Epoch in
+  Trace.emit ~tid:0 ~ns:10 Trace.Begin_op 0 0;
+  Trace.emit ~tid:0 ~ns:20 Trace.Begin_op 0 0 (* nested *);
+  Trace.emit ~tid:0 ~ns:30 Trace.End_op 0 0;
+  Trace.emit ~tid:1 ~ns:40 Trace.End_op 0 0 (* unmatched *);
+  Trace.emit ~tid:1 ~ns:50 Trace.Begin_op 0 0 (* left open *);
+  San.detach san;
+  Alcotest.(check (list string))
+    "nested, unmatched, and left-open all flagged"
+    [ "unbalanced_op"; "unbalanced_op"; "unbalanced_op" ]
+    (rules_of san);
+  Alcotest.(check int) "total matches" 3 (San.total_violations san)
+
+let test_san_uaf_and_garbage () =
+  with_clean_globals @@ fun () ->
+  let san = attach ~garbage_bound:2 San.Epoch in
+  Trace.emit ~tid:0 ~ns:1 Trace.Alloc_slot 7 0;
+  Trace.emit ~tid:0 ~ns:2 Trace.Access 7 1 (* live: fine *);
+  Trace.emit ~tid:0 ~ns:3 Trace.Retire 7 0;
+  Trace.emit ~tid:0 ~ns:4 Trace.Access 7 2 (* retired: not UAF *);
+  Trace.emit ~tid:0 ~ns:5 Trace.Free_slot 7 0;
+  Trace.emit ~tid:1 ~ns:6 Trace.Access 7 0 (* freed: uaf_access *);
+  Trace.emit ~tid:1 ~ns:7 Trace.Access 99 0 (* unknown slot: never flagged *);
+  (* Bound 2, and slot 7 is already freed: the third concurrently
+     retired slot crosses the bound, once (latched). *)
+  Trace.emit ~tid:0 ~ns:8 Trace.Alloc_slot 1 0;
+  Trace.emit ~tid:0 ~ns:9 Trace.Alloc_slot 2 0;
+  Trace.emit ~tid:0 ~ns:10 Trace.Alloc_slot 3 0;
+  Trace.emit ~tid:0 ~ns:11 Trace.Retire 1 0;
+  Trace.emit ~tid:0 ~ns:12 Trace.Retire 2 0;
+  Trace.emit ~tid:0 ~ns:13 Trace.Retire 3 0;
+  Trace.emit ~tid:0 ~ns:14 Trace.Retire 3 0 (* dedup: no double count *);
+  San.detach san;
+  Alcotest.(check (list string))
+    "one UAF, one latched garbage-bound"
+    [ "uaf_access"; "garbage_bound" ]
+    (rules_of san);
+  match San.violations san with
+  | [ uaf; _ ] ->
+      Alcotest.(check int) "UAF blamed on the reader" 1 uaf.San.v_tid;
+      Alcotest.(check int) "at the access timestamp" 6 uaf.San.v_ns;
+      Alcotest.(check bool) "context captured" true (uaf.San.v_context <> [])
+  | _ -> Alcotest.fail "expected exactly two findings"
+
+let test_san_unguarded () =
+  with_clean_globals @@ fun () ->
+  let san = attach San.Neutralization in
+  Trace.emit ~tid:0 ~ns:1 Trace.Begin_op 0 0;
+  Trace.emit ~tid:0 ~ns:2 Trace.Access 4 1 (* before checkpoint: flagged *);
+  Trace.emit ~tid:0 ~ns:3 Trace.Checkpoint_set 0 0;
+  Trace.emit ~tid:0 ~ns:4 Trace.Access 4 1 (* in a read phase: fine *);
+  Trace.emit ~tid:0 ~ns:5 Trace.Reservation_publish 1 0;
+  Trace.emit ~tid:0 ~ns:6 Trace.Access 4 1 (* after publish: flagged *);
+  Trace.emit ~tid:0 ~ns:7 Trace.End_op 0 0;
+  San.detach san;
+  Alcotest.(check (list string))
+    "accesses outside the checkpointed phase flagged"
+    [ "unguarded_access"; "unguarded_access" ]
+    (rules_of san)
+
+let test_san_handshake () =
+  with_clean_globals @@ fun () ->
+  (* Broken: victim keeps accessing after an unobserved signal, and the
+     sender reclaims anyway. *)
+  let san = attach San.Neutralization in
+  Trace.emit ~tid:1 ~ns:1 Trace.Begin_op 0 0;
+  Trace.emit ~tid:1 ~ns:2 Trace.Checkpoint_set 0 0;
+  Trace.emit ~tid:0 ~ns:3 Trace.Signal_sent 1 0;
+  Trace.emit ~tid:1 ~ns:4 Trace.Access 5 1;
+  Trace.emit ~tid:0 ~ns:5 Trace.Reclaim 3 0;
+  Trace.emit ~tid:1 ~ns:6 Trace.End_op 0 0;
+  San.detach san;
+  Alcotest.(check (list string))
+    "reclaim past an unacknowledged signal flagged"
+    [ "handshake_incomplete" ] (rules_of san);
+  (* Honoured: the victim observes the signal (Neutralized) before the
+     sender reclaims — same events otherwise, no finding. *)
+  let san2 = attach San.Neutralization in
+  Trace.emit ~tid:1 ~ns:1 Trace.Begin_op 0 0;
+  Trace.emit ~tid:1 ~ns:2 Trace.Checkpoint_set 0 0;
+  Trace.emit ~tid:0 ~ns:3 Trace.Signal_sent 1 0;
+  Trace.emit ~tid:1 ~ns:4 Trace.Access 5 1;
+  Trace.emit ~tid:1 ~ns:5 Trace.Neutralized 0 0;
+  Trace.emit ~tid:0 ~ns:6 Trace.Reclaim 3 0;
+  Trace.emit ~tid:1 ~ns:7 Trace.Checkpoint_set 0 0 (* restart re-arms *);
+  Trace.emit ~tid:1 ~ns:8 Trace.End_op 0 0;
+  San.detach san2;
+  Alcotest.(check (list string)) "observed handshake is clean" []
+    (rules_of san2)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule explorer: a race-free scenario exhausts its bounded space
+   with no finding.                                                    *)
+
+let trivial_scenario () =
+  Sim.set_config det_config;
+  Sim.set_max_events 100_000;
+  let x = Sim.make 0 and y = Sim.make 0 in
+  (try
+     Sim.run ~nthreads:2 (fun tid ->
+         if tid = 0 then begin
+           Sim.store x 1;
+           ignore (Sim.load y)
+         end
+         else begin
+           Sim.store y 1;
+           ignore (Sim.load x)
+         end)
+   with Sim.Stuck _ -> ());
+  None
+
+let test_dfs_exhausts_clean () =
+  with_clean_globals @@ fun () ->
+  let r =
+    Explore.dfs ~preemption_bound:1 ~max_schedules:500 ~nthreads:2
+      ~run:trivial_scenario ()
+  in
+  Alcotest.(check bool) "no violation" true (r.Explore.r_violation = None);
+  Alcotest.(check bool) "explored several schedules" true (r.r_schedules > 1);
+  Alcotest.(check bool) "bounded space exhausted before the cap" true
+    (r.r_schedules < 500)
+
+(* ------------------------------------------------------------------ *)
+(* Negative: unsafe-free.  The foil frees on retire with no protection;
+   a single preemption lets the writer free a still-linked record
+   between the reader starting its operation and traversing.           *)
+
+module U = Nbr_core.Unsafe_free.Make (Sim)
+
+let unsafe_free_scenario () =
+  Sim.set_config det_config;
+  Sim.set_max_events 500_000;
+  let pool = P.create ~capacity:32 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+  let smr = U.create pool ~nthreads:2 Nbr_core.Smr_config.default in
+  let root = Sim.make P.nil in
+  let c0 = U.register smr ~tid:0 and c1 = U.register smr ~tid:1 in
+  let san =
+    San.attach
+      {
+        San.family = San.family_of_scheme U.scheme_name;
+        nthreads = 2;
+        garbage_bound = None;
+      }
+  in
+  (try
+     Sim.run ~nthreads:2 (fun tid ->
+         if tid = 0 then begin
+           (* Reader: root, then one hop. *)
+           U.begin_op c0;
+           U.read_only c0 (fun () ->
+               let a = U.read_root c0 root in
+               if a >= 0 then ignore (U.read_ptr c0 ~src:a ~field:0));
+           U.end_op c0
+         end
+         else begin
+           (* Writer: publish A -> B, then free B while still linked. *)
+           U.begin_op c1;
+           let a = U.alloc c1 in
+           let b = U.alloc c1 in
+           P.set_ptr pool a 0 b;
+           Sim.store root a;
+           U.end_op c1;
+           U.begin_op c1;
+           U.retire c1 b;
+           U.end_op c1
+         end)
+   with Sim.Stuck _ -> ());
+  San.detach san;
+  if Trace.enabled () then Trace.disable ();
+  verdict san
+
+let test_unsafe_free_negative () =
+  with_clean_globals @@ fun () ->
+  let r =
+    Explore.dfs ~preemption_bound:1 ~nthreads:2 ~run:unsafe_free_scenario ()
+  in
+  match r.Explore.r_violation with
+  | None ->
+      Alcotest.failf "no violation in %d schedules of an unsafe scheme"
+        r.r_schedules
+  | Some (desc, cert) ->
+      Alcotest.(check bool) "flagged as a UAF access" true
+        (contains desc "uaf_access");
+      Alcotest.(check bool) "took more than the sequential schedule" true
+        (r.r_schedules > 1);
+      (* The certificate survives its own wire format, and replaying it
+         reproduces the identical findings, byte for byte, twice. *)
+      let cert = Cert.of_string (Cert.to_string cert) in
+      let r1 = Explore.replay cert ~run:unsafe_free_scenario in
+      let r2 = Explore.replay cert ~run:unsafe_free_scenario in
+      Alcotest.(check (option string)) "replay reproduces" (Some desc) r1;
+      Alcotest.(check (option string)) "replay is deterministic" r1 r2
+
+(* ------------------------------------------------------------------ *)
+(* Negative: leaky breaches a configured garbage bound on any schedule
+   (PCT finds it on its first), and the certificate replays.           *)
+
+module Lk = Nbr_core.Leaky.Make (Sim)
+
+let leaky_scenario () =
+  Sim.set_config det_config;
+  Sim.set_max_events 500_000;
+  let pool = P.create ~capacity:64 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+  let smr = Lk.create pool ~nthreads:2 Nbr_core.Smr_config.default in
+  let c0 = Lk.register smr ~tid:0 and c1 = Lk.register smr ~tid:1 in
+  let san =
+    San.attach
+      {
+        San.family = San.family_of_scheme Lk.scheme_name;
+        nthreads = 2;
+        garbage_bound = Some 4;
+      }
+  in
+  (try
+     Sim.run ~nthreads:2 (fun tid ->
+         if tid = 0 then begin
+           Lk.begin_op c0;
+           for _ = 1 to 8 do
+             Lk.retire c0 (Lk.alloc c0)
+           done;
+           Lk.end_op c0
+         end
+         else begin
+           Lk.begin_op c1;
+           Lk.retire c1 (Lk.alloc c1);
+           Lk.end_op c1
+         end)
+   with Sim.Stuck _ -> ());
+  San.detach san;
+  if Trace.enabled () then Trace.disable ();
+  verdict san
+
+let test_leaky_negative () =
+  with_clean_globals @@ fun () ->
+  let r =
+    Explore.pct ~schedules:2 ~seed:3 ~nthreads:2 ~run:leaky_scenario ()
+  in
+  match r.Explore.r_violation with
+  | None -> Alcotest.fail "leaky never breached its garbage bound"
+  | Some (desc, cert) ->
+      Alcotest.(check bool) "flagged as a garbage-bound breach" true
+        (contains desc "garbage_bound");
+      let cert = Cert.of_string (Cert.to_string cert) in
+      let r1 = Explore.replay cert ~run:leaky_scenario in
+      let r2 = Explore.replay cert ~run:leaky_scenario in
+      Alcotest.(check (option string)) "replay reproduces" (Some desc) r1;
+      Alcotest.(check (option string)) "replay is deterministic" r1 r2
+
+(* ------------------------------------------------------------------ *)
+(* Regression: the PR 4 IBR frozen-link bug, re-found from first
+   principles.  With [unsafe_ibr_no_validate] (ablation A3) the era
+   ratchet returns the frozen link of a retired source, which can name a
+   record born after the reader's announced upper bound and already
+   swept.  One preemption: the reader resolves the root, the writer
+   replaces and retires everything (epoch_freq/bag_threshold 1 make
+   every retire sweep), the reader follows the frozen link.            *)
+
+module I = Nbr_core.Ibr.Make (Sim)
+
+let ibr_scenario ~validate () =
+  Sim.set_config det_config;
+  Sim.set_max_events 500_000;
+  let pool = P.create ~capacity:32 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+  let scfg =
+    {
+      Nbr_core.Smr_config.default with
+      epoch_freq = 1;
+      bag_threshold = 1;
+      lo_watermark = 1;
+      unsafe_ibr_no_validate = not validate;
+    }
+  in
+  let smr = I.create pool ~nthreads:2 scfg in
+  let root = Sim.make P.nil in
+  let c0 = I.register smr ~tid:0 and c1 = I.register smr ~tid:1 in
+  (* Prefill (outside the fibers): one record A published at the root. *)
+  let a = I.alloc c1 in
+  P.set_ptr pool a 0 P.nil;
+  Sim.store root a;
+  let san =
+    San.attach
+      {
+        San.family = San.family_of_scheme I.scheme_name;
+        nthreads = 2;
+        garbage_bound = None;
+      }
+  in
+  (try
+     Sim.run ~nthreads:2 (fun tid ->
+         if tid = 0 then begin
+           (* Reader: root, then one hop — the hop follows A's link. *)
+           I.begin_op c0;
+           I.read_only c0 (fun () ->
+               let x = I.read_root c0 root in
+               if x >= 0 then ignore (I.read_ptr c0 ~src:x ~field:0));
+           I.end_op c0
+         end
+         else begin
+           (* Writer: replace A with C and retire both.  A stays pinned
+              by the reader's interval with its link frozen at C; C is
+              born after the reader's upper bound, so the sweep frees
+              it. *)
+           I.begin_op c1;
+           let c = I.alloc c1 in
+           P.set_ptr pool c 0 P.nil;
+           P.set_ptr pool a 0 c;
+           Sim.store root c;
+           I.retire c1 a;
+           Sim.store root P.nil;
+           I.retire c1 c;
+           I.end_op c1
+         end)
+   with Sim.Stuck _ -> ());
+  San.detach san;
+  if Trace.enabled () then Trace.disable ();
+  verdict san
+
+let test_ibr_regression () =
+  with_clean_globals @@ fun () ->
+  let r =
+    Explore.dfs ~preemption_bound:1 ~nthreads:2
+      ~run:(ibr_scenario ~validate:false)
+      ()
+  in
+  match r.Explore.r_violation with
+  | None ->
+      Alcotest.failf "DFS did not re-find the IBR frozen-link bug (%d schedules)"
+        r.r_schedules
+  | Some (desc, cert) ->
+      Alcotest.(check bool) "frozen link read as a UAF access" true
+        (contains desc "uaf_access");
+      let cert = Cert.of_string (Cert.to_string cert) in
+      let r1 = Explore.replay cert ~run:(ibr_scenario ~validate:false) in
+      let r2 = Explore.replay cert ~run:(ibr_scenario ~validate:false) in
+      Alcotest.(check (option string)) "replay reproduces" (Some desc) r1;
+      Alcotest.(check (option string)) "replay is deterministic" r1 r2;
+      (* The PR 4 fix: the same schedule with source validation on
+         neutralizes the reader instead of handing it the frozen link. *)
+      Alcotest.(check (option string)) "validation closes the window" None
+        (Explore.replay cert ~run:(ibr_scenario ~validate:true))
+
+(* ------------------------------------------------------------------ *)
+(* Positive: every supported safe scheme × structure pair runs a tiny
+   trial under a PCT schedule with the sanitizer attached and produces
+   zero findings (and a valid trial).                                  *)
+
+module H = Nbr_workload.Harness.Make (Sim)
+
+let smoke_scenario ~scheme ~structure () =
+  Sim.set_config det_config;
+  Sim.set_max_events 5_000_000;
+  let cfg =
+    Nbr_workload.Trial.mk ~nthreads:2 ~duration_ns:20_000 ~key_range:16
+      ~seed:11 ()
+  in
+  let san =
+    San.attach
+      {
+        San.family = San.family_of_scheme scheme;
+        nthreads = 2;
+        (* The sanitizer's count is pool-wide; the trial bound is
+           per-thread.  Scale and add headroom — the negative tests
+           cover tightness, this guards against unbounded blowup. *)
+        garbage_bound = Some (4 * Nbr_workload.Trial.garbage_bound cfg);
+      }
+  in
+  let result =
+    try Some (H.run ~scheme ~structure cfg) with Sim.Stuck _ -> None
+  in
+  (* A schedule that starves a lock holder (PCT keeps running the
+     spinner) hits the event budget mid-operation: protocol findings up
+     to the truncation point stand, but detach's still-inside-an-op
+     report is an artifact of the cut, not a bug. *)
+  let runtime_verdict = verdict san in
+  San.detach san;
+  if Trace.enabled () then Trace.disable ();
+  match result with
+  | None -> runtime_verdict
+  | Some r -> (
+      match verdict san with
+      | Some v -> Some v
+      | None ->
+          if Nbr_workload.Trial.valid r then None else Some "trial invalid")
+
+let run_smoke scheme structure () =
+  with_clean_globals @@ fun () ->
+  let r =
+    Explore.pct ~schedules:1 ~seed:17 ~nthreads:2
+      ~run:(smoke_scenario ~scheme ~structure)
+      ()
+  in
+  match r.Explore.r_violation with
+  | None -> ()
+  | Some (desc, cert) ->
+      Alcotest.failf "%s/%s under %s:\n%s" scheme structure
+        (Cert.to_string cert) desc
+
+let safe_schemes = [ "nbr"; "nbr+"; "debra"; "qsbr"; "rcu"; "ibr"; "hp"; "he" ]
+
+let smoke_tests =
+  List.concat_map
+    (fun scheme ->
+      List.filter_map
+        (fun structure ->
+          if H.supported ~scheme ~structure then
+            Some
+              (Alcotest.test_case
+                 (Printf.sprintf "swarm smoke %s/%s" scheme structure)
+                 `Quick (run_smoke scheme structure))
+          else None)
+        H.structure_names)
+    safe_schemes
+
+let suite =
+  [
+    Alcotest.test_case "certificate round-trip" `Quick test_cert_roundtrip;
+    Alcotest.test_case "certificate malformed" `Quick test_cert_malformed;
+    Alcotest.test_case "sanitizer unbalanced ops" `Quick test_san_unbalanced;
+    Alcotest.test_case "sanitizer UAF + garbage bound" `Quick
+      test_san_uaf_and_garbage;
+    Alcotest.test_case "sanitizer unguarded access" `Quick test_san_unguarded;
+    Alcotest.test_case "sanitizer writers' handshake" `Quick test_san_handshake;
+    Alcotest.test_case "dfs exhausts a clean scenario" `Quick
+      test_dfs_exhausts_clean;
+    Alcotest.test_case "negative: unsafe-free UAF + replay" `Quick
+      test_unsafe_free_negative;
+    Alcotest.test_case "negative: leaky garbage bound + replay" `Quick
+      test_leaky_negative;
+    Alcotest.test_case "regression: IBR frozen link (A3) + replay" `Quick
+      test_ibr_regression;
+  ]
+  @ smoke_tests

@@ -64,10 +64,10 @@ let test_in_use_accounting () =
 let test_uaf_detection () =
   let p = mk () in
   let a = P.alloc p in
-  P.record_read p a;
+  Alcotest.(check bool) "live read not a hit" false (P.record_read p a);
   Alcotest.(check int) "live read not UAF" 0 (P.stats p).P.s_uaf_reads;
   P.free p a;
-  P.record_read p a;
+  Alcotest.(check bool) "freed read is a hit" true (P.record_read p a);
   Alcotest.(check int) "freed read counted" 1 (P.stats p).P.s_uaf_reads
 
 let test_ptr_fields_nil_initialized () =
