@@ -172,6 +172,33 @@ let record_latency_entries (r : T.result) =
       put "contains" "_ns" l.T.lat_contains;
       put "restarts" "" l.T.lat_restarts
 
+(* Inline vs background-reclaimer tail latency on an update-heavy trial
+   (DESIGN.md §12): threshold sweeps leave the hot path, so the update
+   p99/p99.9 should drop.  Published as
+   reclaim_tail/<mode>/<op>_{p99,p999}_ns; new keys, not
+   regression-gated. *)
+let record_reclaim_tail run_trial =
+  List.iter
+    (fun (mode, reclaim) ->
+      let r = run_trial reclaim in
+      match r.T.latency with
+      | None -> ()
+      | Some l ->
+          let put op (s : Nbr_obs.Histogram.summary) =
+            record
+              (Printf.sprintf "reclaim_tail/%s/%s_p99_ns" mode op)
+              s.Nbr_obs.Histogram.s_p99;
+            record
+              (Printf.sprintf "reclaim_tail/%s/%s_p999_ns" mode op)
+              s.s_p999;
+            Printf.printf
+              "  reclaim_tail/%s/%-7s p99 %10.1f  p99.9 %10.1f\n%!" mode op
+              s.Nbr_obs.Histogram.s_p99 s.s_p999
+          in
+          put "insert" l.T.lat_insert;
+          put "delete" l.T.lat_delete)
+    [ ("inline", None); ("reclaim", Some Nbr_reclaim.Reclaimer.On_pressure) ]
+
 let write_json ~runtime ~mode ~path =
   let oc = open_out path in
   output_string oc "{\n";
@@ -351,6 +378,16 @@ let () =
     in
     let r = H_nat.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
     record_latency_entries r;
+    (* Retire-heavy tail pair: inline vs background reclaimer. *)
+    record_reclaim_tail (fun reclaim ->
+        let cfg =
+          T.mk ~nthreads:mt_native
+            ~duration_ns:(if quick then 50_000_000 else 200_000_000)
+            ~key_range:128 ~ins_pct:50 ~del_pct:50 ~seed:7
+            ~smr:(Nbr_core.Smr_config.with_threshold N.smr_cfg 64)
+            ?reclaim ~record_latency:true ()
+        in
+        H_nat.run ~scheme:"nbr+" ~structure:"harris-list" cfg);
     write_json ~runtime:"native" ~mode
       ~path:(Filename.concat out_dir "BENCH_native.json")
   in
@@ -390,6 +427,16 @@ let () =
     in
     let r = H_sim.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
     record_latency_entries r;
+    (* Retire-heavy tail pair: inline vs background reclaimer
+       (deterministic in virtual time). *)
+    record_reclaim_tail (fun reclaim ->
+        let cfg =
+          T.mk ~nthreads:mt_sim ~duration_ns:3_000_000 ~key_range:128
+            ~ins_pct:50 ~del_pct:50 ~seed:7
+            ~smr:(Nbr_core.Smr_config.with_threshold S.smr_cfg 64)
+            ?reclaim ~record_latency:true ()
+        in
+        H_sim.run ~scheme:"nbr+" ~structure:"harris-list" cfg);
     write_json ~runtime:"sim" ~mode
       ~path:(Filename.concat out_dir "BENCH_sim.json")
   in

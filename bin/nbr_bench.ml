@@ -141,16 +141,66 @@ let trial_cmd =
           ~doc:"Record the full event trace and write it as Chrome \
                 trace-event JSON (Perfetto-loadable).")
   in
+  let reclaim =
+    Arg.(
+      value & opt string "none"
+      & info [ "reclaim" ] ~docv:"POLICY"
+          ~doc:"Background reclaimer policy: none (inline reclamation), \
+                pressure (watermark-kicked), periodic:NS (sweep every NS \
+                nanoseconds), after:N (sweep every N collected retires).")
+  in
+  let pressure_chaos =
+    Arg.(
+      value & flag
+      & info [ "pressure-chaos" ]
+          ~doc:"Install the memory-pressure adversary (chaos plus \
+                allocation hogs and a reclaimer stall + crash-with-restart \
+                schedule).  Implies a reclaimer; combines with \
+                $(b,--reclaim) to pick its policy (default pressure).")
+  in
   let run scheme structure runtime threads cores granularity quantum range
-      ins del duration_ms threshold seed stall_ms chaos churn trace_out =
+      ins del duration_ms threshold seed stall_ms chaos churn trace_out
+      reclaim pressure_chaos =
     let duration_ns = duration_ms * 1_000_000 in
+    let reclaim =
+      let parse = function
+        | "none" -> None
+        | "pressure" -> Some Nbr_reclaim.Reclaimer.On_pressure
+        | s -> (
+            match String.index_opt s ':' with
+            | Some i -> (
+                let k = String.sub s 0 i
+                and v = String.sub s (i + 1) (String.length s - i - 1) in
+                match (k, int_of_string_opt v) with
+                | "periodic", Some ns when ns > 0 ->
+                    Some (Nbr_reclaim.Reclaimer.Periodic { interval_ns = ns })
+                | "after", Some n when n > 0 ->
+                    Some (Nbr_reclaim.Reclaimer.After_n_retires { n })
+                | _ ->
+                    Printf.eprintf "bad --reclaim policy %s\n" s;
+                    exit 2)
+            | None ->
+                Printf.eprintf "bad --reclaim policy %s\n" s;
+                exit 2)
+      in
+      match (parse reclaim, pressure_chaos) with
+      | None, true -> Some Nbr_reclaim.Reclaimer.On_pressure
+      | p, _ -> p
+    in
     let stall =
       if stall_ms > 0 then
         Some { T.stall_tid = 1; stall_ns = stall_ms * 1_000_000 }
       else None
     in
     let faults =
-      if chaos then
+      if pressure_chaos then
+        Some
+          (Nbr_fault.Fault_plan.pressure_chaos ~seed ~nthreads:threads
+             ~stalls:1 ~crashes:1 ~hogs:2 ~hog_slots:1024
+             ~stall_ns:(duration_ns / 8) ~ops_window:100
+             ~reclaimer_stall_ns:(duration_ns / 8)
+             ~restart_ns:(duration_ns / 4) ())
+      else if chaos then
         Some
           (Nbr_fault.Fault_plan.chaos ~seed ~nthreads:threads ~stalls:2
              ~crashes:1 ~stall_ns:(duration_ns / 2) ~ops_window:100
@@ -166,15 +216,18 @@ let trial_cmd =
     (match faults with
     | Some p -> Format.printf "%a@." Nbr_fault.Fault_plan.pp p
     | None -> ());
+    let trace_threads =
+      if reclaim <> None then threads + 1 else threads
+    in
     if trace_out <> None then
-      Nbr_obs.Trace.enable ~capacity:65536 ~nthreads:threads ();
+      Nbr_obs.Trace.enable ~capacity:65536 ~nthreads:trace_threads ();
     let cfg =
       T.mk ~nthreads:threads ~duration_ns ~key_range:range ~ins_pct:ins
         ~del_pct:del
         ~smr:
           (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
              threshold)
-        ~seed ?stall ?faults ~churn_ops:churn ()
+        ~seed ?stall ?faults ~churn_ops:churn ?reclaim ()
     in
     let r =
       match runtime with
@@ -212,7 +265,8 @@ let trial_cmd =
     Term.(
       const run $ scheme $ structure $ runtime $ threads $ cores
       $ granularity $ quantum $ range $ ins $ del $ duration_ms $ threshold
-      $ seed $ stall_ms $ chaos $ churn $ trace_out)
+      $ seed $ stall_ms $ chaos $ churn $ trace_out $ reclaim
+      $ pressure_chaos)
 
 (* ---------------- main ---------------- *)
 

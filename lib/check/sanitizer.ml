@@ -48,6 +48,9 @@ type t = {
   mutable garbage_latched : bool;
   in_op : bool array;
   in_scope : bool array;  (** Checkpoint_set .. Reservation_publish *)
+  handed : bool array;
+      (** tid was handed foreign garbage at least once (orphan parcel or
+          reclaimer handoff) — the only licence for an async sweep *)
   pending_sig : bool array array;  (** [sender].[victim] *)
   accessed_after : bool array array;
       (** victim performed a guarded access after [sender]'s still
@@ -171,9 +174,26 @@ let on_event t (e : Trace.event) =
             t.pending_sig.(tid).(v) <- false
           end
         done
+  | Trace.Orphan_adopted ->
+      if in_range tid then t.handed.(tid) <- true
+  | Trace.Handoff_collect ->
+      if in_range tid then t.handed.(tid) <- true
+  | Trace.Async_sweep ->
+      (* Every family: sweeping limbo bags off the operation path is
+         legitimate only for a thread that owns what it sweeps — and an
+         async sweeper owns nothing it was not handed through the orphan
+         or reclaimer-handoff channels. *)
+      if e.e_a > 0 && in_range tid && not t.handed.(tid) then
+        record t ~rule:"foreign_sweep" ~tid ~ns
+          (Printf.sprintf
+             "async sweep freed %d records on a thread never handed a \
+              limbo bag"
+             e.e_a)
   | Trace.Restart | Trace.Bag_push | Trace.Bag_sweep | Trace.Pool_starvation
   | Trace.Pool_overflow | Trace.Fault_action | Trace.Heartbeat_timeout
-  | Trace.Peer_declared_dead | Trace.Orphan_adopted ->
+  | Trace.Peer_declared_dead | Trace.Watermark_high | Trace.Watermark_low
+  | Trace.Bag_handoff | Trace.Degrade | Trace.Restore
+  | Trace.Handshake_timeout ->
       ()
 
 let attach cfg =
@@ -186,6 +206,7 @@ let attach cfg =
       garbage_latched = false;
       in_op = Array.make cfg.nthreads false;
       in_scope = Array.make cfg.nthreads false;
+      handed = Array.make cfg.nthreads false;
       pending_sig =
         Array.init cfg.nthreads (fun _ -> Array.make cfg.nthreads false);
       accessed_after =

@@ -19,7 +19,11 @@
     - [unbalanced_op] — [begin_op]/[end_op] nesting errors, including
       threads still inside an operation at {!detach};
     - [garbage_bound] — the global retired-unreclaimed count exceeded
-      the configured bound (the paper's P2, latched once per run).
+      the configured bound (the paper's P2, latched once per run);
+    - [foreign_sweep] — every family: an async ([Async_sweep]) sweep by
+      a thread that was never handed a limbo bag through the
+      orphan-parcel or reclaimer-handoff channels — i.e. it swept
+      garbage it neither owns nor legitimately adopted.
 
     Violations carry the last few trace events as context and render to
     deterministic strings, which is what lets certificate-replay tests

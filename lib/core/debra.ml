@@ -30,6 +30,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
+    mutable offload : Smr_intf.Offload.t option;
   }
 
   and ctx = {
@@ -57,7 +58,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
+      offload = None;
     }
+
+  let set_offload b o = b.offload <- o
 
   let register b ~tid =
     L.reset_slot b.lc tid;
@@ -102,6 +106,57 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
           Limbo_bag.push c.bags.(c.local_epoch mod 3) slot)
     in
     if n > 0 then Smr_stats.note_garbage c.st (buffered c)
+
+  (* Limbo-bag externalization (DESIGN.md §12).  All three epoch bags are
+     flattened into the handoff parcel; the collector re-buffers them in
+     its own current retire bag — retired "now" from the epoch
+     discipline's point of view, so release is only ever delayed, exactly
+     the orphan-adoption argument above. *)
+
+  let limbo_size c = buffered c
+
+  let export_bag c =
+    let slots = ref [] in
+    Array.iter
+      (fun bag ->
+        ignore
+          (Limbo_bag.sweep bag ~upto:(Limbo_bag.abs_tail bag)
+             ~keep:(fun _ -> false)
+             ~free:(fun s -> slots := s :: !slots)))
+      c.bags;
+    L.push_handoff c.b.lc ~origin:c.tid !slots;
+    List.length !slots
+
+  let hand_off c = export_bag c
+
+  let maybe_offload c =
+    match c.b.offload with
+    | None -> false
+    | Some o ->
+        let count = buffered c in
+        count > 0
+        && Smr_intf.Offload.try_accept o ~tid:c.tid ~ns:(Rt.now_ns ()) ~count
+        &&
+        (ignore (export_bag c);
+         true)
+
+  let collect_handoffs c =
+    let n =
+      L.take_handoffs c.b.lc ~push:(fun slot ->
+          Limbo_bag.push c.bags.(c.local_epoch mod 3) slot)
+    in
+    if n > 0 then begin
+      Smr_stats.note_garbage c.st (buffered c);
+      match c.b.offload with
+      | Some o ->
+          Smr_intf.Offload.note_collected o ~tid:c.tid ~ns:(Rt.now_ns ())
+            ~count:n
+      | None ->
+          if !Nbr_obs.Trace.on then
+            Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+              Nbr_obs.Trace.Handoff_collect n 0
+    end;
+    n
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
@@ -196,7 +251,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     Smr_stats.add_retires c.st 1;
     Limbo_bag.push c.bags.(c.local_epoch mod 3) slot;
     let g = buffered c in
-    Smr_stats.note_garbage c.st g
+    Smr_stats.note_garbage c.st g;
+    (* DEBRA frees by epoch, not by threshold — but a backlog past the
+       sweep threshold (a pinned epoch, or simple retire pressure) is
+       worth shedding to the reclaimer, whose begin_op cadence both
+       drains it and helps the epoch advance. *)
+    if g >= c.b.cfg.Smr_config.bag_threshold then ignore (maybe_offload c)
 
   (* EBR has no phase discipline: both phases run unguarded, never
      restart — so any UAF read commits at phase completion. *)

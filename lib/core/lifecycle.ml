@@ -49,6 +49,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   type t = {
     n : int;
     orphans : parcel Nbr_sync.Treiber.t;
+    handoffs : parcel Nbr_sync.Treiber.t;
+        (** limbo bags exported by live workers for the background
+            reclaimer.  A separate channel from [orphans] on purpose:
+            orphans are anyone's to adopt on the next [end_op], while a
+            handoff is addressed to whoever plays the reclaimer role —
+            workers must not race it for parcels they just shed. *)
     state : Rt.aint array;  (** padded per-thread lifecycle state *)
     stats_lock : Rt.aint;  (** guards [done_stats] folds (cold paths only) *)
     (* Watchdog freshness bookkeeping.  Plain host arrays written by
@@ -64,6 +70,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     {
       n = nthreads;
       orphans = Nbr_sync.Treiber.create ();
+      handoffs = Nbr_sync.Treiber.create ();
       state = Array.init nthreads (fun _ -> Rt.make_padded st_active);
       stats_lock = Rt.make_padded 0;
       hb_seen = Array.make nthreads 0;
@@ -113,6 +120,32 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   (* One stdlib atomic load: cheap enough for every [end_op]. *)
   let has_orphans l = not (Nbr_sync.Treiber.is_empty l.orphans)
+
+  let push_handoff l ~origin slots =
+    if slots <> [] then begin
+      Rt.work 20;
+      Nbr_sync.Treiber.push l.handoffs { origin; slots }
+    end
+
+  let has_handoffs l = not (Nbr_sync.Treiber.is_empty l.handoffs)
+
+  (** Drain every handed-off parcel into the collector via [push] (one
+      call per record); returns the number collected.  Same re-accounting
+      contract as {!adopt} — the collector owns the records from here on
+      and frees them through its normal sweeps. *)
+  let take_handoffs l ~push =
+    let total = ref 0 in
+    let rec go () =
+      match Nbr_sync.Treiber.pop l.handoffs with
+      | None -> ()
+      | Some p ->
+          Rt.work 20;
+          List.iter push p.slots;
+          total := !total + List.length p.slots;
+          go ()
+    in
+    go ();
+    !total
 
   (** Drain every parcel into the adopter via [push] (one call per
       record); returns the number adopted.  The adopter must re-account

@@ -62,6 +62,22 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
       the records as its own buffered garbage — orphans count against
       the adopter's bound. *)
 
+  val push_handoff : t -> origin:int -> int list -> unit
+  (** Export a live worker's limbo bag for the background reclaimer
+      (no-op on the empty list).  Unlike {!push_parcel}, the records go
+      to a dedicated handoff channel that only the reclaimer role (or an
+      explicit end-of-trial drainer) consumes via {!take_handoffs} —
+      workers never race it for parcels they just shed. *)
+
+  val has_handoffs : t -> bool
+  (** One stdlib atomic load. *)
+
+  val take_handoffs : t -> push:(int -> unit) -> int
+  (** Drain every handed-off parcel into the collector via [push] (one
+      call per record); returns the number collected.  Same
+      re-accounting contract as {!adopt}: the collector owns the records
+      from here on and frees them through its normal sweeps. *)
+
   val scan :
     t ->
     self:int ->

@@ -37,15 +37,22 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let stats = B.stats
   let ctx_stats = B.ctx_stats
   let on_pressure = B.flush
+  let set_offload = B.set_offload
+  let limbo_size = B.limbo_size
+  let hand_off = B.hand_off
+  let collect_handoffs = B.collect_handoffs
 
-  (* Algorithm 1, lines 14–20. *)
+  (* Algorithm 1, lines 14–20 — with the threshold crossing first offered
+     to the background reclaimer: an accepted handoff replaces the whole
+     signalAll + scan with one channel push. *)
   let retire (c : ctx) slot =
     B.note_retired c slot;
     let open Smr_config in
-    if Limbo_bag.size c.bag >= c.b.cfg.bag_threshold then begin
-      B.broadcast c;
-      B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
-      Smr_stats.add_reclaim_events c.st 1
-    end;
+    if Limbo_bag.size c.bag >= c.b.cfg.bag_threshold then
+      if not (B.maybe_offload c) then begin
+        B.broadcast c;
+        B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
+        Smr_stats.add_reclaim_events c.st 1
+      end;
     B.bag_push c slot
 end

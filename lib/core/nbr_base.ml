@@ -25,6 +25,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     lc : L.t;  (** thread lifecycle: orphan parcels + crash watchdog *)
     done_stats : Smr_stats.t;  (** folded in from finished contexts *)
     mutable ctxs : ctx option array;
+    mutable offload : Smr_intf.Offload.t option;
+        (** background-reclamation switchboard; None = inline only *)
   }
 
   and ctx = {
@@ -60,7 +62,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
+      offload = None;
     }
+
+  let set_offload b o = b.offload <- o
 
   let register b ~tid =
     L.reset_slot b.lc tid;
@@ -248,12 +253,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      access regardless (and the watchdog will deal with it if it stays
      frozen).  Peers that keep executing without observing — dropped
      signals — get escalating re-sends, then we give up: total wait is
-     bounded by [wd_timeout_ns * 2^wd_rounds]. *)
+     bounded by [wd_timeout_ns * 2^wd_rounds].
+
+     The wait itself is exponential-backoff polling, not a busy spin:
+     each unproductive check doubles a stall (capped at an eighth of the
+     base timeout), so a writer stuck behind a slow acknowledger yields
+     the core/fiber instead of burning it.  Giving up is itself an
+     escalation: each still-unacked peer gets a [Handshake_timeout]
+     event and one final watchdog scan — by now its heartbeat has been
+     frozen through every backoff round, so a genuinely dead reader is
+     claimed and reaped right here rather than wedging each subsequent
+     broadcast for the full bounded wait. *)
   let confirm_broadcast c =
     let timeout = c.b.cfg.Smr_config.wd_timeout_ns in
     let rounds = c.b.cfg.Smr_config.wd_rounds in
     let t0 = Rt.now_ns () in
     let round = ref 0 in
+    let backoff = ref 100 in
+    let backoff_cap = max 100 (timeout / 8) in
     let unacked = ref [] in
     for t = c.b.n - 1 downto 0 do
       if
@@ -283,18 +300,31 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
                     Nbr_obs.Trace.Heartbeat_timeout t !round;
                 Rt.send_signal t)
               !unacked;
-            incr round
+            incr round;
+            backoff := 100
           end
         else begin
           (* Acknowledge peers' signals (and advance our own heartbeat)
-             while we spin, so two concurrently-confirming writers
+             before sleeping, so two concurrently-confirming writers
              unblock each other; we are non-restartable here, so this
              only consumes. *)
           Rt.poll_t c.tid;
-          Rt.cpu_relax ()
+          Rt.stall_ns !backoff;
+          backoff := min (2 * !backoff) backoff_cap
         end
       end
-    done
+    done;
+    if !give_up then begin
+      List.iter
+        (fun t ->
+          if !Nbr_obs.Trace.on then
+            Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+              Nbr_obs.Trace.Handshake_timeout t rounds)
+        !unacked;
+      L.scan c.b.lc ~self:c.tid ~timeout_ns:timeout ~rounds
+        ~on_round:(fun ~peer ~round:_ -> Rt.send_signal peer)
+        ~reap:(fun v -> reap_peer c v)
+    end
 
   (* [signal_all], upgraded: runs the crash watchdog first, and — only
      when a fault decider is installed, i.e. delivery is suspect — the
@@ -382,6 +412,59 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       L.adopt c.b.lc ~tid:c.tid ~push:(fun slot -> Limbo_bag.push c.bag slot)
     in
     if n > 0 then note_buffered c (Limbo_bag.size c.bag)
+
+  (* ------------------------------------------------------------------ *)
+  (* Limbo-bag externalization (DESIGN.md §12): the whole bag is drained
+     into a lifecycle handoff parcel, exactly like [orphan_ctx] drains a
+     dead thread's bag — flattened slot lists are conservatively safe
+     because adopters re-buffer them as freshly retired. *)
+
+  let limbo_size c = Limbo_bag.size c.bag
+
+  let export_bag c =
+    let slots = ref [] in
+    ignore
+      (Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag)
+         ~keep:(fun _ -> false)
+         ~free:(fun s -> slots := s :: !slots));
+    L.push_handoff c.b.lc ~origin:c.tid !slots;
+    List.length !slots
+
+  let hand_off c = export_bag c
+
+  (* Retire-path gate: offer the full bag to the reclaimer.  [false]
+     means sweep inline — no offload installed, degraded, or the channel
+     is backlogged (which flips the degrade switch as a side effect). *)
+  let maybe_offload c =
+    match c.b.offload with
+    | None -> false
+    | Some o ->
+        let count = Limbo_bag.size c.bag in
+        count > 0
+        && Smr_intf.Offload.try_accept o ~tid:c.tid ~ns:(Rt.now_ns ()) ~count
+        &&
+        (ignore (export_bag c);
+         true)
+
+  let collect_handoffs c =
+    let n =
+      L.take_handoffs c.b.lc ~push:(fun slot -> Limbo_bag.push c.bag slot)
+    in
+    if n > 0 then begin
+      note_buffered c (Limbo_bag.size c.bag);
+      match c.b.offload with
+      | Some o ->
+          Smr_intf.Offload.note_collected o ~tid:c.tid ~ns:(Rt.now_ns ())
+            ~count:n
+      | None ->
+          (* End-of-trial drain with the switchboard already gone: still
+             emit the collection so the sanitizer's foreign-sweep credit
+             and the trace timeline stay complete. *)
+          if !Nbr_obs.Trace.on then
+            Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+              Nbr_obs.Trace.Handoff_collect n 0
+    end;
+    n
 
   let end_op c =
     if !Nbr_obs.Trace.fine then

@@ -46,6 +46,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let read_raw = B.read_raw
   let stats = B.stats
   let ctx_stats = B.ctx_stats
+  let set_offload = B.set_offload
+  let limbo_size = B.limbo_size
+  let hand_off = B.hand_off
+  let collect_handoffs = B.collect_handoffs
 
   let cleanup (c : ctx) =
     c.first_lo <- true;
@@ -76,13 +80,18 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     let cfg = c.b.cfg in
     let size = Limbo_bag.size c.bag in
     if size >= cfg.bag_threshold then begin
-      (* HiWatermark: trigger an RGP of our own. *)
-      ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* odd: broadcasting  *);
-      B.broadcast c;
-      ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
-      B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
-      Smr_stats.add_reclaim_events c.st 1;
-      cleanup c
+      (* HiWatermark — first offered to the background reclaimer: an
+         accepted handoff costs one channel push where an RGP of our own
+         costs n-1 signals.  The bookmark state resets either way. *)
+      if B.maybe_offload c then cleanup c
+      else begin
+        ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* odd: broadcasting  *);
+        B.broadcast c;
+        ignore (Rt.faa c.b.announce_ts.(c.tid) 1) (* even: RGP complete *);
+        B.reclaim_freeable c ~upto:(Limbo_bag.abs_tail c.bag);
+        Smr_stats.add_reclaim_events c.st 1;
+        cleanup c
+      end
     end
     else if size >= cfg.lo_watermark then begin
       if c.first_lo then begin

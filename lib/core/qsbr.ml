@@ -27,6 +27,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
+    mutable offload : Smr_intf.Offload.t option;
   }
 
   and ctx = {
@@ -51,7 +52,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
+      offload = None;
     }
+
+  let set_offload b o = b.offload <- o
 
   let register b ~tid =
     L.reset_slot b.lc tid;
@@ -129,6 +133,63 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     in
     if n > 0 then Smr_stats.note_garbage c.st (buffered c)
 
+  (* Limbo-bag externalization (DESIGN.md §12).  The collector re-buffers
+     handed-off records in its own current buffer, which parks under a
+     fresh counter snapshot — release is only ever delayed, the
+     orphan-adoption argument above. *)
+
+  let limbo_size c = buffered c
+
+  (* Retire-path export: the current (unparked) buffer only — parked
+     buffers already have their snapshots and are one [try_collect] from
+     freedom, so shipping them would restart their grace periods. *)
+  let export_current c =
+    let slots = ref [] in
+    Nbr_sync.Int_vec.iter (fun s -> slots := s :: !slots) c.current;
+    c.current <- Nbr_sync.Int_vec.create ();
+    L.push_handoff c.b.lc ~origin:c.tid !slots;
+    List.length !slots
+
+  let hand_off c =
+    let slots = ref [] in
+    Nbr_sync.Int_vec.iter (fun s -> slots := s :: !slots) c.current;
+    List.iter
+      (fun p -> Nbr_sync.Int_vec.iter (fun s -> slots := s :: !slots) p.recs)
+      c.parked;
+    c.current <- Nbr_sync.Int_vec.create ();
+    c.parked <- [];
+    L.push_handoff c.b.lc ~origin:c.tid !slots;
+    List.length !slots
+
+  let maybe_offload c =
+    match c.b.offload with
+    | None -> false
+    | Some o ->
+        let count = Nbr_sync.Int_vec.length c.current in
+        count > 0
+        && Smr_intf.Offload.try_accept o ~tid:c.tid ~ns:(Rt.now_ns ()) ~count
+        &&
+        (ignore (export_current c);
+         true)
+
+  let collect_handoffs c =
+    let n =
+      L.take_handoffs c.b.lc ~push:(fun slot ->
+          Nbr_sync.Int_vec.push c.current slot)
+    in
+    if n > 0 then begin
+      Smr_stats.note_garbage c.st (buffered c);
+      match c.b.offload with
+      | Some o ->
+          Smr_intf.Offload.note_collected o ~tid:c.tid ~ns:(Rt.now_ns ())
+            ~count:n
+      | None ->
+          if !Nbr_obs.Trace.on then
+            Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+              Nbr_obs.Trace.Handoff_collect n 0
+    end;
+    n
+
   let end_op c =
     if !Nbr_obs.Trace.fine then
       Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.End_op 0 0;
@@ -157,7 +218,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1;
     Nbr_sync.Int_vec.push c.current slot;
-    if Nbr_sync.Int_vec.length c.current >= c.b.cfg.Smr_config.bag_threshold
+    if
+      Nbr_sync.Int_vec.length c.current >= c.b.cfg.Smr_config.bag_threshold
+      && not (maybe_offload c)
     then begin
       let snap = Array.init c.b.n (fun t -> Rt.load c.b.qs.(t)) in
       c.parked <- { snap; recs = c.current } :: c.parked;

@@ -28,6 +28,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     lc : L.t;
     done_stats : Smr_stats.t;
     mutable ctxs : ctx option array;
+    mutable offload : Smr_intf.Offload.t option;
   }
 
   and ctx = { b : t; tid : int; bag : Limbo_bag.t; st : Smr_stats.t }
@@ -49,7 +50,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       lc = L.create ~nthreads;
       done_stats = Smr_stats.zero ();
       ctxs = Array.make nthreads None;
+      offload = None;
     }
+
+  let set_offload b o = b.offload <- o
 
   let register b ~tid =
     L.reset_slot b.lc tid;
@@ -71,6 +75,51 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       L.adopt c.b.lc ~tid:c.tid ~push:(fun slot -> Limbo_bag.push c.bag slot)
     in
     if n > 0 then Smr_stats.note_garbage c.st (Limbo_bag.size c.bag)
+
+  (* Limbo-bag externalization (DESIGN.md §12).  Retire epochs live in the
+     t-level [retire_ep] array, so handed-off slots carry everything the
+     collector's sweep predicate needs — the orphan-parcel argument. *)
+
+  let limbo_size c = Limbo_bag.size c.bag
+
+  let export_bag c =
+    let slots = ref [] in
+    ignore
+      (Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag)
+         ~keep:(fun _ -> false)
+         ~free:(fun s -> slots := s :: !slots));
+    L.push_handoff c.b.lc ~origin:c.tid !slots;
+    List.length !slots
+
+  let hand_off c = export_bag c
+
+  let maybe_offload c =
+    match c.b.offload with
+    | None -> false
+    | Some o ->
+        let count = Limbo_bag.size c.bag in
+        count > 0
+        && Smr_intf.Offload.try_accept o ~tid:c.tid ~ns:(Rt.now_ns ()) ~count
+        &&
+        (ignore (export_bag c);
+         true)
+
+  let collect_handoffs c =
+    let n =
+      L.take_handoffs c.b.lc ~push:(fun slot -> Limbo_bag.push c.bag slot)
+    in
+    if n > 0 then begin
+      Smr_stats.note_garbage c.st (Limbo_bag.size c.bag);
+      match c.b.offload with
+      | Some o ->
+          Smr_intf.Offload.note_collected o ~tid:c.tid ~ns:(Rt.now_ns ())
+            ~count:n
+      | None ->
+          if !Nbr_obs.Trace.on then
+            Nbr_obs.Trace.emit ~tid:c.tid ~ns:(Rt.now_ns ())
+              Nbr_obs.Trace.Handoff_collect n 0
+    end;
+    n
 
   let end_op c =
     if !Nbr_obs.Trace.fine then
@@ -127,7 +176,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     Smr_stats.add_retires c.st 1;
     c.b.retire_ep.(slot) <- Rt.load c.b.epoch;
     Limbo_bag.push c.bag slot;
-    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then flush c;
+    if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then
+      if not (maybe_offload c) then flush c;
     let g = Limbo_bag.size c.bag in
     Smr_stats.note_garbage c.st g
 

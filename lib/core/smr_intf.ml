@@ -28,6 +28,104 @@
     [read_ptr] performs the announce/fence/validate dance and aborts the
     read phase (via the checkpoint) when validation fails. *)
 
+(** Shared state of the limbo-bag externalization protocol: one record
+    per scheme instance, linking the workers' retire paths to whichever
+    thread plays the background-reclaimer role.
+
+    The protocol (DESIGN.md §12): a worker whose bag crosses the sweep
+    threshold first offers it here ({!Offload.try_accept}); accepted bags
+    travel through the lifecycle handoff channel and are collected,
+    re-accounted and swept by the reclaimer off the operation path.  The
+    record doubles as the degradation switch — when the reclaimer stalls,
+    crashes, or falls behind (channel backlog beyond [max_backlog]),
+    acceptance flips off and every scheme is automatically back to plain
+    inline reclamation; a recovered reclaimer flips it back on.
+
+    All fields are stdlib atomics on the instrumentation side of the
+    cost model: the decisions they drive (who sweeps) are part of the
+    modelled algorithm, but the flags themselves model cheap
+    always-cached loads, like the pool's counters. *)
+module Offload = struct
+  type t = {
+    reclaimer : int;  (** tid of the reclaimer role *)
+    enabled : bool Atomic.t;  (** false = degraded: sweep inline *)
+    backlog : int Atomic.t;  (** records sitting in the handoff channel *)
+    max_backlog : int;  (** degrade threshold on [backlog] *)
+    handed : int Atomic.t;  (** total records ever accepted *)
+    collected : int Atomic.t;  (** total records the reclaimer adopted *)
+    degrades : int Atomic.t;
+    restores : int Atomic.t;
+  }
+
+  let create ?(max_backlog = 1024) ~reclaimer () =
+    if max_backlog < 1 then invalid_arg "Offload.create: max_backlog";
+    {
+      reclaimer;
+      enabled = Atomic.make true;
+      backlog = Atomic.make 0;
+      max_backlog;
+      handed = Atomic.make 0;
+      collected = Atomic.make 0;
+      degrades = Atomic.make 0;
+      restores = Atomic.make 0;
+    }
+
+  (* Worker side: may this bag of [count] records go to the reclaimer
+     instead of an inline sweep?  A backlog past [max_backlog] means the
+     reclaimer has fallen behind its drain rate (or is stalled or dead):
+     the first worker to notice flips the degrade switch — once, with a
+     trace event — and everyone sweeps inline until a restore. *)
+  let try_accept o ~tid ~ns ~count =
+    if not (Atomic.get o.enabled) then false
+    else if Atomic.get o.backlog > o.max_backlog then begin
+      if Atomic.compare_and_set o.enabled true false then begin
+        Atomic.incr o.degrades;
+        if !Nbr_obs.Trace.on then
+          Nbr_obs.Trace.emit ~tid ~ns Nbr_obs.Trace.Degrade 0
+            (Atomic.get o.backlog)
+      end;
+      false
+    end
+    else begin
+      let b = Atomic.fetch_and_add o.backlog count + count in
+      ignore (Atomic.fetch_and_add o.handed count);
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid ~ns Nbr_obs.Trace.Bag_handoff count b;
+      true
+    end
+
+  (* Reclaimer side (or the end-of-trial drainer): [count] records just
+     left the channel and became the caller's own garbage. *)
+  let note_collected o ~tid ~ns ~count =
+    if count > 0 then begin
+      let b = Atomic.fetch_and_add o.backlog (-count) - count in
+      ignore (Atomic.fetch_and_add o.collected count);
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid ~ns Nbr_obs.Trace.Handoff_collect count b
+    end
+
+  (* Explicit degrade, for faults targeting the reclaimer itself (it
+     knows it is about to crash or stall) — reason code 1, against the
+     workers' backlog-detected reason 0. *)
+  let degrade o ~tid ~ns =
+    if Atomic.compare_and_set o.enabled true false then begin
+      Atomic.incr o.degrades;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid ~ns Nbr_obs.Trace.Degrade 1
+          (Atomic.get o.backlog)
+    end
+
+  let restore o ~tid ~ns =
+    if Atomic.compare_and_set o.enabled false true then begin
+      Atomic.incr o.restores;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid ~ns Nbr_obs.Trace.Restore
+          (Atomic.get o.backlog) 0
+    end
+
+  let degraded o = not (Atomic.get o.enabled)
+end
+
 exception Expelled
 (** Raised by {!S.begin_op} when the calling thread was declared dead by a
     peer's crash-recovery watchdog while it was frozen (stalled or
@@ -76,6 +174,37 @@ module type S = sig
       reclaimed by its normal sweeps and counted against {e its} garbage
       bound.  Called automatically from [end_op] when orphans are
       pending; exposed for explicit end-of-run draining. *)
+
+  (** {1 Limbo-bag externalization}
+
+      The background-reclamation hooks (DESIGN.md §12).  With an
+      {!Offload} installed, a worker whose bag crosses the sweep
+      threshold exports it through the lifecycle handoff channel instead
+      of sweeping inline — when the offload record accepts; otherwise
+      (no offload, or degraded) [retire] behaves exactly as before.
+      Foil schemes that buffer nothing ([none], [unsafe-free]) implement
+      these as no-ops returning 0. *)
+
+  val set_offload : t -> Offload.t option -> unit
+  (** Install (or with [None] remove) the externalization switchboard.
+      Installed by the reclaimer role at startup, removed when it leaves;
+      racing workers see either behaviour, both safe. *)
+
+  val limbo_size : ctx -> int
+  (** Records currently buffered in the calling thread's limbo state. *)
+
+  val hand_off : ctx -> int
+  (** Unconditionally export the calling thread's buffered retires to
+      the handoff channel (no threshold or acceptance check, no trace
+      accounting beyond the channel's); returns the number exported.
+      For tests and explicit shed-before-leave paths — the retire path
+      uses the internal, {!Offload.try_accept}-gated variant. *)
+
+  val collect_handoffs : ctx -> int
+  (** Drain the handoff channel into the calling thread's own limbo
+      state (re-accounted as its garbage, freed by its normal sweeps)
+      and credit the offload record; returns the number collected.  The
+      reclaimer's main verb, also used by the end-of-trial drainer. *)
 
   (** {1 Operation lifecycle} *)
 

@@ -55,6 +55,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      parcels are ever pushed. *)
   let adopt_orphans _ = ()
 
+  (* Nothing is ever buffered, so externalization is vacuous. *)
+  let set_offload _ _ = ()
+  let limbo_size _ = 0
+  let hand_off _ = 0
+  let collect_handoffs _ = 0
+
   let deregister c =
     if L.depart c.b.lc c.tid then begin
       L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);

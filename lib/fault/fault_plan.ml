@@ -22,7 +22,10 @@
       path;
     - {e signal faults} — neutralization signals are delivered late or
       (optionally) lost, probing NBR's dependence on the paper's
-      Assumption 4 and POSIX delivery guarantees. *)
+      Assumption 4 and POSIX delivery guarantees;
+    - {e reclaimer faults} — the background reclaimer role (see
+      {!Nbr_reclaim.Reclaimer}) stalls or crashes mid-trial, probing the
+      degrade-to-inline fallback and the restore path (DESIGN.md §12). *)
 
 type thread_fault =
   | Stall of { at_op : int; ns : int }
@@ -35,6 +38,14 @@ type thread_fault =
   | Hog of { at_op : int; slots : int; ns : int }
       (** after [at_op] operations, allocate [slots] pool slots directly,
           hold them for [ns], then free them — induced pool pressure *)
+
+type reclaimer_fault =
+  | R_stall of { at_iter : int; ns : int }
+      (** after [at_iter] reclaimer loop iterations, sleep [ns] without
+          draining — handoffs pile up until workers degrade to inline *)
+  | R_crash of { at_iter : int; restart_ns : int }
+      (** after [at_iter] iterations, deregister and go dark; come back
+          after [restart_ns] (negative = never restart) *)
 
 type signal_fault = {
   delay_pct : int;  (** % of signals whose handler runs late *)
@@ -50,9 +61,16 @@ type t = {
   seed : int;
   threads : thread_fault list array;  (** per tid, sorted by trigger op *)
   signals : signal_fault option;
+  reclaimer : reclaimer_fault list;  (** sorted by trigger iteration *)
 }
 
-let none ~nthreads = { seed = 0; threads = Array.make nthreads []; signals = None }
+let none ~nthreads =
+  {
+    seed = 0;
+    threads = Array.make nthreads [];
+    signals = None;
+    reclaimer = [];
+  }
 
 let fault_op = function Stall { at_op; _ } | Crash { at_op } | Hog { at_op; _ } -> at_op
 
@@ -112,7 +130,43 @@ let chaos ~seed ~nthreads ?(stalls = 2) ?(crashes = 1) ?(stall_ns = 50_000)
     | Some tid -> threads.(tid) <- Crash { at_op = at () } :: threads.(tid)
   done;
   Array.iteri (fun i l -> threads.(i) <- sort_faults l) threads;
-  { seed; threads; signals = signal }
+  { seed; threads; signals = signal; reclaimer = [] }
+
+let reclaimer_fault_iter = function
+  | R_stall { at_iter; _ } | R_crash { at_iter; _ } -> at_iter
+
+(** Pressure chaos: the reclaim experiment's adversary.  A [chaos] base
+    (stalled + crashed workers), plus [hogs] allocation-hog bursts to
+    manufacture pool pressure, plus a reclaimer schedule: one stall long
+    enough to trip the backlog detector, then a crash with a restart
+    after [restart_ns] ([restart_ns < 0] keeps it dead, the permanent
+    degradation case).  Everything is seed-derived except the reclaimer
+    schedule, which is fixed so the degrade → restore sequence the CI
+    smoke asserts on is present in every plan. *)
+let pressure_chaos ~seed ~nthreads ?(stalls = 1) ?(crashes = 1) ?(hogs = 1)
+    ?(hog_slots = 32) ?(stall_ns = 50_000) ?(ops_window = 100)
+    ?(reclaimer_stall_ns = 200_000) ?(restart_ns = 400_000) ?signal () =
+  let base = chaos ~seed ~nthreads ~stalls ~crashes ~stall_ns ~ops_window ?signal () in
+  let rng = Nbr_sync.Rng.create (seed lxor 0x9e55_0e5a) in
+  let threads = Array.copy base.threads in
+  for _ = 1 to hogs do
+    if nthreads > 1 then begin
+      let tid = 1 + Nbr_sync.Rng.below rng (nthreads - 1) in
+      let at_op = 1 + Nbr_sync.Rng.below rng (max 1 ops_window) in
+      threads.(tid) <-
+        sort_faults (Hog { at_op; slots = hog_slots; ns = stall_ns } :: threads.(tid))
+    end
+  done;
+  let reclaimer =
+    [
+      R_stall { at_iter = 50; ns = reclaimer_stall_ns };
+      R_crash { at_iter = 150; restart_ns };
+    ]
+  in
+  { base with threads; reclaimer }
+
+let reclaimer_faults t = t.reclaimer
+let has_reclaimer_faults t = t.reclaimer <> []
 
 let faults_for t tid =
   if tid >= 0 && tid < Array.length t.threads then t.threads.(tid) else []
@@ -175,6 +229,12 @@ let pp_thread_fault ppf = function
   | Hog { at_op; slots; ns } ->
       Format.fprintf ppf "hog@%d(%d slots,%dns)" at_op slots ns
 
+let pp_reclaimer_fault ppf = function
+  | R_stall { at_iter; ns } -> Format.fprintf ppf "r-stall@%d(%dns)" at_iter ns
+  | R_crash { at_iter; restart_ns } ->
+      if restart_ns < 0 then Format.fprintf ppf "r-crash@%d(final)" at_iter
+      else Format.fprintf ppf "r-crash@%d(back in %dns)" at_iter restart_ns
+
 let pp ppf t =
   Format.fprintf ppf "plan{seed=%d" t.seed;
   Array.iteri
@@ -193,4 +253,12 @@ let pp ppf t =
   | Some { delay_pct; delay_ns; drop_pct } ->
       Format.fprintf ppf "; signals: delay %d%%(%dns) drop %d%%" delay_pct
         delay_ns drop_pct);
+  if t.reclaimer <> [] then begin
+    Format.fprintf ppf "; reclaimer:";
+    List.iteri
+      (fun i f ->
+        if i > 0 then Format.fprintf ppf ",";
+        pp_reclaimer_fault ppf f)
+      t.reclaimer
+  end;
   Format.fprintf ppf "}"

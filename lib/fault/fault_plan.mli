@@ -11,8 +11,10 @@
     The fault vocabulary matches the adversities the paper's robustness
     argument (E2, §7) is about: stalls (delayed threads pinning
     garbage), crashes (the stall made permanent), allocation hogs
-    (manufactured pool pressure), and signal faults (late or lost
-    neutralization signals, probing Assumption 4). *)
+    (manufactured pool pressure), signal faults (late or lost
+    neutralization signals, probing Assumption 4), and reclaimer faults
+    (the background reclaimer role stalling or crashing, probing the
+    degrade-to-inline fallback — DESIGN.md §12). *)
 
 type thread_fault =
   | Stall of { at_op : int; ns : int }
@@ -26,6 +28,14 @@ type thread_fault =
       (** after [at_op] operations, allocate [slots] pool slots
           directly, hold them for [ns], then free them — induced pool
           pressure *)
+
+type reclaimer_fault =
+  | R_stall of { at_iter : int; ns : int }
+      (** after [at_iter] reclaimer loop iterations, sleep [ns] without
+          draining — handoffs pile up until workers degrade to inline *)
+  | R_crash of { at_iter : int; restart_ns : int }
+      (** after [at_iter] iterations, deregister and go dark; come back
+          after [restart_ns] (negative = never restart) *)
 
 type signal_fault = {
   delay_pct : int;  (** % of signals whose handler runs late *)
@@ -41,6 +51,7 @@ type t = {
   seed : int;
   threads : thread_fault list array;  (** per tid, sorted by trigger op *)
   signals : signal_fault option;
+  reclaimer : reclaimer_fault list;  (** sorted by trigger iteration *)
 }
 
 val none : nthreads:int -> t
@@ -66,8 +77,36 @@ val chaos :
     crashes last on ties (a crash is terminal).  Raises
     [Invalid_argument] when [nthreads < 2]. *)
 
+val pressure_chaos :
+  seed:int ->
+  nthreads:int ->
+  ?stalls:int ->
+  ?crashes:int ->
+  ?hogs:int ->
+  ?hog_slots:int ->
+  ?stall_ns:int ->
+  ?ops_window:int ->
+  ?reclaimer_stall_ns:int ->
+  ?restart_ns:int ->
+  ?signal:signal_fault ->
+  unit ->
+  t
+(** The reclaim experiment's adversary: a {!chaos} base plus [hogs]
+    allocation-hog bursts for pool pressure, plus a fixed reclaimer
+    schedule — a stall long enough to trip the backlog detector, then a
+    crash that restarts after [restart_ns] ([restart_ns < 0] keeps the
+    reclaimer dead: the permanent degradation case). *)
+
 val faults_for : t -> int -> thread_fault list
 (** The (sorted) fault list for one thread; [] out of range. *)
+
+val reclaimer_faults : t -> reclaimer_fault list
+(** The reclaimer's fault schedule, sorted by trigger iteration. *)
+
+val reclaimer_fault_iter : reclaimer_fault -> int
+(** The loop iteration a reclaimer fault triggers at. *)
+
+val has_reclaimer_faults : t -> bool
 
 val fault_op : thread_fault -> int
 (** The operation index a fault triggers at (the runner's cursor key). *)
@@ -91,4 +130,5 @@ val fate_fn :
     (plan seed, k, sender, target). *)
 
 val pp_thread_fault : Format.formatter -> thread_fault -> unit
+val pp_reclaimer_fault : Format.formatter -> reclaimer_fault -> unit
 val pp : Format.formatter -> t -> unit

@@ -73,8 +73,19 @@ module Workload = Nbr_workload
 module Obs = Nbr_obs
 
 (** Deterministic fault plans: stalls, crashes, pool hogs, dropped or
-    delayed neutralization signals. *)
+    delayed neutralization signals, and reclaimer-role faults
+    ({!Fault.pressure_chaos} bundles them into the memory-pressure
+    adversary). *)
 module Fault = Nbr_fault.Fault_plan
+
+(** Background reclamation (DESIGN.md §12): a dedicated reclaimer role
+    — native domain or sim fiber, same interface — that drains limbo
+    bags off the hot path, driven by {!Reclaim.policy} (periodic,
+    retire-count, or watermark pressure).  Workers degrade to inline
+    reclamation when the reclaimer stalls or crashes and restore when
+    it returns.  Usually engaged by passing [?reclaim] to
+    {!Workload.Trial.mk}; [Reclaim.Make] is the standalone functor. *)
+module Reclaim = Nbr_reclaim.Reclaimer
 
 (** Analysis suite: {!Check.Explore} (schedule-exploring model checker
     over the simulator), {!Check.Sanitizer} (online SMR-protocol

@@ -1,28 +1,39 @@
-(* See histogram.mli for the contract.  Bucket [i] holds values whose
-   two's-complement bit length is [i]: bucket 0 is {0}, bucket i covers
-   [2^(i-1), 2^i).  63 buckets span every non-negative OCaml int, so
-   [record] never range-checks; quantiles are read back as the geometric
-   midpoint of the crossing bucket, giving the usual <= 2x relative error
-   of log2 histograms — plenty for p50/p99 latency triage, and constant
-   memory no matter how many samples land. *)
+(* See histogram.mli for the contract.  Log-linear layout (HdrHistogram's
+   trick at its coarsest useful setting): values 0..7 get one exact bucket
+   each; every octave [2^o, 2^(o+1)) above that is split into 4 linear
+   sub-buckets of width 2^(o-2), indexed by the two bits below the leading
+   one.  244 buckets span every non-negative OCaml int, so [record] never
+   range-checks; quantiles read back as the arithmetic midpoint of the
+   crossing sub-bucket, bounding relative error by 1/8 — against the <= 2x
+   error of the old 1-bucket-per-octave layout, which collapsed p50 and
+   p99 onto the same value whenever an operation's latencies fit inside
+   one octave (the flat entries ROADMAP item 3 calls out). *)
 
 type t = {
-  counts : int array;  (** [counts.(bits v)] *)
+  counts : int array;
   mutable n : int;
   mutable sum : int;
   mutable vmax : int;
   mutable vmin : int;
 }
 
-let buckets = 63
+(* 8 exact buckets + 4 sub-buckets for each octave 3..61 (the top octave
+   of a 63-bit non-negative int). *)
+let buckets = 8 + (4 * 59)
 
 let create () =
   { counts = Array.make buckets 0; n = 0; sum = 0; vmax = 0; vmin = max_int }
 
 let bucket_of v =
-  (* bit length of v: 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ... *)
-  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
-  go v 0
+  if v < 8 then v
+  else begin
+    (* b = floor(log2 v) >= 3; the two bits below the leading one pick
+       the linear sub-bucket inside octave [2^b, 2^(b+1)). *)
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    let b = bits v 0 - 1 in
+    let sub = (v lsr (b - 2)) land 3 in
+    8 + ((b - 3) * 4) + sub
+  end
 
 let record t v =
   let v = if v < 0 then 0 else v in
@@ -44,14 +55,17 @@ let merge_into ~into t =
   if t.vmax > into.vmax then into.vmax <- t.vmax;
   if t.vmin < into.vmin then into.vmin <- t.vmin
 
-(* Midpoint (geometric mean) of bucket [b]'s value range, clamped to the
+(* Arithmetic midpoint of bucket [b]'s value range, clamped to the
    observed extrema so tiny histograms don't report values never seen. *)
 let bucket_mid t b =
   let v =
-    if b = 0 then 0.0
+    if b < 8 then float_of_int b
     else begin
-      let lo = float_of_int (1 lsl (b - 1)) in
-      lo *. sqrt 2.0
+      let o = ((b - 8) / 4) + 3 in
+      let s = (b - 8) mod 4 in
+      let w = 1 lsl (o - 2) in
+      let lo = (1 lsl o) + (s * w) in
+      float_of_int lo +. (float_of_int (w - 1) /. 2.0)
     end
   in
   let v = Float.min v (float_of_int t.vmax) in

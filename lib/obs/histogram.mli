@@ -1,10 +1,12 @@
-(** Power-of-two-bucket log histogram for latency-scale integers.
+(** Log-linear histogram for latency-scale integers: 4 linear
+    sub-buckets per power-of-two octave (values 0..7 exact).
 
-    Fixed memory (63 buckets covering every non-negative int), O(1)
+    Fixed memory (244 buckets covering every non-negative int), O(1)
     [record] with no allocation — safe to call once per operation on the
-    measurement path.  Quantiles come back as the geometric midpoint of
-    the bucket the rank falls in (<= 2x relative error, the standard
-    log-histogram trade), clamped to the exact observed min/max.
+    measurement path.  Quantiles come back as the arithmetic midpoint of
+    the sub-bucket the rank falls in (<= 1/8 relative error — fine
+    enough that p50 and p99 separate even when an operation's latencies
+    all fall inside one octave), clamped to the exact observed min/max.
 
     Single-writer: one histogram per thread, merged after the run with
     {!merge_into}.  Never share one instance across concurrent writers. *)

@@ -36,6 +36,14 @@ type kind =
   | Begin_op
   | End_op
   | Checkpoint_set
+  | Watermark_high
+  | Watermark_low
+  | Bag_handoff
+  | Handoff_collect
+  | Async_sweep
+  | Degrade
+  | Restore
+  | Handshake_timeout
 
 let kind_code = function
   | Signal_sent -> 0
@@ -60,6 +68,14 @@ let kind_code = function
   | Begin_op -> 19
   | End_op -> 20
   | Checkpoint_set -> 21
+  | Watermark_high -> 22
+  | Watermark_low -> 23
+  | Bag_handoff -> 24
+  | Handoff_collect -> 25
+  | Async_sweep -> 26
+  | Degrade -> 27
+  | Restore -> 28
+  | Handshake_timeout -> 29
 
 let kind_of_code = function
   | 0 -> Signal_sent
@@ -83,7 +99,15 @@ let kind_of_code = function
   | 18 -> Access
   | 19 -> Begin_op
   | 20 -> End_op
-  | _ -> Checkpoint_set
+  | 21 -> Checkpoint_set
+  | 22 -> Watermark_high
+  | 23 -> Watermark_low
+  | 24 -> Bag_handoff
+  | 25 -> Handoff_collect
+  | 26 -> Async_sweep
+  | 27 -> Degrade
+  | 28 -> Restore
+  | _ -> Handshake_timeout
 
 let kind_name = function
   | Signal_sent -> "signal_sent"
@@ -108,6 +132,14 @@ let kind_name = function
   | Begin_op -> "begin_op"
   | End_op -> "end_op"
   | Checkpoint_set -> "checkpoint_set"
+  | Watermark_high -> "watermark_high"
+  | Watermark_low -> "watermark_low"
+  | Bag_handoff -> "bag_handoff"
+  | Handoff_collect -> "handoff_collect"
+  | Async_sweep -> "async_sweep"
+  | Degrade -> "degrade"
+  | Restore -> "restore"
+  | Handshake_timeout -> "handshake_timeout"
 
 type event = { e_ns : int; e_tid : int; e_seq : int; e_kind : kind; e_a : int; e_b : int }
 

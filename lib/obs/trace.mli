@@ -53,6 +53,32 @@ type kind =
   | Checkpoint_set
       (** fine: NBR-family read-phase checkpoint armed (begin_read):
           reservations cleared, thread restartable *)
+  | Watermark_high
+      (** pool occupancy crossed the high watermark (background reclaim
+          requested); a = slots in use, b = high watermark *)
+  | Watermark_low
+      (** occupancy fell back below the low watermark; a = slots in use,
+          b = low watermark *)
+  | Bag_handoff
+      (** a worker exported its limbo bag to the reclaimer's handoff
+          channel instead of sweeping inline; a = slots handed,
+          b = channel backlog after *)
+  | Handoff_collect
+      (** the reclaimer (or a post-trial drainer) adopted handed-off
+          parcels as its own garbage; a = slots collected,
+          b = channel backlog after *)
+  | Async_sweep
+      (** one background reclamation pass completed; a = records freed,
+          b = channel backlog after *)
+  | Degrade
+      (** schemes fall back to inline reclamation; a = 0 backlog over
+          threshold / 1 reclaimer fault, b = channel backlog *)
+  | Restore
+      (** background reclamation resumed after a degrade; a = channel
+          backlog at restore *)
+  | Handshake_timeout
+      (** a bounded-wait broadcast handshake gave up on a peer after all
+          escalation rounds; a = peer tid, b = rounds waited *)
 
 val kind_name : kind -> string
 

@@ -82,6 +82,15 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
             donate or claim capacity.  Treiber push/pop keep the hand-off
             non-blocking; the cost of the cross-thread transfer is still
             modelled explicitly with [Rt.work c_free_slow]. *)
+    (* --- occupancy watermarks (background-reclamation trigger) --- *)
+    mutable wm_lo : int;
+    mutable wm_hi : int;  (** [max_int] = watermarks disabled *)
+    mutable wm_hook : (unit -> unit) option;
+        (** called (outside any lock) on each high-watermark crossing and
+            on pressure-path entry: a cheap nudge for a background
+            reclaimer, never a reclamation pass itself *)
+    wm_state : int Atomic.t;  (** 1 while occupancy is above the high mark *)
+    wm_trips : int Atomic.t;  (** high-watermark crossings *)
     (* --- instrumentation (uncosted) --- *)
     st : int array;  (** 0 = Free, 1 = Live, 2 = Retired *)
     seqno : int array;  (** bumped on each free: ABA/UAF witness *)
@@ -127,6 +136,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       next_fresh = Atomic.make 0;
       starving = Atomic.make 0;
       overflow = Nbr_sync.Treiber.create ();
+      wm_lo = 0;
+      wm_hi = max_int;
+      wm_hook = None;
+      wm_state = Atomic.make 0;
+      wm_trips = Atomic.make 0;
       st = Array.make capacity 0;
       seqno = Array.make capacity 0;
       in_use = Atomic.make 0;
@@ -145,6 +159,51 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let capacity t = t.capacity
 
+  (* ---------------- occupancy watermarks ---------------- *)
+
+  let set_watermarks t ~lo ~hi ~on_high =
+    if lo < 0 || hi <= lo || hi > t.capacity then
+      invalid_arg "Pool.set_watermarks: need 0 <= lo < hi <= capacity";
+    t.wm_lo <- lo;
+    t.wm_hi <- hi;
+    t.wm_hook <- Some on_high
+
+  let clear_watermarks t =
+    t.wm_lo <- 0;
+    t.wm_hi <- max_int;
+    t.wm_hook <- None;
+    Atomic.set t.wm_state 0
+
+  let wm_kick t = match t.wm_hook with None -> () | Some f -> f ()
+
+  (* Crossing detection is a single CAS-guarded state bit per direction:
+     exactly one thread observes each upward crossing (emits the event,
+     calls the hook), and re-arming waits for occupancy to fall below the
+     {e low} mark, so an occupancy hovering around [wm_hi] does not spam
+     the reclaimer (standard hysteresis). *)
+  let wm_note_high t v =
+    if
+      v >= t.wm_hi
+      && Atomic.get t.wm_state = 0
+      && Atomic.compare_and_set t.wm_state 0 1
+    then begin
+      Atomic.incr t.wm_trips;
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Watermark_high v t.wm_hi;
+      wm_kick t
+    end
+
+  let wm_note_low t =
+    if
+      Atomic.get t.wm_state = 1
+      && Atomic.get t.in_use <= t.wm_lo
+      && Atomic.compare_and_set t.wm_state 1 0
+    then
+      if !Nbr_obs.Trace.on then
+        Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Watermark_low (Atomic.get t.in_use) t.wm_lo
+
   (* ---------------- allocation ---------------- *)
 
   (* Monotone max via CAS loop.  The old load-then-store version had a
@@ -157,7 +216,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let note_in_use t =
     let v = Atomic.fetch_and_add t.in_use 1 + 1 in
-    note_peak t.peak_in_use v
+    note_peak t.peak_in_use v;
+    wm_note_high t v
 
   (* Cheap sources, in order: the caller's own free list, then the bump
      allocator over never-used slots. *)
@@ -186,6 +246,10 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
              reclamation scheme, and retry with exponential backoff.  Only
              when [max_pressure_attempts] rounds of flush+backoff produce
              nothing do we conclude the pool is genuinely exhausted. *)
+          (* Last nudge before the expensive machinery: a healthy
+             background reclaimer woken here can turn the first
+             flush+backoff round into a hit. *)
+          wm_kick t;
           Atomic.incr t.starving;
           Atomic.incr t.pressure_events;
           if !Nbr_obs.Trace.on then
@@ -255,6 +319,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     t.seqno.(slot) <- t.seqno.(slot) + 1;
     Atomic.incr t.frees;
     Atomic.decr t.in_use;
+    wm_note_low t;
     if !Nbr_obs.Trace.fine then
       Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
         Nbr_obs.Trace.Free_slot slot t.seqno.(slot);
@@ -352,6 +417,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     s_pressure_events : int;
     s_alloc_retries : int;
     s_uaf_reads : int;
+    s_wm_trips : int;
   }
 
   let stats t =
@@ -365,6 +431,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       s_pressure_events = Atomic.get t.pressure_events;
       s_alloc_retries = Atomic.get t.alloc_retries;
       s_uaf_reads = Atomic.get t.uaf_reads;
+      s_wm_trips = Atomic.get t.wm_trips;
     }
 
   (** Reset the high-water marks to the current values (called after

@@ -62,6 +62,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
 
   val capacity : t -> int
 
+  (** {1 Occupancy watermarks}
+
+      A memory-pressure early-warning line for background reclamation:
+      when occupancy (Live + Retired slots) crosses [hi], the pool emits
+      a [Watermark_high] trace event and calls [on_high] — once per
+      excursion, re-armed only after occupancy falls back below [lo]
+      (hysteresis), and again on each entry to the allocation pressure
+      path.  The hook must be cheap and non-blocking (typically an
+      atomic nudge waking a reclaimer); it runs on whichever thread
+      crossed the mark and must never reclaim inline itself. *)
+
+  val set_watermarks : t -> lo:int -> hi:int -> on_high:(unit -> unit) -> unit
+  (** Requires [0 <= lo < hi <= capacity]; raises [Invalid_argument]
+      otherwise.  Replaces any previous watermark configuration. *)
+
+  val clear_watermarks : t -> unit
+  (** Disable watermark tracking and drop the hook. *)
+
   (** {1 Lifecycle} *)
 
   val alloc : ?on_pressure:(unit -> unit) -> t -> int
@@ -134,6 +152,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
     s_pressure_events : int;
     s_alloc_retries : int;
     s_uaf_reads : int;
+    s_wm_trips : int;  (** high-watermark crossings (see above) *)
   }
 
   val stats : t -> stats

@@ -599,6 +599,160 @@ let ablation_fences quick =
     [ ("safe", false); ("unsafe", true) ]
 
 (* ------------------------------------------------------------------ *)
+(* E-reclaim: background reclamation (DESIGN.md §12).  Two parts:      *)
+(* tail latency inline vs reclaimer on an update-heavy workload, then  *)
+(* the pressure-chaos adversary (hogs + worker stalls/crash + a        *)
+(* reclaimer stall and crash-with-restart) across every scheme — no    *)
+(* exhaustion, P2 bounds indifferent to the reclaimer's fate, and the  *)
+(* degrade → restore cycle visible in the trace.                       *)
+
+let reclaim quick =
+  let nthreads = 8 in
+  let key_range = 128 in
+  print_newline ();
+  print_endline "## E-reclaim (DESIGN.md §12): background reclaimer role";
+  (* -- Part 1: update-heavy tail latency, inline vs healthy reclaimer.
+     Threshold sweeps leave the hot path, so the p99/p99.9 of update
+     operations (which pay for inline sweeps) should drop. *)
+  let lat_duration = if quick then 1_000_000 else 3_200_000 in
+  let lat_schemes = if quick then [ "nbr+" ] else [ "nbr+"; "ibr"; "hp" ] in
+  print_endline
+    "   Part 1 — update-op tail latency (sim-virtual ns), inline vs reclaimer:";
+  Printf.printf "   %-8s %-9s %10s %12s %10s %12s\n" "scheme" "mode" "ins p99"
+    "ins p99.9" "del p99" "del p99.9";
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (mode, reclaim) ->
+          Sim.set_config { base_sim_config with seed = 31 };
+          let cfg =
+            Trial.mk ~nthreads ~duration_ns:lat_duration ~key_range
+              ~ins_pct:50 ~del_pct:50
+              ~smr:
+                (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+                   64)
+              ~seed:31 ?reclaim ~record_latency:true ()
+          in
+          let r = H.run ~scheme ~structure:"harris-list" cfg in
+          incr validated;
+          if not (Trial.valid r) then begin
+            incr failures;
+            Format.printf "VALIDATION FAILURE: %a@." Trial.pp_row r
+          end;
+          match r.latency with
+          | None -> note_failure (scheme ^ ": latency recording lost")
+          | Some l ->
+              Printf.printf "   %-8s %-9s %10.0f %12.0f %10.0f %12.0f\n%!"
+                scheme mode l.Trial.lat_insert.Nbr_obs.Histogram.s_p99
+                l.Trial.lat_insert.Nbr_obs.Histogram.s_p999
+                l.Trial.lat_delete.Nbr_obs.Histogram.s_p99
+                l.Trial.lat_delete.Nbr_obs.Histogram.s_p999)
+        [ ("inline", None); ("reclaim", Some Nbr_reclaim.Reclaimer.On_pressure) ])
+    lat_schemes;
+  (* -- Part 2: pressure-chaos.  The full adversary; every scheme must
+     finish without exhaustion, P2 claimants must hold their bound, and
+     the reclaimer's crash-with-restart must trace degrade → restore. *)
+  let duration = if quick then 1_600_000 else 3_200_000 in
+  let seeds = if quick then [ 41 ] else [ 41; 42 ] in
+  print_endline
+    "   Part 2 — pressure-chaos: 2 allocation hogs, 1 worker stall, 1 worker";
+  print_endline
+    "   crash, reclaimer stalled then crashed-with-restart.  Expect: zero";
+  print_endline
+    "   exhaustion, P2 bounds hold, trace shows degrade -> restore.";
+  List.iter
+    (fun seed ->
+      let plan =
+        Nbr_fault.Fault_plan.pressure_chaos ~seed ~nthreads ~stalls:1
+          ~crashes:1 ~hogs:2 ~hog_slots:1024 ~stall_ns:(duration / 8)
+          ~ops_window:200 ~reclaimer_stall_ns:(duration / 8)
+          ~restart_ns:(duration / 4) ()
+      in
+      Format.printf "@.seed %d: %a@." seed Nbr_fault.Fault_plan.pp plan;
+      Printf.printf "%-12s %-12s %12s %8s %9s %8s %8s  %s\n" "scheme"
+        "structure" "max_garbage" "bound" "degrades" "restores" "pressure"
+        "verdict";
+      List.iter
+        (fun scheme ->
+          let structure =
+            if H.supported ~scheme ~structure:"harris-list" then "harris-list"
+            else "lazy-list"
+          in
+          Sim.set_config { base_sim_config with seed };
+          let pool_capacity =
+            (* Bounded-garbage claimants (and the free-on-retire foil)
+               get a pool tight enough that the hogs are felt.  Epoch
+               schemes keep the roomy default: a crashed worker pins
+               their epoch and their garbage is unbounded by design —
+               the paper's point, not a robustness failure to induce. *)
+            if claims_bounded scheme || scheme = "unsafe-free" then Some 4096
+            else None
+          in
+          let cfg =
+            Trial.mk ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
+              ~del_pct:50
+              ~smr:
+                (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
+                   64)
+              ~seed ~faults:plan ?pool_capacity
+              ~reclaim:Nbr_reclaim.Reclaimer.On_pressure ()
+          in
+          Nbr_obs.Trace.enable ~capacity:131072 ~nthreads:(nthreads + 1) ();
+          (match H.run ~scheme ~structure cfg with
+          | exception e ->
+              Nbr_obs.Trace.disable ();
+              Nbr_obs.Trace.clear ();
+              note_failure
+                (Printf.sprintf "%s/%s pressure-chaos raised %s" scheme
+                   structure (Printexc.to_string e))
+          | r ->
+              Nbr_obs.Trace.disable ();
+              let evs = Nbr_obs.Trace.events () in
+              Nbr_obs.Trace.clear ();
+              incr validated;
+              (* The unsafe-free foil exists to commit UAF; only set
+                 semantics are required of it here. *)
+              let semantics_ok =
+                if scheme = "unsafe-free" then
+                  r.Trial.final_size = r.Trial.expected_size
+                else Trial.valid r
+              in
+              if not semantics_ok then begin
+                incr failures;
+                Format.printf "VALIDATION FAILURE: %a@." Trial.pp_row r
+              end;
+              let count k =
+                List.length
+                  (List.filter (fun e -> e.Nbr_obs.Trace.e_kind = k) evs)
+              in
+              let degrades = count Nbr_obs.Trace.Degrade
+              and restores = count Nbr_obs.Trace.Restore in
+              (* The fixed reclaimer schedule crashes with a restart, so
+                 every scheme must round-trip degrade -> restore. *)
+              if degrades = 0 || restores = 0 then
+                note_failure
+                  (Printf.sprintf
+                     "%s/%s: degrade/restore cycle missing (%d degrades, %d \
+                      restores)"
+                     scheme structure degrades restores);
+              let bound = Trial.garbage_bound cfg in
+              let mg = Nbr_core.Smr_stats.max_garbage r.Trial.smr_stats in
+              let verdict =
+                if claims_bounded scheme then
+                  if mg <= bound then "bounded (P2 holds)"
+                  else begin
+                    incr failures;
+                    "BOUND VIOLATION"
+                  end
+                else "no P2 claim"
+              in
+              Printf.printf "%-12s %-12s %12d %8d %9d %8d %8d  %s\n%!" scheme
+                structure mg bound degrades restores r.Trial.pressure_events
+                verdict))
+        H.scheme_names)
+    seeds
+
+(* ------------------------------------------------------------------ *)
 (* U1: usability — reclamation-specific lines of code (paper §5.3).    *)
 
 let usability _quick =
@@ -634,6 +788,9 @@ let all : (string * string * (bool -> unit)) list =
     ("chaos", "bounded garbage under seeded fault plans (E2-chaos)", chaos);
     ("churn", "dynamic join/leave, alone and composed with chaos (E2-churn)",
      churn);
+    ( "reclaim",
+      "background reclaimer: tail latency + pressure-chaos (DESIGN.md s.12)",
+      reclaim );
     ("fig5a", "DGT tree, large size (appendix B)", fig5a);
     ("fig5b", "DGT tree, small size (appendix B)", fig5b);
     ("fig6a", "lazy list, moderate size (appendix B)", fig6a);

@@ -31,6 +31,7 @@ module Make
      end) =
 struct
   module P = Nbr_pool.Pool.Make (Rt)
+  module R = Nbr_reclaim.Reclaimer.Make (Rt) (Smr)
 
   (* Deterministic prefill: insert a seed-shuffled prefix of the key
      space, sequentially, before the clock starts. *)
@@ -47,16 +48,45 @@ struct
 
   let run (cfg : Trial.cfg) : Trial.result =
     let n = cfg.nthreads in
+    (* The background reclaimer is one extra participant: tid [n], a
+       domain natively and a fiber in sim, registered with the scheme
+       like any worker so epochs/handshakes/watchdogs all count it. *)
+    let reclaim_on = cfg.reclaim <> None in
+    let total = if reclaim_on then n + 1 else n in
     let pool =
       P.create ~capacity:cfg.pool_capacity ~data_fields:Ds.data_fields
-        ~ptr_fields:Ds.ptr_fields ~nthreads:n ()
+        ~ptr_fields:Ds.ptr_fields ~nthreads:total ()
     in
     let smr_cfg =
       { cfg.smr with Nbr_core.Smr_config.max_reservations = Ds.max_reservations }
     in
-    let smr = Smr.create pool ~nthreads:n smr_cfg in
+    let smr = Smr.create pool ~nthreads:total smr_cfg in
     let ds = Ds.create pool in
     let ctxs = Array.init n (fun tid -> Smr.register smr ~tid) in
+    let recl =
+      match cfg.reclaim with
+      | None -> None
+      | Some policy ->
+          let faults =
+            match cfg.faults with
+            | None -> []
+            | Some p -> Nbr_fault.Fault_plan.reclaimer_faults p
+          in
+          let r =
+            R.create ~policy
+              ~max_backlog:
+                (max 64 (2 * smr_cfg.Nbr_core.Smr_config.bag_threshold))
+              ~faults smr ~tid:n
+          in
+          (* Watermarks with hysteresis: the high crossing (3/4 of
+             capacity) kicks the reclaimer well before starvation would
+             drive on_pressure, and the low mark re-arms the trigger. *)
+          let cap = cfg.pool_capacity in
+          P.set_watermarks pool ~lo:(cap / 2)
+            ~hi:(cap - (cap / 4))
+            ~on_high:(fun () -> R.kick r);
+          Some r
+    in
     Array.iter (fun k -> ignore (Ds.insert ds ctxs.(0) k)) (prefill_keys cfg);
     P.reset_peak pool;
     let inserts = Array.make n 0
@@ -89,7 +119,11 @@ struct
     let thread_faults =
       match cfg.faults with
       | None -> false
-      | Some p -> Nbr_fault.Fault_plan.has_thread_faults p
+      | Some p ->
+          Nbr_fault.Fault_plan.has_thread_faults p
+          (* Reclaimer faults arm the same machinery: a stalled reclaimer
+             must be reapable by the workers' watchdogs. *)
+          || Nbr_fault.Fault_plan.has_reclaimer_faults p
     in
     (* Injected signal faults live only for the duration of this run: the
        decider is process-global runtime state.  A plan that faults
@@ -109,7 +143,13 @@ struct
                    (fun ~sender:_ ~target:_ ->
                      Nbr_runtime.Runtime_intf.Sig_deliver))));
     Fun.protect ~finally:(fun () -> Rt.set_signal_fault None) @@ fun () ->
-    Rt.run ~nthreads:n (fun tid ->
+    let workers_done = Atomic.make 0 in
+    Rt.run ~nthreads:total (fun tid ->
+        if tid >= n then
+          (* The reclaimer role: loops until the last worker stops it (or
+             a never-restart crash fault kills it). *)
+          (match recl with Some r -> R.run r | None -> ())
+        else
         (* A ref so dynamic membership (churn) can swap in the fresh
            context of a re-registration. *)
         let ctx = ref ctxs.(tid) in
@@ -215,10 +255,19 @@ struct
            the stack and flush, so end-of-trial outstanding garbage is a
            meaningful bounded-reclamation measure (and the chaos tests
            can assert it). *)
-        if (not !crashed) && (thread_faults || cfg.churn_ops > 0) then begin
+        if (not !crashed) && (thread_faults || cfg.churn_ops > 0 || reclaim_on)
+        then begin
+          (* Stranded handoffs first: parcels exported before a reclaimer
+             crash would otherwise never be swept. *)
+          ignore (Smr.collect_handoffs !ctx);
           Smr.adopt_orphans !ctx;
           Smr.on_pressure !ctx
         end;
+        (* The last worker out (crashed or not) releases the reclaimer;
+           it drains what is left and leaves gracefully. *)
+        (match recl with
+        | Some r when Atomic.fetch_and_add workers_done 1 + 1 = n -> R.stop r
+        | _ -> ());
         inserts.(tid) <- !my_ins;
         deletes.(tid) <- !my_del;
         ops.(tid) <- !my_ops);

@@ -35,6 +35,13 @@ type cfg = {
           deregisters from the scheme and re-registers after each
           [churn_ops] completed operations, orphaning whatever it had
           buffered for the survivors to adopt.  0 = static membership. *)
+  reclaim : Nbr_reclaim.Reclaimer.policy option;
+      (** background reclamation: when set, the runner adds one extra
+          thread running the {!Nbr_reclaim.Reclaimer} role under this
+          policy, installs pool watermarks wired to its pressure kick,
+          and workers export threshold-crossing limbo bags to it instead
+          of sweeping inline.  Reclaimer faults in [faults] are
+          interpreted by that role.  [None] = classic inline trial. *)
   record_latency : bool;
       (** per-operation latency + restarts-per-op histograms (two clock
           reads and two O(1) histogram inserts per operation while on —
@@ -44,7 +51,7 @@ type cfg = {
 let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     ?prefill ?(ins_pct = 25) ?(del_pct = 25)
     ?(smr = Nbr_core.Smr_config.default) ?pool_capacity ?(seed = 1)
-    ?stall ?faults ?(churn_ops = 0) ?(record_latency = false) () =
+    ?stall ?faults ?(churn_ops = 0) ?reclaim ?(record_latency = false) () =
   let prefill = match prefill with Some p -> p | None -> key_range / 2 in
   let pool_capacity =
     match pool_capacity with
@@ -70,6 +77,7 @@ let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
     stall;
     faults;
     churn_ops;
+    reclaim;
     record_latency;
   }
 
@@ -92,7 +100,10 @@ let signal_faults_injected cfg =
     the peer stalled, ≤ ~2·key_range for our structures.  On top of that
     a bag refills to the threshold before the next sweep.  Anything past
     this bound means garbage tracking a stalled thread's {e duration},
-    i.e. the unbounded failure mode. *)
+    i.e. the unbounded failure mode.  The bound covers background
+    reclamation too: the runner caps the handoff channel ([max_backlog]
+    = 2 × threshold) below the slack this formula already carries, so
+    the reclaimer's collected-but-unswept garbage stays inside it. *)
 let garbage_bound cfg =
   cfg.smr.Nbr_core.Smr_config.bag_threshold
   + (cfg.nthreads * cfg.smr.Nbr_core.Smr_config.max_reservations)

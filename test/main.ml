@@ -13,6 +13,7 @@ let () =
       ("per-key", Test_per_key.suite);
       ("properties", Test_properties.suite);
       ("fault", Test_fault.suite);
+      ("reclaim", Test_reclaim.suite);
       ("lifecycle", Test_lifecycle.suite);
       ("native-runtime", Test_native.suite);
       ("obs", Test_obs.suite);
