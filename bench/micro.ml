@@ -122,7 +122,7 @@ module RtBench (Rt : Nbr_runtime.Runtime_intf.S) = struct
           done);
     !out
 
-  (* Pool fast path: alloc pops the caller's own free list, free pushes it
+  (* Pool fast path: alloc pops the caller's own cache, free pushes it
      back — no contention, no pressure. *)
   let alloc_free_ns ~iters =
     let pool =
@@ -135,6 +135,65 @@ module RtBench (Rt : Nbr_runtime.Runtime_intf.S) = struct
         let t0 = Rt.now_ns () in
         for _ = 1 to iters do
           let s = P.alloc pool in
+          P.free pool s
+        done;
+        out := float_of_int (Rt.now_ns () - t0) /. float_of_int iters);
+    !out
+
+  (* Contended pool path: every thread runs alloc/free pairs against one
+     shared pool.  What this measures is the allocator's shared state —
+     occupancy accounting, free-space hand-off — since each thread's
+     working set is its own.  The serialization-point number ROADMAP
+     item 3 is about. *)
+  let alloc_free_mt_ns ~nthreads ~iters =
+    let pool =
+      P.create
+        ~capacity:(nthreads * 64)
+        ~data_fields:1 ~ptr_fields:1 ~nthreads ()
+    in
+    let elapsed = Array.make nthreads 0 in
+    Rt.run ~nthreads (fun tid ->
+        let s0 = P.alloc pool in
+        P.free pool s0;
+        let t0 = Rt.now_ns () in
+        for _ = 1 to iters do
+          let s = P.alloc pool in
+          P.free pool s
+        done;
+        elapsed.(tid) <- Rt.now_ns () - t0);
+    float_of_int (Array.fold_left ( + ) 0 elapsed)
+    /. float_of_int (nthreads * iters)
+
+  (* Per-size-class fast path: the same owner-magazine alloc/free pair on
+     a classed pool, so the handle codec and per-class magazine routing
+     are on the measured path.  The two classes differ in field shape
+     (narrow list node vs wide tree node) — the per-pair cost should not,
+     since neither the codec nor the magazines touch the fields. *)
+  let alloc_free_cls_ns ~cls ~iters =
+    let pool =
+      P.create_classed
+        ~classes:
+          [|
+            {
+              Nbr_pool.Pool.cc_capacity = 64;
+              cc_data_fields = 1;
+              cc_ptr_fields = 1;
+            };
+            {
+              Nbr_pool.Pool.cc_capacity = 64;
+              cc_data_fields = 2;
+              cc_ptr_fields = 8;
+            };
+          |]
+        ~nthreads:1 ()
+    in
+    let out = ref 0.0 in
+    Rt.run ~nthreads:1 (fun _ ->
+        let s0 = P.alloc ~cls pool in
+        P.free pool s0;
+        let t0 = Rt.now_ns () in
+        for _ = 1 to iters do
+          let s = P.alloc ~cls pool in
           P.free pool s
         done;
         out := float_of_int (Rt.now_ns () - t0) /. float_of_int iters);
@@ -315,6 +374,10 @@ let () =
         ~max_ratio:(float_of_string (value "--max-ratio" "2.0"));
       exit 0);
   let quick = has "--quick" in
+  (* --alloc-only: just the allocator benches (fast enough to run by hand
+     when iterating on lib/pool; also how the pre/post rewrite numbers in
+     EXPERIMENTS.md were captured). *)
+  let alloc_only = has "--alloc-only" in
   let runtime = value "--runtime" "both" in
   let out_dir = value "--out-dir" "." in
   let mode = if quick then "quick" else "standard" in
@@ -328,26 +391,37 @@ let () =
     let it_sig = if quick then 2_000 else 20_000 in
     let it_af = if quick then 50_000 else 500_000 in
     Printf.printf "# native runtime (wall-clock ns, %s)\n%!" mode;
-    List.iter
-      (fun (name, m) ->
-        let v = m ~nthreads:1 ~iters:it_1t in
-        record (Printf.sprintf "read_path_1t/%s" name) v;
-        Printf.printf "  read_path_1t/%-6s %8.1f ns/op\n%!" name v)
-      N.read_paths;
-    List.iter
-      (fun (name, m) ->
-        let v = m ~nthreads:mt_native ~iters:it_mt in
-        record (Printf.sprintf "read_path_mt/%s" name) v;
-        Printf.printf "  read_path_mt/%-6s %8.1f ns/op (t%d)\n%!" name v
-          mt_native)
-      N.read_paths;
-    let v = N.signal_all_ns ~nthreads:mt_native ~iters:it_sig in
-    record (Printf.sprintf "signal_all/n%d" mt_native) v;
-    Printf.printf "  signal_all/n%d      %8.1f ns/broadcast\n%!" mt_native v;
+    if not alloc_only then begin
+      List.iter
+        (fun (name, m) ->
+          let v = m ~nthreads:1 ~iters:it_1t in
+          record (Printf.sprintf "read_path_1t/%s" name) v;
+          Printf.printf "  read_path_1t/%-6s %8.1f ns/op\n%!" name v)
+        N.read_paths;
+      List.iter
+        (fun (name, m) ->
+          let v = m ~nthreads:mt_native ~iters:it_mt in
+          record (Printf.sprintf "read_path_mt/%s" name) v;
+          Printf.printf "  read_path_mt/%-6s %8.1f ns/op (t%d)\n%!" name v
+            mt_native)
+        N.read_paths;
+      let v = N.signal_all_ns ~nthreads:mt_native ~iters:it_sig in
+      record (Printf.sprintf "signal_all/n%d" mt_native) v;
+      Printf.printf "  signal_all/n%d      %8.1f ns/broadcast\n%!" mt_native v
+    end;
     let v = N.alloc_free_ns ~iters:it_af in
     record "alloc_free" v;
     Printf.printf "  alloc_free          %8.1f ns/pair\n%!" v;
-    if not (has "--no-wall") then begin
+    let v = N.alloc_free_mt_ns ~nthreads:mt_native ~iters:it_af in
+    record (Printf.sprintf "alloc_free_mt/t%d" mt_native) v;
+    Printf.printf "  alloc_free_mt/t%d    %8.1f ns/pair\n%!" mt_native v;
+    List.iter
+      (fun cls ->
+        let v = N.alloc_free_cls_ns ~cls ~iters:it_af in
+        record (Printf.sprintf "alloc_free/cls%d" cls) v;
+        Printf.printf "  alloc_free/cls%d     %8.1f ns/pair\n%!" cls v)
+      [ 0; 1 ];
+    if (not (has "--no-wall")) && not alloc_only then begin
       (* Runner-level wall-clock trials: the whole harness on real domains.
          Mops/s (higher is better) — reported, not regression-gated. *)
       let dur = if quick then 100_000_000 else 500_000_000 in
@@ -369,25 +443,27 @@ let () =
             r.T.throughput_mops r.T.uaf_reads)
         [ ("nbr", "lazy-list"); ("nbr+", "dgt-tree"); ("ibr", "lazy-list") ]
     end;
-    (* Latency quantiles: one short harness trial with per-operation
-       histograms on.  Cheap enough to run even in --quick/--no-wall. *)
-    let lat_cfg =
-      T.mk ~nthreads:mt_native
-        ~duration_ns:(if quick then 50_000_000 else 200_000_000)
-        ~key_range:256 ~seed:7 ~smr:N.smr_cfg ~record_latency:true ()
-    in
-    let r = H_nat.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
-    record_latency_entries r;
-    (* Retire-heavy tail pair: inline vs background reclaimer. *)
-    record_reclaim_tail (fun reclaim ->
-        let cfg =
-          T.mk ~nthreads:mt_native
-            ~duration_ns:(if quick then 50_000_000 else 200_000_000)
-            ~key_range:128 ~ins_pct:50 ~del_pct:50 ~seed:7
-            ~smr:(Nbr_core.Smr_config.with_threshold N.smr_cfg 64)
-            ?reclaim ~record_latency:true ()
-        in
-        H_nat.run ~scheme:"nbr+" ~structure:"harris-list" cfg);
+    if not alloc_only then begin
+      (* Latency quantiles: one short harness trial with per-operation
+         histograms on.  Cheap enough to run even in --quick/--no-wall. *)
+      let lat_cfg =
+        T.mk ~nthreads:mt_native
+          ~duration_ns:(if quick then 50_000_000 else 200_000_000)
+          ~key_range:256 ~seed:7 ~smr:N.smr_cfg ~record_latency:true ()
+      in
+      let r = H_nat.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
+      record_latency_entries r;
+      (* Retire-heavy tail pair: inline vs background reclaimer. *)
+      record_reclaim_tail (fun reclaim ->
+          let cfg =
+            T.mk ~nthreads:mt_native
+              ~duration_ns:(if quick then 50_000_000 else 200_000_000)
+              ~key_range:128 ~ins_pct:50 ~del_pct:50 ~seed:7
+              ~smr:(Nbr_core.Smr_config.with_threshold N.smr_cfg 64)
+              ?reclaim ~record_latency:true ()
+          in
+          H_nat.run ~scheme:"nbr+" ~structure:"harris-list" cfg)
+    end;
     write_json ~runtime:"native" ~mode
       ~path:(Filename.concat out_dir "BENCH_native.json")
   in
@@ -401,42 +477,55 @@ let () =
     let it_sig = if quick then 100 else 500 in
     let it_af = if quick then 2_000 else 20_000 in
     Printf.printf "# sim runtime (virtual ns, deterministic, %s)\n%!" mode;
-    List.iter
-      (fun (name, m) ->
-        let v = m ~nthreads:1 ~iters:it_1t in
-        record (Printf.sprintf "read_path_1t/%s" name) v;
-        Printf.printf "  read_path_1t/%-6s %8.1f ns/op\n%!" name v)
-      S.read_paths;
-    List.iter
-      (fun (name, m) ->
-        let v = m ~nthreads:mt_sim ~iters:it_mt in
-        record (Printf.sprintf "read_path_mt/%s" name) v;
-        Printf.printf "  read_path_mt/%-6s %8.1f ns/op (t%d)\n%!" name v
-          mt_sim)
-      S.read_paths;
-    let v = S.signal_all_ns ~nthreads:mt_sim ~iters:it_sig in
-    record (Printf.sprintf "signal_all/n%d" mt_sim) v;
-    Printf.printf "  signal_all/n%d      %8.1f ns/broadcast\n%!" mt_sim v;
+    if not alloc_only then begin
+      List.iter
+        (fun (name, m) ->
+          let v = m ~nthreads:1 ~iters:it_1t in
+          record (Printf.sprintf "read_path_1t/%s" name) v;
+          Printf.printf "  read_path_1t/%-6s %8.1f ns/op\n%!" name v)
+        S.read_paths;
+      List.iter
+        (fun (name, m) ->
+          let v = m ~nthreads:mt_sim ~iters:it_mt in
+          record (Printf.sprintf "read_path_mt/%s" name) v;
+          Printf.printf "  read_path_mt/%-6s %8.1f ns/op (t%d)\n%!" name v
+            mt_sim)
+        S.read_paths;
+      let v = S.signal_all_ns ~nthreads:mt_sim ~iters:it_sig in
+      record (Printf.sprintf "signal_all/n%d" mt_sim) v;
+      Printf.printf "  signal_all/n%d      %8.1f ns/broadcast\n%!" mt_sim v
+    end;
     let v = S.alloc_free_ns ~iters:it_af in
     record "alloc_free" v;
     Printf.printf "  alloc_free          %8.1f ns/pair\n%!" v;
-    (* Deterministic virtual-time latency quantiles. *)
-    let lat_cfg =
-      T.mk ~nthreads:mt_sim ~duration_ns:2_000_000 ~key_range:256 ~seed:7
-        ~smr:S.smr_cfg ~record_latency:true ()
-    in
-    let r = H_sim.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
-    record_latency_entries r;
-    (* Retire-heavy tail pair: inline vs background reclaimer
-       (deterministic in virtual time). *)
-    record_reclaim_tail (fun reclaim ->
-        let cfg =
-          T.mk ~nthreads:mt_sim ~duration_ns:3_000_000 ~key_range:128
-            ~ins_pct:50 ~del_pct:50 ~seed:7
-            ~smr:(Nbr_core.Smr_config.with_threshold S.smr_cfg 64)
-            ?reclaim ~record_latency:true ()
-        in
-        H_sim.run ~scheme:"nbr+" ~structure:"harris-list" cfg);
+    let v = S.alloc_free_mt_ns ~nthreads:mt_sim ~iters:(it_af / 4) in
+    record (Printf.sprintf "alloc_free_mt/t%d" mt_sim) v;
+    Printf.printf "  alloc_free_mt/t%d    %8.1f ns/pair\n%!" mt_sim v;
+    List.iter
+      (fun cls ->
+        let v = S.alloc_free_cls_ns ~cls ~iters:it_af in
+        record (Printf.sprintf "alloc_free/cls%d" cls) v;
+        Printf.printf "  alloc_free/cls%d     %8.1f ns/pair\n%!" cls v)
+      [ 0; 1 ];
+    if not alloc_only then begin
+      (* Deterministic virtual-time latency quantiles. *)
+      let lat_cfg =
+        T.mk ~nthreads:mt_sim ~duration_ns:2_000_000 ~key_range:256 ~seed:7
+          ~smr:S.smr_cfg ~record_latency:true ()
+      in
+      let r = H_sim.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
+      record_latency_entries r;
+      (* Retire-heavy tail pair: inline vs background reclaimer
+         (deterministic in virtual time). *)
+      record_reclaim_tail (fun reclaim ->
+          let cfg =
+            T.mk ~nthreads:mt_sim ~duration_ns:3_000_000 ~key_range:128
+              ~ins_pct:50 ~del_pct:50 ~seed:7
+              ~smr:(Nbr_core.Smr_config.with_threshold S.smr_cfg 64)
+              ?reclaim ~record_latency:true ()
+          in
+          H_sim.run ~scheme:"nbr+" ~structure:"harris-list" cfg)
+    end;
     write_json ~runtime:"sim" ~mode
       ~path:(Filename.concat out_dir "BENCH_sim.json")
   in

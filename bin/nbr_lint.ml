@@ -12,6 +12,13 @@
                      identity); outside lib/runtime it reintroduces the
                      per-dereference lookup PR 2 removed.
    - [obj-magic]     no [Obj.magic] anywhere in lib/.
+   - [pool-raw-index] outside lib/pool, no raw cell addressing
+                     ([data_cell] / [ptr_cell]): those accessors bypass
+                     generation validation, so a stale handle reads the
+                     recycled occupant's memory with no detection.  The
+                     scheme layer (which implements the validated
+                     accessors on top of the cells) and the tagged-link
+                     structure are grandfathered in the allowlist.
    - [missing-mli]   every library module carries an interface, or is
                      explicitly grandfathered in the allowlist.
 
@@ -95,6 +102,15 @@ let check_ident ~file (lid : Longident.t Location.loc) =
       report ~rule:"domain-dls" ~file ~line
         "Domain.DLS outside lib/runtime: thread identity is a runtime \
          concern (use the tid-threaded _t interfaces)"
+  | l
+    when (match List.rev l with
+         | ("data_cell" | "ptr_cell") :: _ -> true
+         | _ -> false)
+         && not (path_has_prefix ~prefix:"lib/pool/" file) ->
+      report ~rule:"pool-raw-index" ~file ~line
+        "raw cell addressing bypasses generation validation: go through \
+         the scheme's validated accessors (read_data / read_ptr / \
+         peek_ptr), or grandfather a deliberate use in the allowlist"
   | _ -> ()
 
 let make_iterator file =

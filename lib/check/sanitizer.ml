@@ -106,9 +106,14 @@ let on_event t (e : Trace.event) =
       | _ -> ());
       Hashtbl.replace t.slots e.e_a Freed
   | Trace.Access ->
+      (* Keys are generational handles, so the lifecycle table is
+         generation-aware by construction: a recycled slot's new
+         incarnation is a different key, and an access through the old
+         handle still finds the Freed entry — no seqno heuristics. *)
       (if slot_state t e.e_a = Some Freed then
          record t ~rule:"uaf_access" ~tid ~ns
-           (Printf.sprintf "guarded read of freed slot %d" e.e_a));
+           (Printf.sprintf "guarded read through stale handle %d (record freed)"
+              e.e_a));
       (if
          t.cfg.family = Neutralization
          && in_range tid
@@ -189,6 +194,23 @@ let on_event t (e : Trace.event) =
              "async sweep freed %d records on a thread never handed a \
               limbo bag"
              e.e_a)
+  | Trace.Stale_handle ->
+      (* A generation-validated access caught a stale handle before any
+         data crossed over.  Foil schemes race reclamation on purpose;
+         restart-capable families (neutralization, hazard, interval)
+         tolerate the race by construction — detection is their graceful
+         path, the access never yields live data.  Epoch-family grace
+         periods, though, make it impossible for a record to be freed
+         while any thread is inside an operation: a stale validated read
+         under an open op there means protection failed. *)
+      if
+        t.cfg.family = Epoch && in_range tid && t.in_op.(tid)
+      then
+        record t ~rule:"stale_handle" ~tid ~ns
+          (Printf.sprintf
+             "validated read caught stale handle %d (slot generation now \
+              %d) under epoch protection"
+             e.e_a e.e_b)
   | Trace.Restart | Trace.Bag_push | Trace.Bag_sweep | Trace.Pool_starvation
   | Trace.Pool_overflow | Trace.Fault_action | Trace.Heartbeat_timeout
   | Trace.Peer_declared_dead | Trace.Watermark_high | Trace.Watermark_low

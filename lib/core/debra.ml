@@ -47,6 +47,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let bounded_garbage = false
 
   let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     {
       pool;
       n = nthreads;
@@ -97,13 +98,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     Limbo_bag.size c.bags.(0) + Limbo_bag.size c.bags.(1)
     + Limbo_bag.size c.bags.(2)
 
+  (* Bag label for a record buffered now.  The {e global} epoch re-read
+     at push time, not [local_epoch]: an active thread only pins the
+     global to [local_epoch + 1], so by retire time the unlink may have
+     happened one epoch after our announcement.  A record labelled [l] is
+     freed only once the epoch reaches [l + 2], an advance every reader
+     that could still hold it (announced [<= l]) blocks — labelling with
+     the stale local epoch frees exactly one epoch too early for readers
+     announced at [local_epoch + 1].  The generation-aware pool detector
+     caught this as reads through freed-and-recycled slots. *)
+  let retire_label c = Rt.load c.b.epoch mod 3
+
   (* Departed/crashed threads' retires go into our current retire bag:
      retired "now" from the epoch discipline's point of view, which only
      delays their release — never frees early. *)
   let adopt_orphans c =
     let n =
       L.adopt c.b.lc ~tid:c.tid ~push:(fun slot ->
-          Limbo_bag.push c.bags.(c.local_epoch mod 3) slot)
+          Limbo_bag.push c.bags.(retire_label c) slot)
     in
     if n > 0 then Smr_stats.note_garbage c.st (buffered c)
 
@@ -143,7 +155,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let collect_handoffs c =
     let n =
       L.take_handoffs c.b.lc ~push:(fun slot ->
-          Limbo_bag.push c.bags.(c.local_epoch mod 3) slot)
+          Limbo_bag.push c.bags.(retire_label c) slot)
     in
     if n > 0 then begin
       Smr_stats.note_garbage c.st (buffered c);
@@ -160,6 +172,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       (* Quiescent announcement: a departed thread must never pin the
          epoch. *)
       Rt.store c.b.announce.(c.tid) ((c.local_epoch lsl 1) lor 1);
@@ -208,7 +225,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       decr quota
     done;
     if c.checked >= c.b.n then begin
-      ignore (Rt.cas c.b.epoch e (e + 1));
+      if Rt.cas c.b.epoch e (e + 1) then begin
+        (* Adopt the epoch we just created while still ahead of any
+           protected read of this op: re-announcing keeps our retire
+           labels at the current global epoch (instead of one behind,
+           which would pin their release an extra epoch), and entering
+           [e+1] releases its two-epochs-back bag right away. *)
+        free_bag c c.bags.((e + 2) mod 3);
+        c.local_epoch <- e + 1;
+        c.check_next <- 0;
+        Rt.store c.b.announce.(c.tid) ((e + 1) lsl 1)
+      end;
       c.checked <- 0
     end
 
@@ -240,16 +267,19 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     if !ok then ignore (Rt.cas c.b.epoch e (e + 1));
     let e' = Rt.load c.b.epoch in
     if e' <> c.local_epoch then
-      (* Never our current retire bag: our own announcement keeps
-         [e' <= local_epoch + 1], so [(e'+1) mod 3 <> local_epoch mod 3]. *)
+      (* Never a current retire target: our own announcement keeps
+         [e' <= local_epoch + 1], so the freed index [(e'+1) mod 3] is
+         neither [local_epoch mod 3] nor [(local_epoch + 1) mod 3] — the
+         two bags [retire_label] can select mid-operation. *)
       free_bag c c.bags.((e' + 1) mod 3)
 
-  let alloc c = P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
+  let alloc ?cls c =
+    P.alloc ~on_pressure:(fun () -> on_pressure c) ?cls c.b.pool
 
   let retire c slot =
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1;
-    Limbo_bag.push c.bags.(c.local_epoch mod 3) slot;
+    Limbo_bag.push c.bags.(retire_label c) slot;
     let g = buffered c in
     Smr_stats.note_garbage c.st g;
     (* DEBRA frees by epoch, not by threshold — but a backlog past the
@@ -281,6 +311,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  (* Epoch protection means a record reachable inside an operation cannot
+     be freed, so [Stale] is unreachable for correct use; if it does show
+     up (a misuse the sanitizer's [stale_handle] rule convicts), consume
+     the memory as the unprotected read it is. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
 
   let ctx_stats (c : ctx) = c.st
 

@@ -54,6 +54,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let empty_slot = -1
 
   let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     let window = cfg.Smr_config.max_reservations + 2 in
     {
       pool;
@@ -179,6 +180,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       retract_published c.b c.tid;
       L.with_stats_lock c.b.lc (fun () ->
           orphan_ctx c.b ~into:c.b.done_stats c)
@@ -192,17 +198,19 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       ~rounds:c.b.cfg.Smr_config.wd_rounds
       ~on_round:(fun ~peer:_ ~round:_ -> ())
       ~reap:(fun v ->
+        P.flush_thread c.b.pool ~tid:v;
         retract_published c.b v;
         match c.b.ctxs.(v) with
         | None -> ()
         | Some vc -> orphan_ctx c.b ~into:c.st vc)
 
-  let alloc_with c ~on_pressure =
-    let slot = P.alloc ~on_pressure c.b.pool in
+  let alloc_with ?cls c ~on_pressure =
+    let slot = P.alloc ~on_pressure ?cls c.b.pool in
     c.alloc_count <- c.alloc_count + 1;
     if c.alloc_count mod c.b.cfg.Smr_config.epoch_freq = 0 then
       ignore (Rt.faa c.b.era 1);
-    Rt.store c.b.birth.(slot) (Rt.load c.b.era);
+    (* Era metadata is per slot, dense across size-classes/generations. *)
+    Rt.store c.b.birth.(P.uid c.b.pool slot) (Rt.load c.b.era);
     slot
 
   (* Protect-by-era: publish the current era in the next rotation slot,
@@ -249,6 +257,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
      mark-traversing structures (never benchmarked together). *)
   let read_raw _c cell = Rt.load cell
 
+  (* Data reads only ever target records the traversal just protected by
+     era; a [Stale] result means protection was lost — abort the read
+     phase like a failed validation rather than consume recycled
+     memory. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale _ ->
+        Smr_stats.note_uaf c.st;
+        raise Rt.Neutralized
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale _ ->
+        Smr_stats.note_uaf c.st;
+        raise Rt.Neutralized
+
   let phase c ~read ~write =
     let attempts = ref 0 in
     let out =
@@ -293,8 +319,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         done
       done;
       let pinned s =
-        let birth = Rt.plain_load c.b.birth.(s) in
-        let death = Rt.plain_load c.b.retire_era.(s) in
+        let u = P.uid c.b.pool s in
+        let birth = Rt.plain_load c.b.birth.(u) in
+        let death = Rt.plain_load c.b.retire_era.(u) in
         let hit = ref false in
         for j = 0 to !k - 1 do
           if (not !hit) && c.scratch.(j) >= birth && c.scratch.(j) <= death
@@ -315,12 +342,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
 
   let on_pressure = flush
-  let alloc c = alloc_with c ~on_pressure:(fun () -> flush c)
+  let alloc ?cls c = alloc_with ?cls c ~on_pressure:(fun () -> flush c)
 
   let retire c slot =
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1;
-    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
+    Rt.store c.b.retire_era.(P.uid c.b.pool slot) (Rt.load c.b.era);
     Limbo_bag.push c.bag slot;
     if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then
       if not (maybe_offload c) then flush c;

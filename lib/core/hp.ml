@@ -49,6 +49,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let max_validate_retries = 64
 
   let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     let window = cfg.Smr_config.max_reservations + 2 in
     {
       pool;
@@ -170,6 +171,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       retract_published c.b c.tid;
       L.with_stats_lock c.b.lc (fun () ->
           orphan_ctx c.b ~into:c.b.done_stats c)
@@ -183,6 +189,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       ~rounds:c.b.cfg.Smr_config.wd_rounds
       ~on_round:(fun ~peer:_ ~round:_ -> ())
       ~reap:(fun v ->
+        P.flush_thread c.b.pool ~tid:v;
         retract_published c.b v;
         match c.b.ctxs.(v) with
         | None -> ()
@@ -219,6 +226,25 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let read_root c root = protect_from c root
   let read_ptr c ~src ~field = protect_from c (P.ptr_cell c.b.pool src field)
+
+  (* Data reads only ever target records the traversal just protected, so
+     a [Stale] result means the protection race was lost after all (the
+     validation window of [protect_from] closed on a copy) — abort the
+     read phase like any failed validation rather than consume recycled
+     memory. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale _ ->
+        Smr_stats.note_uaf c.st;
+        raise Rt.Neutralized
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale _ ->
+        Smr_stats.note_uaf c.st;
+        raise Rt.Neutralized
 
   (* HP cannot protect through a mark-tagged word (it does not know the
      encoding) — the P5 limitation the paper describes.  Structures that
@@ -301,7 +327,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
 
   let on_pressure = flush
-  let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
+  let alloc ?cls c = P.alloc ~on_pressure:(fun () -> flush c) ?cls c.b.pool
 
   let retire c slot =
     P.note_retired c.b.pool slot;

@@ -66,6 +66,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let inactive_hi = -1
 
   let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     {
       pool;
       n = nthreads;
@@ -191,6 +192,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       retract_published c.b c.tid;
       L.with_stats_lock c.b.lc (fun () ->
           orphan_ctx c.b ~into:c.b.done_stats c)
@@ -204,6 +210,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       ~rounds:c.b.cfg.Smr_config.wd_rounds
       ~on_round:(fun ~peer:_ ~round:_ -> ())
       ~reap:(fun v ->
+        P.flush_thread c.b.pool ~tid:v;
         retract_published c.b v;
         match c.b.ctxs.(v) with
         | None -> ()
@@ -221,8 +228,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         c.shi.(t) <- Rt.load c.b.hi.(t)
       done;
       let pinned s =
-        let birth = Rt.plain_load c.b.birth.(s) in
-        let death = Rt.plain_load c.b.retire_era.(s) in
+        let u = P.uid c.b.pool s in
+        let birth = Rt.plain_load c.b.birth.(u) in
+        let death = Rt.plain_load c.b.retire_era.(u) in
         let hit = ref false in
         for t = 0 to c.b.n - 1 do
           if (not !hit) && birth <= c.shi.(t) && death >= c.slo.(t) then
@@ -244,18 +252,20 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let on_pressure = flush
 
-  let alloc c =
-    let slot = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool in
+  let alloc ?cls c =
+    let slot = P.alloc ~on_pressure:(fun () -> flush c) ?cls c.b.pool in
     c.alloc_count <- c.alloc_count + 1;
     if c.alloc_count mod c.b.cfg.Smr_config.epoch_freq = 0 then
       ignore (Rt.faa c.b.era 1);
-    Rt.store c.b.birth.(slot) (Rt.load c.b.era);
+    (* Era metadata is per {e slot}, not per handle: [uid] keeps the
+       arrays dense across size-classes and generations. *)
+    Rt.store c.b.birth.(P.uid c.b.pool slot) (Rt.load c.b.era);
     slot
 
   let retire c slot =
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1;
-    Rt.store c.b.retire_era.(slot) (Rt.load c.b.era);
+    Rt.store c.b.retire_era.(P.uid c.b.pool slot) (Rt.load c.b.era);
     Limbo_bag.push c.bag slot;
     if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then
       if not (maybe_offload c) then flush c;
@@ -338,6 +348,27 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let read_ptr c ~src ~field =
     guarded_read c (P.ptr_cell c.b.pool src field) ~src
+
+  (* Interval protection covers targets of guarded dereferences, so data
+     reads of an already-covered record need no ratchet.  A [Stale]
+     result is the frozen-link unsoundness surfacing (possible only with
+     ablation A3, or through the paper's P5-style misuse): the foil-like
+     honest behaviour is to consume the recycled memory and let
+     [record_read] convict the access — which is exactly what the
+     stored-certificate regression replays. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
 
   (* Mark-tagged links are read out of unlinked records (Harris traversal),
      where no liveness validation is possible — the P5 limitation, exactly

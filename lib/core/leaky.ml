@@ -24,7 +24,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let scheme_name = "none"
   let bounded_garbage = false
 
-  let create pool ~nthreads _cfg =
+  let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     {
       pool;
       lc = L.create ~nthreads;
@@ -61,6 +62,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);
       c.b.ctxs.(c.tid) <- None
     end
@@ -68,7 +74,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   (* Nothing to flush: abandoned records are gone for good, which is the
      point of the baseline — under pool pressure it simply exhausts. *)
   let on_pressure _ = ()
-  let alloc c = P.alloc c.b.pool
+  let alloc ?cls c = P.alloc ?cls c.b.pool
 
   let retire c slot =
     P.note_retired c.b.pool slot;
@@ -99,6 +105,23 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  (* Nothing is ever freed, so a handle can never go stale here; the
+     match is for interface parity with schemes that can race
+     reclamation. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
 
   let ctx_stats (c : ctx) = c.st
 

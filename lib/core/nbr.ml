@@ -34,6 +34,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let read_root = B.read_root
   let read_ptr = B.read_ptr
   let read_raw = B.read_raw
+  let read_data = B.read_data
+  let peek_ptr = B.peek_ptr
   let stats = B.stats
   let ctx_stats = B.ctx_stats
   let on_pressure = B.flush

@@ -46,6 +46,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   }
 
   let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     {
       pool;
       n = nthreads;
@@ -186,9 +187,38 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let read_ptr c ~src ~field =
     Rt.poll_t c.tid;
-    let v = Rt.load (P.ptr_cell c.b.pool src field) in
-    if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
-    v
+    match P.read_ptr c.b.pool src field with
+    | P.Value v ->
+        if v >= 0 && P.record_read c.b.pool v then Smr_stats.note_uaf c.st;
+        v
+    | P.Stale _ ->
+        (* The source record was freed under us — only possible in the
+           native poll window (exact delivery in the sim neutralizes us
+           first).  We are restartable by protocol, so abandon the read
+           phase instead of traversing recycled memory; the restart
+           bookkeeping classifies the detected read as benign. *)
+        Smr_stats.note_uaf c.st;
+        raise Rt.Neutralized
+
+  (* Validated read-phase reads of non-pointer state (keys, marks,
+     structural predicates): same staleness discipline as [read_ptr],
+     minus the target protection — nothing is dereferenced. *)
+
+  let read_data c ~src ~field =
+    Rt.poll_t c.tid;
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale _ ->
+        Smr_stats.note_uaf c.st;
+        raise Rt.Neutralized
+
+  let peek_ptr c ~src ~field =
+    Rt.poll_t c.tid;
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale _ ->
+        Smr_stats.note_uaf c.st;
+        raise Rt.Neutralized
 
   let read_raw c cell =
     Rt.poll_t c.tid;
@@ -232,6 +262,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     b.ctxs.(vc.tid) <- None
 
   let reap_peer c victim =
+    (* Reclaim the dead thread's magazines along with its bags. *)
+    P.flush_thread c.b.pool ~tid:victim;
     retract_published c.b victim;
     match c.b.ctxs.(victim) with
     | None -> ()
@@ -475,6 +507,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       retract_published c.b c.tid;
       L.with_stats_lock c.b.lc (fun () ->
           orphan_ctx c.b ~into:c.b.done_stats c)
@@ -494,7 +531,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
     else watchdog c
 
-  let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
+  let alloc ?cls c = P.alloc ~on_pressure:(fun () -> flush c) ?cls c.b.pool
 
   let note_retired c slot =
     P.note_retired c.b.pool slot;

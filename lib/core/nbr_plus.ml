@@ -44,6 +44,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let read_root = B.read_root
   let read_ptr = B.read_ptr
   let read_raw = B.read_raw
+  let read_data = B.read_data
+  let peek_ptr = B.peek_ptr
   let stats = B.stats
   let ctx_stats = B.ctx_stats
   let set_offload = B.set_offload
@@ -70,8 +72,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
     else B.watchdog c
 
-  let alloc (c : ctx) =
-    B.P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
+  let alloc ?cls (c : ctx) =
+    B.P.alloc ~on_pressure:(fun () -> on_pressure c) ?cls c.b.pool
 
   (* Algorithm 2, lines 5–26. *)
   let retire (c : ctx) slot =

@@ -42,6 +42,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let bounded_garbage = false
 
   let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     {
       pool;
       n = nthreads;
@@ -116,7 +117,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end;
     try_collect c
 
-  let alloc c = P.alloc ~on_pressure:(fun () -> on_pressure c) c.b.pool
+  let alloc ?cls c = P.alloc ~on_pressure:(fun () -> on_pressure c) ?cls c.b.pool
 
   let buffered c =
     Nbr_sync.Int_vec.length c.current
@@ -198,6 +199,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       (* Leave the counter even: a departed thread is forever quiescent
          and must never block a peer's grace period. *)
       if Rt.load c.b.qs.(c.tid) land 1 = 1 then
@@ -252,6 +258,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  (* Grace periods mean a record reachable inside an operation cannot be
+     freed, so [Stale] is unreachable for correct use; if it does show up
+     (a misuse the sanitizer's [stale_handle] rule convicts), consume the
+     memory as the unprotected read it is. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
 
   let ctx_stats (c : ctx) = c.st
 

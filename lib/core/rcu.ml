@@ -37,6 +37,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let bounded_garbage = false
 
   let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     {
       pool;
       n = nthreads;
@@ -129,6 +130,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       (* Withdraw the announcement: a departed reader must not pin the
          minimum epoch. *)
       Rt.store c.b.ann.(c.tid) idle;
@@ -157,7 +163,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       done;
       let freed =
         Limbo_bag.sweep c.bag ~upto:(Limbo_bag.abs_tail c.bag)
-          ~keep:(fun s -> c.b.retire_ep.(s) >= !min_ann)
+          ~keep:(fun s -> c.b.retire_ep.(P.uid c.b.pool s) >= !min_ann)
           ~free:(fun s -> P.free c.b.pool s)
       in
       Smr_stats.add_freed c.st freed;
@@ -169,12 +175,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
 
   let on_pressure = flush
-  let alloc c = P.alloc ~on_pressure:(fun () -> flush c) c.b.pool
+  let alloc ?cls c = P.alloc ~on_pressure:(fun () -> flush c) ?cls c.b.pool
 
   let retire c slot =
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1;
-    c.b.retire_ep.(slot) <- Rt.load c.b.epoch;
+    c.b.retire_ep.(P.uid c.b.pool slot) <- Rt.load c.b.epoch;
     Limbo_bag.push c.bag slot;
     if Limbo_bag.size c.bag >= c.b.cfg.Smr_config.bag_threshold then
       if not (maybe_offload c) then flush c;
@@ -203,6 +209,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  (* Grace periods mean a record reachable inside an operation cannot be
+     freed, so [Stale] is unreachable for correct use; if it does show up
+     (a misuse the sanitizer's [stale_handle] rule convicts), consume the
+     memory as the unprotected read it is. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
 
   let ctx_stats (c : ctx) = c.st
 

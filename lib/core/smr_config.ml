@@ -53,6 +53,15 @@ type t = {
           upper bound and already freed.  Exists so the schedule
           explorer (lib/check) can re-find that bug from a certificate
           as a regression. *)
+  unsafe_no_generation_check : bool;
+      (** Ablation A4 (never enable in real use): disable the pool's
+          generational-handle validation — validated reads never fail
+          with [Stale] and hand back whatever occupies the recycled
+          slot, exactly the pre-generational clamping behaviour.  The
+          stale-detection counters keep running, so the sanitizer can
+          still observe the use-after-free this re-opens; exists so the
+          schedule explorer can re-find a stale-handle UAF from a
+          stored certificate. *)
 }
 
 let default =
@@ -66,6 +75,7 @@ let default =
     wd_rounds = 2;
     unsafe_end_read = false;
     unsafe_ibr_no_validate = false;
+    unsafe_no_generation_check = false;
   }
 
 let with_threshold c n = { c with bag_threshold = n; lo_watermark = n / 2 }

@@ -211,10 +211,10 @@ module type S = sig
   val begin_op : ctx -> unit
   val end_op : ctx -> unit
 
-  val alloc : ctx -> int
-  (** Allocate a record (pool slot), applying scheme hooks (e.g. IBR birth
-      eras).  Legal in the preamble and in write phases; never in a read
-      phase. *)
+  val alloc : ?cls:int -> ctx -> int
+  (** Allocate a record from pool size-class [cls] (default 0), applying
+      scheme hooks (e.g. IBR birth eras).  Legal in the preamble and in
+      write phases; never in a read phase. *)
 
   val retire : ctx -> int -> unit
   (** Hand an {e unlinked} record to the scheme.  May trigger reclamation
@@ -268,6 +268,24 @@ module type S = sig
       precisely the paper's P5 limitation of HP with structures that
       traverse marked nodes, and the benchmarks never pair HP with such
       structures. *)
+
+  val read_data : ctx -> src:int -> field:int -> int
+  (** Read data field [field] of record [src] inside a read phase.  The
+      generation-validated counterpart of a plain [Pool.get_data]: the
+      scheme decides what a [Stale] result means for its protocol —
+      restartable schemes (NBR family; HP/HE after failed validation)
+      abandon the read phase, epoch-based schemes whose guarantees make
+      staleness impossible treat it as the benign poll-window read it
+      is, and foil schemes consume the recycled memory knowingly.
+      Structures use this for every key/mark read along an unvalidated
+      traversal. *)
+
+  val peek_ptr : ctx -> src:int -> field:int -> int
+  (** Read pointer field [field] of record [src] as a {e value}, without
+      following it: no protection is published for the target and no
+      poll point is crossed for it.  For structural predicates on the
+      current record ("is this node a leaf?") where the target is never
+      dereferenced.  Validates [src] like {!read_data}. *)
 
   (** {1 Introspection} *)
 

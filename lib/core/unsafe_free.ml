@@ -27,7 +27,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let scheme_name = "unsafe-free"
   let bounded_garbage = true (* trivially: nothing is ever buffered *)
 
-  let create pool ~nthreads _cfg =
+  let create pool ~nthreads cfg =
+    P.set_generation_check pool (not cfg.Smr_config.unsafe_no_generation_check);
     {
       pool;
       lc = L.create ~nthreads;
@@ -63,19 +64,29 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let deregister c =
     if L.depart c.b.lc c.tid then begin
+      (* Hand the departing thread's magazine caches back to the depot:
+         an abandoned magazine would strand up to a magazine's worth of
+         free slots per size class.  Safe here: we won the depart CAS, so
+         no watchdog owns this tid's state. *)
+      P.flush_thread c.b.pool ~tid:c.tid;
       L.with_stats_lock c.b.lc (fun () -> Smr_stats.add c.b.done_stats c.st);
       c.b.ctxs.(c.tid) <- None
     end
 
   (* Nothing is ever buffered; [max_garbage] stays 0. *)
   let on_pressure _ = ()
-  let alloc c = P.alloc c.b.pool
+  let alloc ?cls c = P.alloc ?cls c.b.pool
 
   let retire c slot =
     P.note_retired c.b.pool slot;
     Smr_stats.add_retires c.st 1;
-    Smr_stats.add_freed c.st 1;
-    P.free c.b.pool slot
+    (* Racing retires of one record are among the bugs this foil exists
+       to exhibit: the second free arrives through a now-stale handle and
+       the generation check rejects it — record the detection and keep
+       the foil running so the other detectors get their chance. *)
+    match P.free c.b.pool slot with
+    | () -> Smr_stats.add_freed c.st 1
+    | exception Invalid_argument _ -> Smr_stats.note_uaf c.st
 
   (* No protection and no restarts: every UAF read is committed — the
      behaviour the detectors (and the sanitizer's negative tests) exist
@@ -101,6 +112,22 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     v
 
   let read_raw _c cell = Rt.load cell
+
+  (* A [Stale] result is the whole point of this foil: consume the
+     recycled memory and let the detectors count the committed UAF. *)
+  let read_data c ~src ~field =
+    match P.read_data c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
+
+  let peek_ptr c ~src ~field =
+    match P.read_ptr c.b.pool src field with
+    | P.Value v -> v
+    | P.Stale v ->
+        if P.record_read c.b.pool src then Smr_stats.note_uaf c.st;
+        v
 
   let ctx_stats (c : ctx) = c.st
 

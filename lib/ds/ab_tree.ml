@@ -60,10 +60,19 @@ struct
     P.set_ptr pool anchor 0 empty;
     { pool; anchor }
 
+  (* Write-phase field reads: the node is locked / reserved, so the handle
+     cannot go stale under a sound scheme. *)
   let size_of t s = min (max (P.get_data t.pool s f_size) 0) b
   let marked t s = P.get_data t.pool s f_marked = 1
   let key_at t s i = P.get_data t.pool s i
   let is_leaf t s = P.get_ptr t.pool s 0 = P.nil
+
+  (* Read-phase variants: generation-validated, so a stale handle fails
+     through the scheme's own policy instead of routing the descent (or
+     deciding membership) by a recycled occupant's fields. *)
+  let rsize_of ctx s = min (max (Smr.read_data ctx ~src:s ~field:f_size) 0) b
+  let rkey_at ctx s i = Smr.read_data ctx ~src:s ~field:i
+  let ris_leaf ctx s = Smr.peek_ptr ctx ~src:s ~field:0 = P.nil
 
   (* Child index for key [k] at internal node [s]: the largest [i] with
      [i = 0 || key i <= k]. *)
@@ -75,12 +84,28 @@ struct
     done;
     !i
 
+  let rroute ctx s k =
+    let m = rsize_of ctx s in
+    let i = ref 0 in
+    for j = 1 to m - 1 do
+      if rkey_at ctx s j <= k then i := j
+    done;
+    !i
+
   (* Position of [k] in leaf [s], or -1. *)
   let leaf_find t s k =
     let m = size_of t s in
     let pos = ref (-1) in
     for j = 0 to m - 1 do
       if key_at t s j = k then pos := j
+    done;
+    !pos
+
+  let rleaf_find ctx s k =
+    let m = rsize_of ctx s in
+    let pos = ref (-1) in
+    for j = 0 to m - 1 do
+      if rkey_at ctx s j = k then pos := j
     done;
     !pos
 
@@ -125,11 +150,11 @@ struct
     let gp = ref t.anchor and gdir = ref 0 in
     let p = ref t.anchor and pdir = ref 0 in
     let n = ref (Smr.read_ptr ctx ~src:t.anchor ~field:0) in
-    while not (is_leaf t !n) do
+    while not (ris_leaf ctx !n) do
       gp := !p;
       gdir := !pdir;
       p := !n;
-      pdir := route t !n k;
+      pdir := rroute ctx !n k;
       n := Smr.read_ptr ctx ~src:!n ~field:!pdir
     done;
     (!gp, !gdir, !p, !pdir, !n)
@@ -139,7 +164,7 @@ struct
     let r =
       Smr.read_only ctx (fun () ->
           let _, _, _, _, leaf = descend t ctx k in
-          leaf_find t leaf k >= 0)
+          rleaf_find ctx leaf k >= 0)
     in
     Smr.end_op ctx;
     r
@@ -160,20 +185,23 @@ struct
     let p = ref t.anchor and pdir = ref 0 in
     let n = ref (Smr.read_ptr ctx ~src:t.anchor ~field:0) in
     let v = ref Clean in
-    while !v = Clean && not (is_leaf t !n) do
-      let m = size_of t !n in
-      if m = 2 && !p <> t.anchor && size_of t !p < b then
+    while !v = Clean && not (ris_leaf ctx !n) do
+      let m = rsize_of ctx !n in
+      if m = 2 && !p <> t.anchor && rsize_of ctx !p < b then
         v := Absorb (!gp, !gdir, !p, !pdir, !n)
       else begin
         gp := !p;
         gdir := !pdir;
         p := !n;
-        pdir := route t !n k;
+        pdir := rroute ctx !n k;
         n := Smr.read_ptr ctx ~src:!n ~field:!pdir
       end
     done;
-    (if !v = Clean && is_leaf t !n && size_of t !n = 0 && !p <> t.anchor then
-       v := Prune (!gp, !gdir, !p, !pdir, !n));
+    (if
+       !v = Clean && ris_leaf ctx !n
+       && rsize_of ctx !n = 0
+       && !p <> t.anchor
+     then v := Prune (!gp, !gdir, !p, !pdir, !n));
     !v
 
   (* Lock [cells] in order; return false (after unlocking) if [valid]

@@ -55,10 +55,18 @@ struct
     P.set_ptr pool root 1 r;
     { pool; root }
 
+  (* Write-phase field reads: the node is locked / reserved, so the
+     handle cannot go stale under a sound scheme. *)
   let key t s = P.get_data t.pool s f_key
   let marked t s = P.get_data t.pool s f_marked = 1
-  let dir t s k = if k < key t s then 0 else 1
   let is_leaf t s = P.get_ptr t.pool s 0 = P.nil
+
+  (* Read-phase variants: generation-validated, so a stale handle fails
+     through the scheme's own policy instead of routing the descent by a
+     recycled occupant's key. *)
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
+  let rdir ctx s k = if k < rkey ctx s then 0 else 1
+  let ris_leaf ctx s = Smr.peek_ptr ctx ~src:s ~field:0 = P.nil
 
   (* Φread: descend to the leaf for [k], tracking grandparent and parent.
      Returns (gparent, gdir, parent, pdir, leaf). The root is its own
@@ -66,13 +74,13 @@ struct
      never deleted, so the slot is never dereferenced in that case. *)
   let search t ctx k =
     let gp = ref t.root and gdir = ref 0 in
-    let p = ref t.root and pdir = ref (dir t t.root k) in
+    let p = ref t.root and pdir = ref (rdir ctx t.root k) in
     let l = ref (Smr.read_ptr ctx ~src:t.root ~field:!pdir) in
-    while not (is_leaf t !l) do
+    while not (ris_leaf ctx !l) do
       gp := !p;
       gdir := !pdir;
       p := !l;
-      pdir := dir t !l k;
+      pdir := rdir ctx !l k;
       l := Smr.read_ptr ctx ~src:!l ~field:!pdir
     done;
     (!gp, !gdir, !p, !pdir, !l)
@@ -82,7 +90,7 @@ struct
     let r =
       Smr.read_only ctx (fun () ->
           let _, _, _, _, l = search t ctx k in
-          key t l = k)
+          rkey ctx l = k)
     in
     Smr.end_op ctx;
     r

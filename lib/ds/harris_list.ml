@@ -50,8 +50,17 @@ struct
     P.set_ptr pool tail f_next (enc P.nil 0);
     { pool; head; tail }
 
+  (* Write-phase key read: the window is reserved, so the handle cannot
+     go stale under a sound scheme. *)
   let key t s = P.get_data t.pool s f_key
   let next_cell t s = P.ptr_cell t.pool s f_next
+
+  (* Read-phase key read: generation-validated.  The tagged links
+     themselves must stay raw ([read_raw] on the cell, instrumented via
+     [record_read]) — but a key compare through a stale handle would
+     route the traversal by the recycled occupant's key, so it goes
+     through the scheme's validated path. *)
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
 
   (* What a read phase discovers: either the target window, or a marked
      node that must be unlinked first (one auxiliary update per phase). *)
@@ -73,7 +82,7 @@ struct
         Nbr_core.Smr_stats.note_uaf (Smr.ctx_stats ctx);
       let ce = Smr.read_raw ctx (next_cell t !curr) in
       if is_marked ce then result := Some (Marked (!pred, !curr, dec_slot ce))
-      else if key t !curr >= k then result := Some (Window (!pred, !curr))
+      else if rkey ctx !curr >= k then result := Some (Window (!pred, !curr))
       else begin
         pred := !curr;
         curr := dec_slot ce
@@ -88,12 +97,12 @@ struct
     let r =
       Smr.read_only ctx (fun () ->
           let curr = ref (dec_slot (Smr.read_raw ctx (next_cell t t.head))) in
-          while key t !curr < k do
+          while rkey ctx !curr < k do
             if P.record_read t.pool !curr then
               Nbr_core.Smr_stats.note_uaf (Smr.ctx_stats ctx);
             curr := dec_slot (Smr.read_raw ctx (next_cell t !curr))
           done;
-          key t !curr = k
+          rkey ctx !curr = k
           && not (is_marked (Smr.read_raw ctx (next_cell t !curr))))
     in
     Smr.end_op ctx;

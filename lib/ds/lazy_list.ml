@@ -44,14 +44,23 @@ struct
     P.set_ptr pool tail f_next P.nil;
     { pool; head; tail }
 
+  (* Write-phase field reads: the window is locked and reserved /
+     protected, so the handle cannot go stale under a sound scheme. *)
   let key t s = P.get_data t.pool s f_key
   let marked t s = P.get_data t.pool s f_marked = 1
+
+  (* Read-phase variants: generation-validated, so a stale handle fails
+     through the scheme's own policy (NBR restarts via [Neutralized],
+     epoch schemes consume-and-count) instead of yielding the recycled
+     occupant's fields as if they were [s]'s. *)
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
+  let rmarked ctx s = Smr.read_data ctx ~src:s ~field:f_marked = 1
 
   (* Φread: locate the window ⟨pred, curr⟩ with key pred < k ≤ key curr. *)
   let search t ctx k =
     let pred = ref t.head in
     let curr = ref (Smr.read_ptr ctx ~src:t.head ~field:f_next) in
-    while key t !curr < k do
+    while rkey ctx !curr < k do
       pred := !curr;
       curr := Smr.read_ptr ctx ~src:!curr ~field:f_next
     done;
@@ -62,7 +71,7 @@ struct
     let r =
       Smr.read_only ctx (fun () ->
           let _, curr = search t ctx k in
-          key t curr = k && not (marked t curr))
+          rkey ctx curr = k && not (rmarked ctx curr))
     in
     Smr.end_op ctx;
     r

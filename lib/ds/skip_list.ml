@@ -53,8 +53,17 @@ struct
     done;
     { pool; head; tail }
 
+  (* Write-phase field reads: the record is locked / reserved, so the
+     handle cannot go stale under a sound scheme. *)
   let key t s = P.get_data t.pool s f_key
   let marked t s = P.get_data t.pool s f_marked = 1
+
+  (* Read-phase variants: generation-validated, so a stale handle fails
+     through the scheme's own policy instead of routing the descent by a
+     recycled occupant's key. *)
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
+  let rmarked ctx s = Smr.read_data ctx ~src:s ~field:f_marked = 1
+  let rtop ctx s = Smr.read_data ctx ~src:s ~field:f_top
 
   (* Deterministic geometric level: P(level > i) = 2^-i. *)
   let level_of k =
@@ -73,7 +82,7 @@ struct
     let pred = ref t.head in
     for lvl = max_level - 1 downto 0 do
       let curr = ref (Smr.read_ptr ctx ~src:!pred ~field:lvl) in
-      while key t !curr < k do
+      while rkey ctx !curr < k do
         pred := !curr;
         curr := Smr.read_ptr ctx ~src:!pred ~field:lvl
       done;
@@ -88,7 +97,7 @@ struct
     let r =
       Smr.read_only ctx (fun () ->
           find t ctx k preds succs;
-          key t succs.(0) = k && not (marked t succs.(0)))
+          rkey ctx succs.(0) = k && not (rmarked ctx succs.(0)))
     in
     Smr.end_op ctx;
     r
@@ -187,8 +196,8 @@ struct
             find t ctx k preds succs;
             let victim = succs.(0) in
             let tl =
-              if key t victim = k then
-                min max_level (max 1 (P.get_data t.pool victim f_top))
+              if rkey ctx victim = k then
+                min max_level (max 1 (rtop ctx victim))
               else 1
             in
             ((victim, tl), reservations preds succs victim tl))

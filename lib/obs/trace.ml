@@ -44,6 +44,7 @@ type kind =
   | Degrade
   | Restore
   | Handshake_timeout
+  | Stale_handle
 
 let kind_code = function
   | Signal_sent -> 0
@@ -76,6 +77,7 @@ let kind_code = function
   | Degrade -> 27
   | Restore -> 28
   | Handshake_timeout -> 29
+  | Stale_handle -> 30
 
 let kind_of_code = function
   | 0 -> Signal_sent
@@ -107,7 +109,8 @@ let kind_of_code = function
   | 26 -> Async_sweep
   | 27 -> Degrade
   | 28 -> Restore
-  | _ -> Handshake_timeout
+  | 29 -> Handshake_timeout
+  | _ -> Stale_handle
 
 let kind_name = function
   | Signal_sent -> "signal_sent"
@@ -140,6 +143,7 @@ let kind_name = function
   | Degrade -> "degrade"
   | Restore -> "restore"
   | Handshake_timeout -> "handshake_timeout"
+  | Stale_handle -> "stale_handle"
 
 type event = { e_ns : int; e_tid : int; e_seq : int; e_kind : kind; e_a : int; e_b : int }
 

@@ -79,6 +79,10 @@ type kind =
   | Handshake_timeout
       (** a bounded-wait broadcast handshake gave up on a peer after all
           escalation rounds; a = peer tid, b = rounds waited *)
+  | Stale_handle
+      (** fine: a generation-validated access went through a stale
+          handle (its record was freed, possibly recycled);
+          a = handle, b = the slot's current generation *)
 
 val kind_name : kind -> string
 
@@ -100,8 +104,8 @@ val on : bool ref
 
 val fine : bool ref
 (** Second-tier gate for the protocol-event firehose ({!Alloc_slot},
-    {!Free_slot}, {!Retire}, {!Access}, {!Begin_op}, {!End_op},
-    {!Checkpoint_set}): true iff tracing is enabled {e and} verbose mode
+    {!Free_slot}, {!Retire}, {!Access}, {!Stale_handle}, {!Begin_op},
+    {!End_op}, {!Checkpoint_set}): true iff tracing is enabled {e and} verbose mode
     is on.  Emission sites for fine-grained events guard with [!fine]
     instead of [!on], so coarse timeline consumers (Perfetto export, CI
     trace assertions) never have their rings flooded by per-access

@@ -1,34 +1,50 @@
-(** Simulated manual memory: a pool of fixed-shape records.
+(** Simulated manual memory: a pool of fixed-shape records behind
+    generational handles.
 
     OCaml is garbage-collected, so "freeing" a record cannot unmap it.  To
     reproduce an SMR paper we need memory that is explicitly allocated and
     freed, where a slot freed too early gets recycled under a reader's feet
     — i.e. real use-after-free dynamics, minus the segfault.  The pool
-    provides exactly that:
+    provides exactly that, structured the way production slab allocators
+    are:
 
-    - Records are integer slots into pre-allocated field arrays (an index is
-      the "pointer"; following a stale index is always memory-safe, exactly
-      like reading jemalloc-recycled memory that was never unmapped — the
-      situation the paper's own safety argument leans on).
-    - [alloc] pops a per-thread free list (falling back to a bump allocator
-      over fresh slots); [free] pushes back and bumps the slot's allocation
-      sequence number, so ABA and use-after-free are {e observable}.
-    - Lifecycle instrumentation mirrors the paper's five record states
-      (§3): we track Free / Live / Retired, count reads of freed slots, and
-      maintain the in-use high-water mark that experiment E2 (figures
-      4c/4d) reports as "peak memory usage".
+    - Records live in {e size-classes}: each class has its own slot width
+      (data/ptr field counts) and its own pre-allocated field arrays, so a
+      process hosting several structures does not pay the widest layout
+      everywhere.
+    - A record is named by a {e generational handle}: one immutable int
+      packing [(generation, class, index)] (see {!Handle}).  [free] bumps
+      the slot's generation, so every handle minted before the free is
+      {e detectably stale}: validated accessors return {!Stale} (and emit a
+      [Stale_handle] trace event) instead of silently reading recycled
+      memory.  This is the version-counter substrate VBR
+      (Sheffi/Herlihy/Petrank, arXiv 2107.13843) builds reclamation out
+      of.
+    - Allocation is two-level, per Bonwick's magazine design: each thread
+      caches up to a magazine of ready handles per class (padded,
+      single-owner — the fast path touches no shared state), backed by a
+      lock-free global depot (Treiber stacks of full and empty magazines).
+      Steady-state [alloc]/[free] is fence-free; magazines move to and
+      from the depot in batches.
 
-    Instrumentation (states, sequence numbers, counters) is deliberately
-    kept in plain arrays and stdlib [Atomic]s rather than [Rt.aint]s: it
-    must not perturb the simulated cost accounting, because a real
-    implementation has no such checks.  Races on the plain arrays are
-    benign (they only feed detectors and tests).
+    Lifecycle instrumentation mirrors the paper's five record states (§3):
+    we track Free / Live / Retired, count reads of freed or stale slots,
+    and maintain per-class and total in-use high-water marks that
+    experiment E2 (figures 4c/4d) reports as "peak memory usage".
+    Instrumentation (states, generations, counters) is deliberately kept
+    in plain arrays, per-thread padded records and stdlib [Atomic]s rather
+    than [Rt.aint]s: it must not perturb the simulated cost accounting.
+    Occupancy deltas are accumulated per thread and published to the
+    shared per-class counters every {!occ_batch} operations; {!stats}
+    folds the residuals back in, so quiescent readings are exact and
+    concurrent readings are within [occ_batch * nthreads] of exact.
 
     Exhaustion is {e graceful}: [alloc] first invokes the caller-supplied
-    reclamation flush ([?on_pressure]), announces itself as starving (which
-    reroutes concurrent frees to a shared overflow stack any thread can
-    pop), and retries with exponential backoff before giving up with an
-    {!Exhausted} diagnosis.  See DESIGN.md "Fault model". *)
+    reclamation flush ([?on_pressure]), announces itself as starving
+    (which reroutes concurrent frees to a shared per-class overflow stack
+    any thread can pop), and retries with exponential backoff before
+    giving up with an {!Exhausted} diagnosis.  See DESIGN.md
+    "Fault model". *)
 
 type exhausted_info = {
   x_capacity : int;
@@ -49,6 +65,40 @@ let pp_exhausted ppf x =
      (gave up after %d reclamation-flush retries)"
     x.x_capacity x.x_in_use x.x_garbage x.x_allocs x.x_frees x.x_attempts
 
+(** Handle packing: [(generation lsl 28) lor (class lsl 24) lor index].
+
+    24 index bits (16M slots per class), 4 class bits (16 classes), and
+    the generation above them.  The whole handle must survive the Harris
+    list's mark-tagging ([h lsl 1]) inside OCaml's 63-bit int and stay
+    non-negative, so generations are capped at 33 bits (handles < 2^61);
+    a slot's generation wraps after 2^33 frees, at which point a handle
+    held across all of them would alias — the same astronomically-remote
+    wraparound every epoch/era scheme lives with.  [nil] (-1) is not a
+    packable handle and never collides with one. *)
+module Handle = struct
+  let index_bits = 24
+  let class_bits = 4
+  let gen_shift = index_bits + class_bits
+  let index_mask = (1 lsl index_bits) - 1
+  let class_mask = (1 lsl class_bits) - 1
+  let gen_mask = (1 lsl 33) - 1
+  let max_classes = 1 lsl class_bits
+  let max_capacity = 1 lsl index_bits
+
+  let pack ~cls ~index ~gen =
+    (gen lsl gen_shift) lor (cls lsl index_bits) lor index
+
+  let index h = h land index_mask
+  let cls h = (h lsr index_bits) land class_mask
+  let gen h = h lsr gen_shift
+end
+
+type class_spec = {
+  cc_capacity : int;
+  cc_data_fields : int;
+  cc_ptr_fields : int;
+}
+
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   type aint = Rt.aint
 
@@ -58,111 +108,284 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   type state = Free | Live | Retired
 
+  (** Result of a generation-validated read.  [Stale] carries what the
+      memory at the (recycled) address holds {e now} — never the data the
+      handle's record held: foil schemes that knowingly race reclamation
+      consume it, sound schemes treat [Stale] as a restart/failure
+      signal. *)
+  type read_result = Value of int | Stale of int
+
+  (** Handles per magazine.  A full magazine is the unit of transfer
+      between a thread's cache and the global depot. *)
+  let mag_size = 32
+
+  (** Fresh slots grabbed from the bump allocator per refill: half a
+      magazine, so two threads racing the end of a class split it. *)
+  let fresh_batch = mag_size / 2
+
+  (** Per-thread occupancy deltas are published to the shared per-class
+      counter every this many net operations (see module doc). *)
+  let occ_batch = 8
+
+  type mag = { slots : int array; mutable n : int }
+
+  let new_mag () =
+    Nbr_sync.Padded.copy_as_padded { slots = Array.make mag_size 0; n = 0 }
+
+  (* Single-writer per-(class, thread) hot counters; padded so one
+     thread's allocation rate never invalidates another's line. *)
+  type tstat = {
+    mutable t_allocs : int;
+    mutable t_frees : int;
+    mutable t_occ_delta : int;  (** unpublished +allocs −frees *)
+    mutable t_frees_run : int;  (** consecutive frees since last alloc *)
+  }
+
+  type cls = {
+    c_id : int;
+    c_base : int;  (** flat-uid prefix: sum of preceding class capacities *)
+    c_capacity : int;
+    c_data_fields : int;
+    c_ptr_fields : int;
+    c_data : aint array array;  (** [c_data.(f).(index)] *)
+    c_ptr : aint array array;
+    c_lock : aint array;
+    c_st : int array;  (** 0 = Free, 1 = Live, 2 = Retired *)
+    c_gen : int array;  (** current generation; bumped on each free *)
+    c_next_fresh : int Atomic.t;  (** bump allocator over never-used slots *)
+    c_mags : mag Atomic.t array;
+        (** per-thread magazine, detachable: {!flush_thread} (graceful
+            leave, or a watchdog reaping a dead peer) exchanges the
+            magazine out and flushes it to the depot, so a departed
+            thread's cached handles are adopted, not leaked.  The owner
+            re-reads the cell at every operation; the race window against
+            a falsely-declared-dead owner waking {e mid-operation} is the
+            same one [Lifecycle]'s reaping already documents and bounds. *)
+    c_depot_full : mag Nbr_sync.Treiber.t;
+        (** magazines with handles (full in steady state; partial ones
+            arrive from {!flush_thread} and starvation flushes) *)
+    c_depot_empty : mag Nbr_sync.Treiber.t;  (** recycled empty shells *)
+    c_overflow : int Nbr_sync.Treiber.t;
+        (** starvation hand-off: single handles, pushed by frees while
+            any allocator is starving, popped by the pressure loop *)
+    c_tstats : tstat array;
+    c_in_use : int Atomic.t;  (** published Live + Retired slots *)
+    c_peak_in_use : int Atomic.t;
+    c_garbage : int Atomic.t;  (** Retired (unreclaimed); exact *)
+    c_peak_garbage : int Atomic.t;
+  }
+
   type t = {
-    capacity : int;
-    data_fields : int;
-    ptr_fields : int;
-    data : aint array array;  (** [data.(f).(slot)] *)
-    ptr : aint array array;  (** [ptr.(f).(slot)] *)
-    lock : aint array;  (** per-record lock word *)
-    (* --- free-space management --- *)
-    free_lists : Nbr_sync.Int_vec.t array;  (** per-thread *)
-    next_fresh : int Atomic.t;  (** bump allocator over never-used slots *)
-    (* --- pool-pressure degradation --- *)
+    classes : cls array;
+    total_capacity : int;
+    nthreads : int;
+    mutable gen_check : bool;
+        (** ablation A4 ([Smr_config.unsafe_no_generation_check]) sets
+            this false: validated reads stop failing with [Stale] and
+            hand back recycled memory, pre-rewrite style.  Detection
+            counters keep running either way. *)
     starving : int Atomic.t;
         (** threads currently inside the exhaustion retry loop.  While
-            non-zero, frees are rerouted to [overflow] so that capacity
-            released by {e any} thread can satisfy the starving ones
-            (per-thread free lists are single-owner and invisible across
-            threads). *)
-    overflow : int Nbr_sync.Treiber.t;
-        (** shared free stack, lock-free.  This path only runs while some
-            thread is starving — exactly when a lock would be worst: a
-            descheduled lock holder would block every thread trying to
-            donate or claim capacity.  Treiber push/pop keep the hand-off
-            non-blocking; the cost of the cross-thread transfer is still
-            modelled explicitly with [Rt.work c_free_slow]. *)
+            non-zero, frees are rerouted to the class overflow stack so
+            that capacity released by {e any} thread can satisfy the
+            starving ones (magazines are single-owner and invisible
+            across threads). *)
     (* --- occupancy watermarks (background-reclamation trigger) --- *)
     mutable wm_lo : int;
     mutable wm_hi : int;  (** [max_int] = watermarks disabled *)
     mutable wm_hook : (unit -> unit) option;
-        (** called (outside any lock) on each high-watermark crossing and
-            on pressure-path entry: a cheap nudge for a background
-            reclaimer, never a reclamation pass itself *)
     wm_state : int Atomic.t;  (** 1 while occupancy is above the high mark *)
-    wm_trips : int Atomic.t;  (** high-watermark crossings *)
-    (* --- instrumentation (uncosted) --- *)
-    st : int array;  (** 0 = Free, 1 = Live, 2 = Retired *)
-    seqno : int array;  (** bumped on each free: ABA/UAF witness *)
-    in_use : int Atomic.t;  (** Live + Retired (unreclaimed) slots *)
-    peak_in_use : int Atomic.t;
-    garbage : int Atomic.t;  (** Retired (unreclaimed) slots *)
-    peak_garbage : int Atomic.t;
-        (** high-water mark of [garbage]: the bounded-garbage invariant of
-            the E2 suite is a cap on this, independent of live-set size *)
-    allocs : int Atomic.t;
-    frees : int Atomic.t;
-    pressure_events : int Atomic.t;  (** allocs that entered the retry loop *)
-    alloc_retries : int Atomic.t;  (** total retry iterations across them *)
-    uaf_reads : int Atomic.t;  (** guarded reads that hit a Free slot *)
+    wm_trips : int Atomic.t;
+    (* --- instrumentation (uncosted, shared slow-path counters) --- *)
+    peak_total : int Atomic.t;  (** high-water mark of total occupancy *)
+    pressure_events : int Atomic.t;
+    alloc_retries : int Atomic.t;
+    uaf_reads : int Atomic.t;
+        (** generation-validation misses: guarded accesses through a
+            stale handle (freed, or freed-and-recycled) *)
+    depot_exchanges : int Atomic.t;  (** magazine pushes/pops at the depot *)
     c_alloc : int;  (** simulated cycles per malloc/free fast path *)
     slab_threshold : int;
-        (** free-list length beyond which frees take the slow path.
-            Models the allocator behaviour the paper holds responsible for
-            EBR's throughput collapse (§7): when a delayed thread finally
-            releases epochs, every thread frees its swollen limbo bags in
-            a burst, overflowing per-thread arenas and hitting the
-            allocator's slow paths.  Bounded schemes free in small steady
-            batches and stay on the fast path. *)
-    c_free_slow : int;  (** extra cycles per slow-path free *)
+        (** consecutive frees beyond which further frees take the slow
+            path.  Models the allocator behaviour the paper holds
+            responsible for EBR's throughput collapse (§7): when a
+            delayed thread finally releases epochs, every thread frees
+            its swollen limbo bags in a burst, overflowing per-thread
+            arenas and hitting the allocator's slow paths.  Bounded
+            schemes free in small steady batches and stay fast. *)
+    c_free_slow : int;  (** extra cycles per slow-path free / depot trip *)
   }
 
-  let create ?(c_alloc = 30) ?(slab_threshold = 2048) ?(c_free_slow = 150)
-      ~capacity ~data_fields ~ptr_fields ~nthreads () =
-    if capacity <= 0 then invalid_arg "Pool.create: capacity";
+  let mk_class ~nthreads ~base ~id spec =
+    if spec.cc_capacity <= 0 || spec.cc_capacity > Handle.max_capacity then
+      invalid_arg "Pool.create: class capacity";
+    let cap = spec.cc_capacity in
     {
-      capacity;
-      data_fields;
-      ptr_fields;
-      data =
-        Array.init data_fields (fun _ ->
-            Array.init capacity (fun _ -> Rt.make 0));
-      ptr =
-        Array.init ptr_fields (fun _ ->
-            Array.init capacity (fun _ -> Rt.make nil));
-      lock = Array.init capacity (fun _ -> Rt.make 0);
-      free_lists =
-        Array.init nthreads (fun _ -> Nbr_sync.Int_vec.create ~capacity:64 ());
-      next_fresh = Atomic.make 0;
+      c_id = id;
+      c_base = base;
+      c_capacity = cap;
+      c_data_fields = spec.cc_data_fields;
+      c_ptr_fields = spec.cc_ptr_fields;
+      c_data =
+        Array.init spec.cc_data_fields (fun _ ->
+            Array.init cap (fun _ -> Rt.make 0));
+      c_ptr =
+        Array.init spec.cc_ptr_fields (fun _ ->
+            Array.init cap (fun _ -> Rt.make nil));
+      c_lock = Array.init cap (fun _ -> Rt.make 0);
+      c_st = Array.make cap 0;
+      c_gen = Array.make cap 0;
+      c_next_fresh = Atomic.make 0;
+      c_mags = Array.init nthreads (fun _ -> Atomic.make (new_mag ()));
+      c_depot_full = Nbr_sync.Treiber.create ();
+      c_depot_empty = Nbr_sync.Treiber.create ();
+      c_overflow = Nbr_sync.Treiber.create ();
+      c_tstats =
+        Array.init nthreads (fun _ ->
+            Nbr_sync.Padded.copy_as_padded
+              { t_allocs = 0; t_frees = 0; t_occ_delta = 0; t_frees_run = 0 });
+      c_in_use = Nbr_sync.Padded.make_atomic 0;
+      c_peak_in_use = Nbr_sync.Padded.make_atomic 0;
+      c_garbage = Nbr_sync.Padded.make_atomic 0;
+      c_peak_garbage = Nbr_sync.Padded.make_atomic 0;
+    }
+
+  let create_classed ?(c_alloc = 30) ?(slab_threshold = 2048)
+      ?(c_free_slow = 150) ~classes ~nthreads () =
+    if Array.length classes = 0 || Array.length classes > Handle.max_classes
+    then invalid_arg "Pool.create_classed: need 1..16 classes";
+    let base = ref 0 in
+    let cls =
+      Array.mapi
+        (fun id spec ->
+          let c = mk_class ~nthreads ~base:!base ~id spec in
+          base := !base + spec.cc_capacity;
+          c)
+        classes
+    in
+    {
+      classes = cls;
+      total_capacity = !base;
+      nthreads;
+      gen_check = true;
       starving = Atomic.make 0;
-      overflow = Nbr_sync.Treiber.create ();
       wm_lo = 0;
       wm_hi = max_int;
       wm_hook = None;
       wm_state = Atomic.make 0;
       wm_trips = Atomic.make 0;
-      st = Array.make capacity 0;
-      seqno = Array.make capacity 0;
-      in_use = Atomic.make 0;
-      peak_in_use = Atomic.make 0;
-      garbage = Atomic.make 0;
-      peak_garbage = Atomic.make 0;
-      allocs = Atomic.make 0;
-      frees = Atomic.make 0;
+      peak_total = Atomic.make 0;
       pressure_events = Atomic.make 0;
       alloc_retries = Atomic.make 0;
       uaf_reads = Atomic.make 0;
+      depot_exchanges = Atomic.make 0;
       c_alloc;
       slab_threshold;
       c_free_slow;
     }
 
-  let capacity t = t.capacity
+  let create ?c_alloc ?slab_threshold ?c_free_slow ~capacity ~data_fields
+      ~ptr_fields ~nthreads () =
+    if capacity <= 0 then invalid_arg "Pool.create: capacity";
+    create_classed ?c_alloc ?slab_threshold ?c_free_slow
+      ~classes:
+        [|
+          {
+            cc_capacity = capacity;
+            cc_data_fields = data_fields;
+            cc_ptr_fields = ptr_fields;
+          };
+        |]
+      ~nthreads ()
+
+  let capacity t = t.total_capacity
+  let nclasses t = Array.length t.classes
+  let class_capacity t i = t.classes.(i).c_capacity
+  let set_generation_check t b = t.gen_check <- b
+
+  (* ---------------- handle decoding ---------------- *)
+
+  (* [addr] maps {e any} int onto a real (class, index) address: a handle
+     that does not name one — [nil], a truncated mark-tag word, garbage
+     read from recycled memory — collapses onto class 0 / index 0.  This
+     is the never-unmapped-arena semantics of DESIGN.md §3: dereferencing
+     a dangling address reads {e some} arena memory and returns garbage,
+     it never faults.  Only the peek tier (cell accessors, [Stale]
+     payloads) goes through the collapse; validated accessors reject such
+     handles as [Stale] first, which is the whole point of the
+     generational rewrite. *)
+  let addr t h =
+    let c =
+      let ci = Handle.cls h in
+      if h < 0 || ci >= Array.length t.classes then t.classes.(0)
+      else t.classes.(ci)
+    in
+    let i = Handle.index h in
+    if i >= c.c_capacity then (c, 0) else (c, i)
+
+  (** A handle is valid iff it names a class/index that exists and its
+      packed generation matches the slot's current one.  Every [free]
+      bumps the generation, so validity implies the record this handle
+      was minted for has not been freed since. *)
+  let valid t h =
+    h >= 0
+    && Handle.cls h < Array.length t.classes
+    &&
+    let c = t.classes.(Handle.cls h) in
+    let i = Handle.index h in
+    i < c.c_capacity && c.c_gen.(i) = Handle.gen h
+
+  (** Stable flat index in [0, capacity): per-record metadata arrays
+      (IBR/HE birth eras, RCU retire epochs) index by this, so they stay
+      dense across size-classes and survive generation bumps. *)
+  let uid t h =
+    let c, i = addr t h in
+    c.c_base + i
+
+  let note_stale t h =
+    Atomic.incr t.uaf_reads;
+    if !Nbr_obs.Trace.fine then begin
+      let c, i = addr t h in
+      Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+        Nbr_obs.Trace.Stale_handle h c.c_gen.(i)
+    end
+
+  (* ---------------- occupancy accounting ---------------- *)
+
+  (* Monotone max via CAS loop (the PR 2 lost-update fix, now applied per
+     class and to the total): two racing threads may both read a stale
+     peak, and a plain store would let the smaller writer land last,
+     permanently under-reporting the high-water mark E2 reads. *)
+  let rec note_peak cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then note_peak cell v
+
+  (** Published total occupancy across classes (within
+      [occ_batch * nthreads] of exact while threads are running). *)
+  let occupancy t =
+    Array.fold_left (fun acc c -> acc + Atomic.get c.c_in_use) 0 t.classes
+
+  let exact_class_in_use c =
+    Array.fold_left
+      (fun acc (ts : tstat) -> acc + ts.t_occ_delta)
+      (Atomic.get c.c_in_use) c.c_tstats
+
+  let exact_in_use t =
+    Array.fold_left (fun acc c -> acc + exact_class_in_use c) 0 t.classes
+
+  let garbage_total t =
+    Array.fold_left (fun acc c -> acc + Atomic.get c.c_garbage) 0 t.classes
+
+  let sum_tstats t f =
+    Array.fold_left
+      (fun acc c ->
+        Array.fold_left (fun acc ts -> acc + f ts) acc c.c_tstats)
+      0 t.classes
 
   (* ---------------- occupancy watermarks ---------------- *)
 
   let set_watermarks t ~lo ~hi ~on_high =
-    if lo < 0 || hi <= lo || hi > t.capacity then
+    if lo < 0 || hi <= lo || hi > t.total_capacity then
       invalid_arg "Pool.set_watermarks: need 0 <= lo < hi <= capacity";
     t.wm_lo <- lo;
     t.wm_hi <- hi;
@@ -178,9 +401,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   (* Crossing detection is a single CAS-guarded state bit per direction:
      exactly one thread observes each upward crossing (emits the event,
-     calls the hook), and re-arming waits for occupancy to fall below the
-     {e low} mark, so an occupancy hovering around [wm_hi] does not spam
-     the reclaimer (standard hysteresis). *)
+     calls the hook), and re-arming waits for total occupancy across all
+     classes to fall below the {e low} mark, so an occupancy hovering
+     around [wm_hi] does not spam the reclaimer (standard hysteresis).
+     Checked at occupancy-publication boundaries, so crossings are
+     detected within [occ_batch] operations of the mark. *)
   let wm_note_high t v =
     if
       v >= t.wm_hi
@@ -195,216 +420,418 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     end
 
   let wm_note_low t =
-    if
-      Atomic.get t.wm_state = 1
-      && Atomic.get t.in_use <= t.wm_lo
-      && Atomic.compare_and_set t.wm_state 1 0
-    then
-      if !Nbr_obs.Trace.on then
-        Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
-          Nbr_obs.Trace.Watermark_low (Atomic.get t.in_use) t.wm_lo
+    if Atomic.get t.wm_state = 1 then
+      let v = occupancy t in
+      if v <= t.wm_lo && Atomic.compare_and_set t.wm_state 1 0 then
+        if !Nbr_obs.Trace.on then
+          Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+            Nbr_obs.Trace.Watermark_low v t.wm_lo
+
+  (** Fold a +/-1 occupancy change into the thread's unpublished delta;
+      publish (one fetch-and-add on the class counter, peak CAS loops,
+      watermark checks) every [occ_batch] net operations.  The fast path
+      in steady state is two plain field writes. *)
+  let bump_occ t c (ts : tstat) d =
+    let nd = ts.t_occ_delta + d in
+    if nd >= occ_batch || nd <= -occ_batch then begin
+      ts.t_occ_delta <- 0;
+      let v = Atomic.fetch_and_add c.c_in_use nd + nd in
+      if nd > 0 then begin
+        note_peak c.c_peak_in_use v;
+        let total = occupancy t in
+        note_peak t.peak_total total;
+        wm_note_high t total
+      end
+      else wm_note_low t
+    end
+    else ts.t_occ_delta <- nd
+
+  (** Publish a thread's residual delta unconditionally (pressure paths,
+      thread departure): shared counters converge to exact. *)
+  let publish_occ t c (ts : tstat) =
+    let nd = ts.t_occ_delta in
+    if nd <> 0 then begin
+      ts.t_occ_delta <- 0;
+      let v = Atomic.fetch_and_add c.c_in_use nd + nd in
+      if nd > 0 then begin
+        note_peak c.c_peak_in_use v;
+        let total = occupancy t in
+        note_peak t.peak_total total;
+        wm_note_high t total
+      end
+      else wm_note_low t
+    end
 
   (* ---------------- allocation ---------------- *)
 
-  (* Monotone max via CAS loop.  The old load-then-store version had a
-     lost-update race: two threads could both read a stale peak and the
-     smaller writer could land last, permanently under-reporting the
-     high-water mark that the E2 bounded-garbage acceptance checks read. *)
-  let rec note_peak cell v =
-    let cur = Atomic.get cell in
-    if v > cur && not (Atomic.compare_and_set cell cur v) then note_peak cell v
-
-  let note_in_use t =
-    let v = Atomic.fetch_and_add t.in_use 1 + 1 in
-    note_peak t.peak_in_use v;
-    wm_note_high t v
-
-  (* Cheap sources, in order: the caller's own free list, then the bump
-     allocator over never-used slots. *)
-  let try_fast t tid =
-    let fl = t.free_lists.(tid) in
-    if not (Nbr_sync.Int_vec.is_empty fl) then Some (Nbr_sync.Int_vec.pop fl)
-    else if Atomic.get t.next_fresh < t.capacity then begin
-      let s = Atomic.fetch_and_add t.next_fresh 1 in
-      if s < t.capacity then Some s else None
-    end
-    else None
-
-  let try_overflow t = Nbr_sync.Treiber.pop t.overflow
-
   let max_pressure_attempts = 8
 
-  let alloc ?(on_pressure = fun () -> ()) t =
+  let depot_trip t =
+    Atomic.incr t.depot_exchanges;
+    Rt.work t.c_free_slow
+
+  (* Refill the (empty) installed magazine: a full magazine from the
+     depot, else a batch of never-used slots from the bump allocator.
+     Returns one handle and leaves the rest cached. *)
+  let refill t c tid =
+    match Nbr_sync.Treiber.pop c.c_depot_full with
+    | Some m ->
+        depot_trip t;
+        let old = Atomic.exchange c.c_mags.(tid) m in
+        Nbr_sync.Treiber.push c.c_depot_empty old;
+        m.n <- m.n - 1;
+        Some m.slots.(m.n)
+    | None ->
+        if Atomic.get c.c_next_fresh >= c.c_capacity then None
+        else begin
+          let s0 = Atomic.fetch_and_add c.c_next_fresh fresh_batch in
+          let got = min fresh_batch (c.c_capacity - s0) in
+          if got <= 0 then None
+          else begin
+            let mag = Atomic.get c.c_mags.(tid) in
+            for k = 1 to got - 1 do
+              let i = s0 + k in
+              mag.slots.(mag.n) <-
+                Handle.pack ~cls:c.c_id ~index:i ~gen:c.c_gen.(i);
+              mag.n <- mag.n + 1
+            done;
+            Some (Handle.pack ~cls:c.c_id ~index:s0 ~gen:c.c_gen.(s0))
+          end
+        end
+
+  let alloc ?(on_pressure = fun () -> ()) ?(cls = 0) t =
     Rt.work t.c_alloc;
     let tid = Rt.self () in
-    let slot =
-      match try_fast t tid with
-      | Some s -> s
-      | None ->
-          (* Pressure path: announce starvation (rerouting concurrent frees
-             to the shared overflow stack), ask the caller to flush its
-             reclamation scheme, and retry with exponential backoff.  Only
-             when [max_pressure_attempts] rounds of flush+backoff produce
-             nothing do we conclude the pool is genuinely exhausted. *)
-          (* Last nudge before the expensive machinery: a healthy
-             background reclaimer woken here can turn the first
-             flush+backoff round into a hit. *)
-          wm_kick t;
-          Atomic.incr t.starving;
-          Atomic.incr t.pressure_events;
-          if !Nbr_obs.Trace.on then
-            Nbr_obs.Trace.emit ~tid ~ns:(Rt.now_ns ())
-              Nbr_obs.Trace.Pool_starvation (Atomic.get t.in_use)
-              (Atomic.get t.garbage);
-          Fun.protect ~finally:(fun () -> Atomic.decr t.starving) @@ fun () ->
-          let rec retry attempt =
-            Atomic.incr t.alloc_retries;
-            on_pressure ();
-            match try_overflow t with
-            | Some s -> s
-            | None -> (
-                match try_fast t tid with
-                | Some s -> s
-                | None ->
-                    if attempt >= max_pressure_attempts then
-                      raise
-                        (Exhausted
-                           {
-                             x_capacity = t.capacity;
-                             x_in_use = Atomic.get t.in_use;
-                             x_garbage = Atomic.get t.garbage;
-                             x_allocs = Atomic.get t.allocs;
-                             x_frees = Atomic.get t.frees;
-                             x_attempts = attempt;
-                           })
-                    else begin
-                      (* 2µs, 4µs, ... — gives competing threads (native)
-                         or fibers (sim) room to release capacity. *)
-                      Rt.stall_ns (1000 lsl attempt);
-                      retry (attempt + 1)
-                    end)
-          in
-          retry 1
+    let c = t.classes.(cls) in
+    let ts = c.c_tstats.(tid) in
+    ts.t_frees_run <- 0;
+    let h =
+      let mag = Atomic.get c.c_mags.(tid) in
+      if mag.n > 0 then begin
+        mag.n <- mag.n - 1;
+        mag.slots.(mag.n)
+      end
+      else
+        match refill t c tid with
+        | Some h -> h
+        | None ->
+            (* Pressure path: announce starvation (rerouting concurrent
+               frees to the shared overflow stack), ask the caller to
+               flush its reclamation scheme, and retry with exponential
+               backoff.  Only when [max_pressure_attempts] rounds of
+               flush+backoff produce nothing do we conclude the pool is
+               genuinely exhausted. *)
+            (* Last nudge before the expensive machinery: a healthy
+               background reclaimer woken here can turn the first
+               flush+backoff round into a hit. *)
+            publish_occ t c ts;
+            wm_kick t;
+            Atomic.incr t.starving;
+            Atomic.incr t.pressure_events;
+            if !Nbr_obs.Trace.on then
+              Nbr_obs.Trace.emit ~tid ~ns:(Rt.now_ns ())
+                Nbr_obs.Trace.Pool_starvation (exact_in_use t)
+                (garbage_total t);
+            Fun.protect ~finally:(fun () -> Atomic.decr t.starving)
+            @@ fun () ->
+            let rec retry attempt =
+              Atomic.incr t.alloc_retries;
+              on_pressure ();
+              match Nbr_sync.Treiber.pop c.c_overflow with
+              | Some h -> h
+              | None -> (
+                  match refill t c tid with
+                  | Some h -> h
+                  | None ->
+                      if attempt >= max_pressure_attempts then
+                        raise
+                          (Exhausted
+                             {
+                               x_capacity = t.total_capacity;
+                               x_in_use = exact_in_use t;
+                               x_garbage = garbage_total t;
+                               x_allocs = sum_tstats t (fun s -> s.t_allocs);
+                               x_frees = sum_tstats t (fun s -> s.t_frees);
+                               x_attempts = attempt;
+                             })
+                      else begin
+                        (* 2µs, 4µs, ... — gives competing threads
+                           (native) or fibers (sim) room to release
+                           capacity. *)
+                        Rt.stall_ns (1000 lsl attempt);
+                        retry (attempt + 1)
+                      end)
+            in
+            retry 1
     in
-    t.st.(slot) <- 1;
-    Atomic.incr t.allocs;
-    note_in_use t;
+    c.c_st.(Handle.index h) <- 1;
+    ts.t_allocs <- ts.t_allocs + 1;
+    bump_occ t c ts 1;
     if !Nbr_obs.Trace.fine then
-      Nbr_obs.Trace.emit ~tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Alloc_slot slot
-        t.seqno.(slot);
-    slot
+      Nbr_obs.Trace.emit ~tid ~ns:(Rt.now_ns ()) Nbr_obs.Trace.Alloc_slot h
+        (Handle.gen h);
+    h
 
-  (** Mark a slot as retired (unlinked, awaiting reclamation).  Called by
-      the SMR layer from [retire]; affects instrumentation only. *)
-  let note_retired t slot =
-    if t.st.(slot) <> 2 then begin
-      t.st.(slot) <- 2;
-      let g = Atomic.fetch_and_add t.garbage 1 + 1 in
-      note_peak t.peak_garbage g;
-      if !Nbr_obs.Trace.fine then
-        Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
-          Nbr_obs.Trace.Retire slot g
+  (** Mark a record as retired (unlinked, awaiting reclamation).  Called
+      by the SMR layer from [retire]; affects instrumentation only.  A
+      stale handle (the record was already freed out from under the
+      caller) is counted and ignored — retiring it again would corrupt
+      the garbage accounting of the slot's {e current} occupant. *)
+  let note_retired t h =
+    if not (valid t h) then note_stale t h
+    else begin
+      let c, i = addr t h in
+      if c.c_st.(i) <> 2 then begin
+        c.c_st.(i) <- 2;
+        let g = Atomic.fetch_and_add c.c_garbage 1 + 1 in
+        note_peak c.c_peak_garbage g;
+        if !Nbr_obs.Trace.fine then
+          Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+            Nbr_obs.Trace.Retire h g
+      end
     end
 
-  (** Return a slot to a free list: the calling thread's own, or — while
-      any allocator is starving — the shared overflow stack, so the freed
-      capacity is visible across threads.  Double frees are a programming
+  (* Flush the thread's (full) magazine to the depot and install an empty
+     shell, recycled from the depot when possible so steady-state frees
+     allocate nothing. *)
+  let flush_mag t c tid mag =
+    depot_trip t;
+    let shell =
+      match Nbr_sync.Treiber.pop c.c_depot_empty with
+      | Some m -> m
+      | None -> new_mag ()
+    in
+    Atomic.set c.c_mags.(tid) shell;
+    Nbr_sync.Treiber.push c.c_depot_full mag;
+    shell
+
+  (** Return a record to the allocator.  The handle dies here: the slot's
+      generation is bumped (every outstanding copy of [h] becomes
+      detectably stale) and a re-minted next-generation handle goes to
+      the calling thread's magazine — or, while any allocator is
+      starving, to the shared overflow stack, so the freed capacity is
+      visible across threads.  Stale and double frees are a programming
       error and raise. *)
-  let free t slot =
+  let free t h =
     Rt.work t.c_alloc;
-    if t.st.(slot) = 0 then
-      invalid_arg (Printf.sprintf "Pool.free: double free of slot %d" slot);
-    if t.st.(slot) = 2 then Atomic.decr t.garbage;
-    t.st.(slot) <- 0;
-    t.seqno.(slot) <- t.seqno.(slot) + 1;
-    Atomic.incr t.frees;
-    Atomic.decr t.in_use;
-    wm_note_low t;
+    if not (valid t h) then
+      invalid_arg
+        (Printf.sprintf "Pool.free: stale or double free of handle %d" h);
+    let c, i = addr t h in
+    let ts = c.c_tstats.(Rt.self ()) in
+    if c.c_st.(i) = 2 then ignore (Atomic.fetch_and_add c.c_garbage (-1));
+    c.c_st.(i) <- 0;
+    let g = (Handle.gen h + 1) land Handle.gen_mask in
+    c.c_gen.(i) <- g;
+    let h' = Handle.pack ~cls:c.c_id ~index:i ~gen:g in
+    ts.t_frees <- ts.t_frees + 1;
+    bump_occ t c ts (-1);
     if !Nbr_obs.Trace.fine then
       Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
-        Nbr_obs.Trace.Free_slot slot t.seqno.(slot);
+        Nbr_obs.Trace.Free_slot h g;
     if Atomic.get t.starving > 0 then begin
       (* Cross-thread hand-off is an allocator slow path. *)
       Rt.work t.c_free_slow;
       if !Nbr_obs.Trace.on then
         Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
-          Nbr_obs.Trace.Pool_overflow slot 0;
-      Nbr_sync.Treiber.push t.overflow slot
+          Nbr_obs.Trace.Pool_overflow h' 0;
+      Nbr_sync.Treiber.push c.c_overflow h'
     end
     else begin
-      let fl = t.free_lists.(Rt.self ()) in
       (* Burst reclamation overflows the thread's arena: slow path. *)
-      if Nbr_sync.Int_vec.length fl > t.slab_threshold then
-        Rt.work t.c_free_slow;
-      Nbr_sync.Int_vec.push fl slot
+      ts.t_frees_run <- ts.t_frees_run + 1;
+      if ts.t_frees_run > t.slab_threshold then Rt.work t.c_free_slow;
+      let tid = Rt.self () in
+      let mag = Atomic.get c.c_mags.(tid) in
+      let mag = if mag.n >= mag_size then flush_mag t c tid mag else mag in
+      mag.slots.(mag.n) <- h';
+      mag.n <- mag.n + 1
     end
+
+  (** Flush a thread's magazines (every class) to the depot: called by
+      the thread itself on graceful leave, or by a watchdog adopting a
+      reaped peer's cached capacity.  Also publishes the thread's
+      residual occupancy deltas so the shared counters converge. *)
+  let flush_thread t ~tid =
+    Array.iter
+      (fun c ->
+        let m = Atomic.exchange c.c_mags.(tid) (new_mag ()) in
+        if m.n > 0 then begin
+          depot_trip t;
+          Nbr_sync.Treiber.push c.c_depot_full m
+        end
+        else Nbr_sync.Treiber.push c.c_depot_empty m;
+        publish_occ t c c.c_tstats.(tid))
+      t.classes
+
+  (** Magazine fill of a thread's cache for one class (tests only). *)
+  let magazine_fill t ~cls ~tid = (Atomic.get t.classes.(cls).c_mags.(tid)).n
 
   (* ---------------- field access ---------------- *)
 
-  (* Stale-index dereference guard.  In a polling runtime a reader may, in
-     the window between its last poll and the neutralization that aborts
-     it, follow a pointer value read from a freed-and-recycled slot —
-     including [nil] (a recycled leaf's child).  Real hardware reads the
-     never-unmapped arena at a garbage offset and returns garbage; we do
-     the same by redirecting any out-of-range index to slot 0.  The value
-     read is garbage either way and is never committed: the pending
-     neutralization (sent before the free) restarts the phase at the next
-     poll or at [end_read] (DESIGN.md §3).  Read-side accessors use the
-     guard; write-side accessors stay strict, because writers only touch
-     validated, reserved records. *)
-  let deref t slot = if slot >= 0 && slot < t.capacity then slot else 0
+  (* Three tiers (DESIGN.md §13):
 
-  let data_cell t slot f = t.data.(f).(deref t slot)
-  let ptr_cell t slot f = t.ptr.(f).(deref t slot)
-  let lock_cell t slot = t.lock.(slot)
+     - {e validated} reads ([read_data] / [read_ptr] / [read_data_sync])
+       check the handle's generation and fail with [Stale] — carrying
+       the recycled memory's current contents — instead of handing back
+       another record's data as if it were live.  The SMR layer's
+       guarded read paths use these.
+     - {e plain} accessors ([get_data] / [set_ptr] / ...) are for write
+       phases and sequential code, where the record is reserved /
+       protected and staleness is impossible for a sound scheme.  They
+       still validate: a miss (foil schemes racing reclamation, a
+       falsely-reaped thread resuming mid-write) is counted, traced, and
+       then applied to the recycled memory — memory-safe, observable,
+       never a crash.
+     - {e cell} accessors ([data_cell] / [ptr_cell] / [lock_cell]) are
+       address-of: they name the memory itself for CAS loops, spinlocks
+       and the Harris list's raw tagged-word traversal, and perform no
+       generation check.  Uses are instrumented at the call sites via
+       {!record_read}.
 
-  let get_data t slot f = Rt.plain_load t.data.(f).(deref t slot)
-  let set_data t slot f v = Rt.store t.data.(f).(slot) v
-  let get_data_sync t slot f = Rt.load t.data.(f).(deref t slot)
-  let cas_data t slot f old v = Rt.cas t.data.(f).(slot) old v
+     The pre-rewrite index-clamping guard ([deref]) is gone: handles
+     carry their class and index, so there is no out-of-range index to
+     clamp — only stale generations, which are detected, not papered
+     over. *)
 
-  let get_ptr t slot f = Rt.load t.ptr.(f).(deref t slot)
-  let set_ptr t slot f v = Rt.store t.ptr.(f).(slot) v
-  let cas_ptr t slot f old v = Rt.cas t.ptr.(f).(slot) old v
+  let check t h =
+    if t.gen_check && not (valid t h) then note_stale t h
+
+  let data_cell t h f =
+    let c, i = addr t h in
+    c.c_data.(f).(i)
+
+  let ptr_cell t h f =
+    let c, i = addr t h in
+    c.c_ptr.(f).(i)
+
+  let lock_cell t h =
+    let c, i = addr t h in
+    c.c_lock.(i)
+
+  (* A validated read that caught a stale handle: with the check on it
+     fails gracefully ([Stale], traced as such but NOT as an [Access] —
+     no freed data crossed over, so the sanitizer stays clean); with the
+     A4 ablation the stale value {e commits}, which is a raw access to
+     freed memory and is traced as one so the sanitizer's [uaf_access]
+     rule can convict it. *)
+  let stale_read t h st v =
+    note_stale t h;
+    if t.gen_check then Stale v
+    else begin
+      if !Nbr_obs.Trace.fine then
+        Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
+          Nbr_obs.Trace.Access h st;
+      Value v
+    end
+
+  let read_data t h f =
+    let c, i = addr t h in
+    let v = Rt.plain_load c.c_data.(f).(i) in
+    if valid t h then Value v else stale_read t h c.c_st.(i) v
+
+  let read_data_sync t h f =
+    let c, i = addr t h in
+    let v = Rt.load c.c_data.(f).(i) in
+    if valid t h then Value v else stale_read t h c.c_st.(i) v
+
+  let read_ptr t h f =
+    let c, i = addr t h in
+    let v = Rt.load c.c_ptr.(f).(i) in
+    if valid t h then Value v else stale_read t h c.c_st.(i) v
+
+  let get_data t h f =
+    check t h;
+    let c, i = addr t h in
+    Rt.plain_load c.c_data.(f).(i)
+
+  let get_data_sync t h f =
+    check t h;
+    let c, i = addr t h in
+    Rt.load c.c_data.(f).(i)
+
+  let get_ptr t h f =
+    check t h;
+    let c, i = addr t h in
+    Rt.load c.c_ptr.(f).(i)
+
+  let set_data t h f v =
+    check t h;
+    let c, i = addr t h in
+    Rt.store c.c_data.(f).(i) v
+
+  let set_ptr t h f v =
+    check t h;
+    let c, i = addr t h in
+    Rt.store c.c_ptr.(f).(i) v
+
+  let cas_data t h f old v =
+    check t h;
+    let c, i = addr t h in
+    Rt.cas c.c_data.(f).(i) old v
+
+  let cas_ptr t h f old v =
+    check t h;
+    let c, i = addr t h in
+    Rt.cas c.c_ptr.(f).(i) old v
 
   (* ---------------- instrumentation ---------------- *)
 
-  let state t slot =
-    match t.st.(slot) with 0 -> Free | 1 -> Live | _ -> Retired
+  (** Lifecycle state of the record a handle names: [Free] if the handle
+      is stale (the record it was minted for is gone, whatever occupies
+      the slot now). *)
+  let state t h =
+    if not (valid t h) then Free
+    else
+      let c, i = addr t h in
+      match c.c_st.(i) with 0 -> Free | 1 -> Live | _ -> Retired
 
-  let seqno t slot = t.seqno.(slot)
+  (** Current generation of the slot a handle names (uncosted).  Equal to
+      [Handle.gen h] iff the handle is still valid; bumped by each
+      [free], so it is the ABA/UAF witness the tests read. *)
+  let seqno t h =
+    let c, i = addr t h in
+    c.c_gen.(i)
 
   (** Costed lifecycle checks, for protection validation.  Hazard-style
       schemes must verify, after announcing, that the target "has not
       already been unlinked" (paper §2): link re-reading alone is not
       enough for structures where unlinking splices an {e ancestor} edge
-      and leaves interior edges intact (DGT delete removes the parent via
-      the grandparent, so [p -> leaf] survives the leaf's retirement).
-      Real implementations read a mark bit the structure maintains; here
-      the pool's lifecycle state plays that role, and the reads are
-      charged like the cache-hit mark loads they model. *)
-  let live t slot =
+      and leaves interior edges intact.  Real implementations read a mark
+      bit the structure maintains; here the handle's generation plays
+      that role, and the reads are charged like the cache-hit mark loads
+      they model. *)
+  let live t h =
     Rt.work 2;
-    t.st.(deref t slot) = 1 && slot >= 0
+    valid t h
+    &&
+    let c, i = addr t h in
+    c.c_st.(i) = 1
 
-  (** Allocation stamp with an access charge: lets validators detect
-      free-and-recycle (ABA on the slot) between two reads. *)
-  let stamp t slot =
+  (** Current slot generation with an access charge: lets validators
+      detect free-and-recycle (ABA on the slot) between two reads. *)
+  let stamp t h =
     Rt.work 2;
-    t.seqno.(deref t slot)
+    let c, i = addr t h in
+    c.c_gen.(i)
 
-  (** Called by the SMR layer when a guarded dereference lands on [slot];
-      counts reads that hit freed memory and returns whether this read
-      was one (so the scheme can classify it committed vs benign in its
-      own stats).  For a sound scheme under the exact-delivery (sim)
-      runtime this stays at zero; the [unsafe_free] foil drives it up. *)
-  let record_read t slot =
-    let in_range = slot >= 0 && slot < t.capacity in
-    let uaf = in_range && t.st.(slot) = 0 in
+  (** Called by the SMR layer when a guarded dereference lands on [h];
+      counts reads through stale handles (freed, or freed-and-recycled —
+      the generation comparison catches both, where the pre-rewrite
+      state heuristic missed recycled slots) and returns whether this
+      read was one, so the scheme can classify it committed vs benign in
+      its own stats.  [nil] and other non-handles are address-of-nothing
+      and not counted, as before.  For a sound scheme under the
+      exact-delivery (sim) runtime this stays at zero; the [unsafe_free]
+      foil drives it up. *)
+  let record_read t h =
+    let uaf = h >= 0 && not (valid t h) in
     if uaf then Atomic.incr t.uaf_reads;
-    if in_range && !Nbr_obs.Trace.fine then
+    if h >= 0 && !Nbr_obs.Trace.fine then begin
+      let c, i = addr t h in
       Nbr_obs.Trace.emit ~tid:(Rt.self ()) ~ns:(Rt.now_ns ())
-        Nbr_obs.Trace.Access slot t.st.(slot);
+        Nbr_obs.Trace.Access h c.c_st.(i)
+    end;
     uaf
 
   type stats = {
@@ -418,25 +845,66 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     s_alloc_retries : int;
     s_uaf_reads : int;
     s_wm_trips : int;
+    s_depot_exchanges : int;
   }
 
+  (* Exact at quiescence: shared counters plus per-thread residuals.  The
+     published peak can trail the exact occupancy by up to one batch per
+     thread, so reading stats folds the current exact value into the
+     persistent peak — a reported peak never decays below any occupancy a
+     previous [stats] call observed. *)
   let stats t =
+    let in_use = exact_in_use t in
+    note_peak t.peak_total in_use;
     {
-      s_allocs = Atomic.get t.allocs;
-      s_frees = Atomic.get t.frees;
-      s_in_use = Atomic.get t.in_use;
-      s_peak_in_use = Atomic.get t.peak_in_use;
-      s_garbage = Atomic.get t.garbage;
-      s_peak_garbage = Atomic.get t.peak_garbage;
+      s_allocs = sum_tstats t (fun s -> s.t_allocs);
+      s_frees = sum_tstats t (fun s -> s.t_frees);
+      s_in_use = in_use;
+      s_peak_in_use = Atomic.get t.peak_total;
+      s_garbage = garbage_total t;
+      s_peak_garbage =
+        Array.fold_left
+          (fun acc c -> acc + Atomic.get c.c_peak_garbage)
+          0 t.classes;
       s_pressure_events = Atomic.get t.pressure_events;
       s_alloc_retries = Atomic.get t.alloc_retries;
       s_uaf_reads = Atomic.get t.uaf_reads;
       s_wm_trips = Atomic.get t.wm_trips;
+      s_depot_exchanges = Atomic.get t.depot_exchanges;
+    }
+
+  type class_stats = {
+    k_capacity : int;
+    k_in_use : int;
+    k_peak_in_use : int;
+    k_garbage : int;
+    k_peak_garbage : int;
+    k_allocs : int;
+    k_frees : int;
+  }
+
+  let class_stats t i =
+    let c = t.classes.(i) in
+    let in_use = exact_class_in_use c in
+    note_peak c.c_peak_in_use in_use;
+    {
+      k_capacity = c.c_capacity;
+      k_in_use = in_use;
+      k_peak_in_use = Atomic.get c.c_peak_in_use;
+      k_garbage = Atomic.get c.c_garbage;
+      k_peak_garbage = Atomic.get c.c_peak_garbage;
+      k_allocs =
+        Array.fold_left (fun acc ts -> acc + ts.t_allocs) 0 c.c_tstats;
+      k_frees = Array.fold_left (fun acc ts -> acc + ts.t_frees) 0 c.c_tstats;
     }
 
   (** Reset the high-water marks to the current values (called after
       prefill so E2 measures steady-state peaks, not setup). *)
   let reset_peak t =
-    Atomic.set t.peak_in_use (Atomic.get t.in_use);
-    Atomic.set t.peak_garbage (Atomic.get t.garbage)
+    Array.iter
+      (fun c ->
+        Atomic.set c.c_peak_in_use (exact_class_in_use c);
+        Atomic.set c.c_peak_garbage (Atomic.get c.c_garbage))
+      t.classes;
+    Atomic.set t.peak_total (exact_in_use t)
 end

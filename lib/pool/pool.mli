@@ -1,19 +1,30 @@
-(** Simulated manual memory: a pool of fixed-shape records.
+(** Simulated manual memory: a pool of fixed-shape records behind
+    generational handles.
 
     OCaml is garbage-collected, so "freeing" a record cannot unmap it.
     The pool provides explicitly allocated and freed memory where a slot
     freed too early gets recycled under a reader's feet — real
-    use-after-free dynamics, minus the segfault.  Records are integer
-    slots into pre-allocated field arrays; following a stale index is
-    always memory-safe, exactly like reading jemalloc-recycled memory
-    that was never unmapped (the situation the paper's own safety
-    argument leans on).
+    use-after-free dynamics, minus the segfault.  A record is named by a
+    {e generational handle}: one immutable int packing
+    [(generation, size_class, index)] (see {!Handle}).  [free] bumps the
+    slot's generation, so every previously-minted handle becomes
+    {e detectably stale}: validated accessors return {!Make.Stale}
+    (carrying what the recycled memory holds {e now}, never the dead
+    record's data) instead of silently reading another record — the
+    version-counter substrate VBR (arXiv 2107.13843) builds reclamation
+    out of.
+
+    Records live in {e size-classes} (per-class slot widths and
+    capacities), and allocation is two-level in the Bonwick magazine
+    style: a per-thread, padded magazine of ready handles per class,
+    backed by a lock-free depot of full/empty magazines, so steady-state
+    [alloc]/[free] touches only thread-local state.
 
     Exhaustion is graceful: [alloc] invokes the caller-supplied
     reclamation flush, announces itself as starving (rerouting concurrent
-    frees to a shared overflow stack), and retries with exponential
-    backoff before giving up with {!Exhausted}.  See DESIGN.md
-    "Fault model". *)
+    frees to a shared per-class overflow stack), and retries with
+    exponential backoff before giving up with {!Exhausted}.  See DESIGN.md
+    "Fault model" and §13 "Pool architecture". *)
 
 type exhausted_info = {
   x_capacity : int;
@@ -31,6 +42,30 @@ exception Exhausted of exhausted_info
 
 val pp_exhausted : Format.formatter -> exhausted_info -> unit
 
+(** Handle packing: [(generation lsl 28) lor (size_class lsl 24) lor index].
+    24 index bits, 4 class bits, 33 generation bits — handles stay below
+    2^61 so they survive mark-tagging ([h lsl 1]) in OCaml's 63-bit int.
+    Handles are opaque to well-behaved clients; the codec is exposed for
+    tests and for the Harris list's tagged-word encoding. *)
+module Handle : sig
+  val index_bits : int
+  val class_bits : int
+  val gen_shift : int
+  val gen_mask : int
+  val max_classes : int
+  val max_capacity : int
+  val pack : cls:int -> index:int -> gen:int -> int
+  val index : int -> int
+  val cls : int -> int
+  val gen : int -> int
+end
+
+type class_spec = {
+  cc_capacity : int;  (** slots in this class (1 .. 2^24) *)
+  cc_data_fields : int;
+  cc_ptr_fields : int;
+}
+
 module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
   type aint = Rt.aint
 
@@ -39,11 +74,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
 
   type t
   (** A pool instance.  All mutation goes through the functions below;
-      the representation (field arrays, free lists, instrumentation
-      counters) is private to the implementation. *)
+      the representation (field arrays, magazines, depots,
+      instrumentation counters) is private to the implementation. *)
 
   val nil : int
-  (** The null "pointer" (-1). *)
+  (** The null "pointer" (-1).  Never a packable handle. *)
+
+  (** Result of a generation-validated read: [Stale] means the handle's
+      record was freed; the payload is the recycled memory's current
+      contents (for foil schemes that knowingly race reclamation — sound
+      schemes treat [Stale] as a restart/failure signal). *)
+  type read_result = Value of int | Stale of int
 
   val create :
     ?c_alloc:int ->
@@ -55,23 +96,56 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
     nthreads:int ->
     unit ->
     t
-  (** [c_alloc] is the simulated cycle cost of the malloc/free fast
-      path; frees past [slab_threshold] entries on a thread's free list
-      (burst reclamation overflowing its arena) and cross-thread
-      hand-offs pay [c_free_slow] extra. *)
+  (** Single-size-class pool (class 0).  [c_alloc] is the simulated cycle
+      cost of the malloc/free fast path; frees past [slab_threshold]
+      consecutive frees (burst reclamation overflowing a thread's arena),
+      cross-thread hand-offs and depot exchanges pay [c_free_slow]
+      extra. *)
+
+  val create_classed :
+    ?c_alloc:int ->
+    ?slab_threshold:int ->
+    ?c_free_slow:int ->
+    classes:class_spec array ->
+    nthreads:int ->
+    unit ->
+    t
+  (** Multi-size-class pool: one {!class_spec} per class, at most
+      {!Handle.max_classes}. *)
 
   val capacity : t -> int
+  (** Total capacity across all classes. *)
+
+  val nclasses : t -> int
+  val class_capacity : t -> int -> int
+
+  val valid : t -> int -> bool
+  (** Whether a handle's packed generation matches its slot's current
+      one, i.e. the record it names has not been freed. *)
+
+  val uid : t -> int -> int
+  (** Stable flat index in [0, capacity) for the slot a handle names:
+      per-record metadata arrays (IBR/HE birth eras, RCU retire epochs)
+      index by this so they stay dense across size-classes. *)
+
+  val set_generation_check : t -> bool -> unit
+  (** Ablation A4 ([Smr_config.unsafe_no_generation_check]): with the
+      check off, validated reads never return [Stale] and hand back
+      recycled memory pre-rewrite style.  Detection counters still run. *)
 
   (** {1 Occupancy watermarks}
 
       A memory-pressure early-warning line for background reclamation:
-      when occupancy (Live + Retired slots) crosses [hi], the pool emits
-      a [Watermark_high] trace event and calls [on_high] — once per
-      excursion, re-armed only after occupancy falls back below [lo]
-      (hysteresis), and again on each entry to the allocation pressure
-      path.  The hook must be cheap and non-blocking (typically an
-      atomic nudge waking a reclaimer); it runs on whichever thread
-      crossed the mark and must never reclaim inline itself. *)
+      when total occupancy across classes (Live + Retired slots) crosses
+      [hi], the pool emits a [Watermark_high] trace event and calls
+      [on_high] — once per excursion, re-armed only after occupancy falls
+      back below [lo] (hysteresis), and again on each entry to the
+      allocation pressure path.  Occupancy is published in per-thread
+      batches, so crossings are detected within a small slop (batch ×
+      threads) of the mark.  The hook must be cheap and non-blocking
+      (typically an atomic nudge waking a reclaimer); it runs on
+      whichever thread crossed the mark and must never reclaim inline
+      itself. *)
 
   val set_watermarks : t -> lo:int -> hi:int -> on_high:(unit -> unit) -> unit
   (** Requires [0 <= lo < hi <= capacity]; raises [Invalid_argument]
@@ -82,29 +156,52 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
 
   (** {1 Lifecycle} *)
 
-  val alloc : ?on_pressure:(unit -> unit) -> t -> int
-  (** Allocate a slot: the caller's own free list, then fresh slots, and
-      under exhaustion the pressure loop — announce starvation, call
+  val alloc : ?on_pressure:(unit -> unit) -> ?cls:int -> t -> int
+  (** Allocate a record from size-class [cls] (default 0) and return its
+      handle: the thread's magazine, then a depot/fresh refill, and under
+      exhaustion the pressure loop — announce starvation, call
       [on_pressure] (the SMR scheme's flush), retry with backoff, and
       raise {!Exhausted} only when repeated flushes yield nothing. *)
 
   val note_retired : t -> int -> unit
-  (** Mark a slot retired (unlinked, awaiting reclamation).  Called by
-      the SMR layer from [retire]; affects instrumentation only. *)
+  (** Mark a record retired (unlinked, awaiting reclamation).  Called by
+      the SMR layer from [retire]; affects instrumentation only.  Stale
+      handles are counted and ignored. *)
 
   val free : t -> int -> unit
-  (** Return a slot to a free list: the calling thread's own, or — while
-      any allocator is starving — the shared overflow stack, so freed
-      capacity is visible across threads.  Double frees raise
+  (** Return a record to the allocator.  Bumps the slot's generation
+      (all outstanding handles become stale) and caches the re-minted
+      handle in the thread's magazine — or, while any allocator is
+      starving, pushes it to the shared per-class overflow stack so the
+      capacity is visible across threads.  Stale and double frees raise
       [Invalid_argument]. *)
+
+  val flush_thread : t -> tid:int -> unit
+  (** Flush a thread's magazines (every class) to the depot and publish
+      its residual occupancy deltas: called by the thread itself on
+      graceful leave, or by a watchdog adopting a reaped peer's cached
+      capacity so departed threads' magazines are never leaked. *)
+
+  val magazine_fill : t -> cls:int -> tid:int -> int
+  (** Number of handles in a thread's magazine for one class (tests). *)
 
   (** {1 Field access}
 
-      Read-side accessors redirect out-of-range indices to slot 0 (the
-      never-unmapped-arena semantics of DESIGN.md §3); write-side
-      accessors stay strict, because writers only touch validated,
-      reserved records. *)
+      Three tiers (DESIGN.md §13): {e validated} reads
+      ([read_data]/[read_ptr]/[read_data_sync]) check the generation and
+      return [Stale] rather than another record's data; {e plain}
+      accessors ([get_]/[set_]/[cas_]) are for write phases and
+      sequential code where the record is reserved — a generation miss is
+      counted and traced, then applied to the recycled memory
+      (memory-safe, observable, never a crash); {e cell} accessors are
+      address-of for CAS loops, spinlocks and raw tagged-word traversals,
+      with no generation check — call sites instrument via
+      {!record_read}.  The pre-rewrite index-clamping accessors are
+      gone. *)
 
+  val read_data : t -> int -> int -> read_result
+  val read_data_sync : t -> int -> int -> read_result
+  val read_ptr : t -> int -> int -> read_result
   val data_cell : t -> int -> int -> aint
   val ptr_cell : t -> int -> int -> aint
   val lock_cell : t -> int -> aint
@@ -121,14 +218,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
   type state = Free | Live | Retired
 
   val state : t -> int -> state
+  (** Lifecycle state of the record a handle names; [Free] for a stale
+      handle (whatever occupies the slot now, the named record is gone). *)
 
   val seqno : t -> int -> int
-  (** Allocation stamp, bumped on each free: the ABA/UAF witness. *)
+  (** Current generation of the slot a handle names, bumped on each
+      free: the ABA/UAF witness.  Equals [Handle.gen h] iff [valid]. *)
 
   val live : t -> int -> bool
   (** Costed lifecycle check for protection validation (hazard-style
-      schemes): whether the slot is currently Live.  Charged like the
-      cache-hit mark load it models. *)
+      schemes): whether the handle is valid and its record currently
+      Live.  Charged like the cache-hit mark load it models. *)
 
   val stamp : t -> int -> int
   (** {!seqno} with an access charge: lets validators detect
@@ -136,11 +236,13 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
 
   val record_read : t -> int -> bool
   (** Called by the SMR layer when a guarded dereference lands on a
-      slot; counts reads that hit freed memory (and, when fine-grained
-      tracing is on, emits an [Access] event).  Returns [true] iff this
-      read hit a Free slot, so the scheme can classify it committed vs
-      benign in its own {!Nbr_core.Smr_stats}.  Zero hits for a sound
-      scheme under the exact-delivery (sim) runtime. *)
+      handle; counts reads through stale handles (freed, or
+      freed-and-recycled — the generation catches both) and, when
+      fine-grained tracing is on, emits an [Access] event.  Returns
+      [true] iff this read was stale, so the scheme can classify it
+      committed vs benign in its own {!Nbr_core.Smr_stats}.  [nil] is
+      not counted.  Zero hits for a sound scheme under the
+      exact-delivery (sim) runtime. *)
 
   type stats = {
     s_allocs : int;
@@ -153,9 +255,24 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
     s_alloc_retries : int;
     s_uaf_reads : int;
     s_wm_trips : int;  (** high-watermark crossings (see above) *)
+    s_depot_exchanges : int;  (** magazine pushes/pops at the depot *)
   }
 
   val stats : t -> stats
+  (** Totals across classes; exact at quiescence (per-thread residual
+      deltas are folded in). *)
+
+  type class_stats = {
+    k_capacity : int;
+    k_in_use : int;
+    k_peak_in_use : int;
+    k_garbage : int;
+    k_peak_garbage : int;
+    k_allocs : int;
+    k_frees : int;
+  }
+
+  val class_stats : t -> int -> class_stats
 
   val reset_peak : t -> unit
   (** Reset the high-water marks to the current values (called after

@@ -443,6 +443,73 @@ let test_ibr_regression () =
         (Explore.replay cert ~run:(ibr_scenario ~validate:true))
 
 (* ------------------------------------------------------------------ *)
+(* Ablation A4: generation checks off.  A validated read through a
+   stale handle then *commits* the recycled slot's memory — a raw UAF
+   traced as an [Access] the sanitizer convicts.  With checks on (the
+   default; schemes wire [Smr_config.unsafe_no_generation_check] to
+   [P.set_generation_check] at create) the same schedule surfaces as a
+   typed [Stale] result: no freed memory crosses over, no finding.     *)
+
+let gen_check_scenario ~gen_check () =
+  Sim.set_config det_config;
+  Sim.set_max_events 500_000;
+  let pool = P.create ~capacity:16 ~data_fields:1 ~ptr_fields:1 ~nthreads:2 () in
+  P.set_generation_check pool gen_check;
+  let root = Sim.make P.nil in
+  let san =
+    San.attach { San.family = San.Epoch; nthreads = 2; garbage_bound = None }
+  in
+  (try
+     Sim.run ~nthreads:2 (fun tid ->
+         if tid = 0 then begin
+           (* Reader: pick up the published handle, then read through it
+              with no protection at all — the knob alone decides whether
+              the read can commit freed memory. *)
+           let a = Sim.load root in
+           if a >= 0 then ignore (P.read_data pool a 0)
+         end
+         else begin
+           (* Writer: publish A, free it, recycle the slot (same index,
+              bumped generation) so the reader's handle goes stale. *)
+           let a = P.alloc pool in
+           P.set_data pool a 0 1;
+           Sim.store root a;
+           P.free pool a;
+           let b = P.alloc pool in
+           P.set_data pool b 0 2;
+           P.free pool b
+         end)
+   with Sim.Stuck _ -> ());
+  San.detach san;
+  if Trace.enabled () then Trace.disable ();
+  verdict san
+
+let test_gen_check_ablation () =
+  with_clean_globals @@ fun () ->
+  let r =
+    Explore.dfs ~preemption_bound:1 ~nthreads:2
+      ~run:(gen_check_scenario ~gen_check:false)
+      ()
+  in
+  match r.Explore.r_violation with
+  | None ->
+      Alcotest.failf "DFS did not catch the unchecked stale read (%d schedules)"
+        r.r_schedules
+  | Some (desc, cert) ->
+      Alcotest.(check bool) "committed stale read is a UAF access" true
+        (contains desc "uaf_access");
+      let cert = Cert.of_string (Cert.to_string cert) in
+      let r1 = Explore.replay cert ~run:(gen_check_scenario ~gen_check:false) in
+      let r2 = Explore.replay cert ~run:(gen_check_scenario ~gen_check:false) in
+      Alcotest.(check (option string)) "replay reproduces" (Some desc) r1;
+      Alcotest.(check (option string)) "replay is deterministic" r1 r2;
+      (* The tentpole invariant: the identical schedule with generation
+         checks on fails type-safely instead. *)
+      Alcotest.(check (option string)) "generation check closes the window"
+        None
+        (Explore.replay cert ~run:(gen_check_scenario ~gen_check:true))
+
+(* ------------------------------------------------------------------ *)
 (* Positive: every supported safe scheme × structure pair runs a tiny
    trial under a PCT schedule with the sanitizer attached and produces
    zero findings (and a valid trial).                                  *)
@@ -531,5 +598,7 @@ let suite =
       test_leaky_negative;
     Alcotest.test_case "regression: IBR frozen link (A3) + replay" `Quick
       test_ibr_regression;
+    Alcotest.test_case "ablation: unchecked stale read (A4) + replay" `Quick
+      test_gen_check_ablation;
   ]
   @ smoke_tests

@@ -138,6 +138,50 @@ module D_hp = DeregAdopt (Nbr_core.Hp.Make (Sim))
 module D_he = DeregAdopt (Nbr_core.Hazard_eras.Make (Sim))
 
 (* ------------------------------------------------------------------ *)
+(* A departing thread's magazine caches are handed back to the depot,
+   not leaked: with the whole pool cycled through thread 1's magazines,
+   thread 0 can still allocate every slot after the departure.  If
+   deregister dropped the magazines, these allocs would exhaust.       *)
+
+module NBRP = Nbr_core.Nbr_plus.Make (Sim)
+
+let test_departed_magazines_adopted () =
+  sim_cfg 11;
+  let capacity = 32 in
+  let pool =
+    P.create ~capacity ~data_fields:1 ~ptr_fields:1 ~nthreads:2 ()
+  in
+  let smr = NBRP.create pool ~nthreads:2 (cfg 64) in
+  let c0 = NBRP.register smr ~tid:0 and c1 = NBRP.register smr ~tid:1 in
+  ignore c0;
+  let departed = ref false in
+  Sim.run ~nthreads:2 (fun tid ->
+      if tid = 1 then begin
+        (* Cycle most of the pool through this thread's magazine: the
+           frees are cached locally, invisible to thread 0 until the
+           departure flush. *)
+        let slots = Array.init 24 (fun _ -> P.alloc pool) in
+        Array.iter (P.free pool) slots;
+        Alcotest.(check bool) "frees cached locally before departure" true
+          (P.magazine_fill pool ~cls:0 ~tid:1 > 0);
+        NBRP.deregister c1;
+        Alcotest.(check int) "departure empties the magazine" 0
+          (P.magazine_fill pool ~cls:0 ~tid:1);
+        departed := true
+      end
+      else begin
+        while not !departed do
+          Sim.stall_ns 200
+        done;
+        (* The survivor can reach every slot the departed thread cached. *)
+        for _ = 1 to capacity do
+          ignore (P.alloc pool)
+        done
+      end);
+  Alcotest.(check int) "full capacity reachable after departure" capacity
+    (P.stats pool).P.s_in_use
+
+(* ------------------------------------------------------------------ *)
 (* Watchdog: a crashed thread is declared dead, reaped, and its orphans
    adopted — observed through the trace events the recovery layer emits. *)
 
@@ -233,6 +277,8 @@ let suite =
   @ [
       Alcotest.test_case "leaky lifecycle round trip" `Quick
         test_leaky_lifecycle;
+      Alcotest.test_case "departed thread's magazines adopted" `Quick
+        test_departed_magazines_adopted;
       Alcotest.test_case "watchdog reaps a crashed thread (traced)" `Quick
         test_watchdog_reaps_crashed;
       QCheck_alcotest.to_alcotest churn_never_double_frees;

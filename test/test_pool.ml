@@ -17,7 +17,11 @@ let test_alloc_free_cycle () =
   P.free p a;
   Alcotest.(check bool) "free" true (P.state p a = P.Free);
   let b = P.alloc p in
-  Alcotest.(check int) "slot recycled from free list" a b
+  Alcotest.(check int) "slot recycled from free list"
+    (Nbr_pool.Pool.Handle.index a)
+    (Nbr_pool.Pool.Handle.index b);
+  Alcotest.(check bool) "recycled handle carries a fresh generation" true
+    (Nbr_pool.Pool.Handle.gen b <> Nbr_pool.Pool.Handle.gen a)
 
 let test_seqno_bumps () =
   let p = mk () in
@@ -31,7 +35,8 @@ let test_double_free_raises () =
   let a = P.alloc p in
   P.free p a;
   Alcotest.check_raises "double free"
-    (Invalid_argument (Printf.sprintf "Pool.free: double free of slot %d" a))
+    (Invalid_argument
+       (Printf.sprintf "Pool.free: stale or double free of handle %d" a))
     (fun () -> P.free p a)
 
 let test_exhaustion () =
@@ -76,6 +81,111 @@ let test_ptr_fields_nil_initialized () =
   Alcotest.(check int) "ptr0 nil" P.nil (P.get_ptr p a 0);
   Alcotest.(check int) "ptr1 nil" P.nil (P.get_ptr p a 1)
 
+(* ------------------------------------------------------------------ *)
+(* Generational handles: codec and size-class routing.                 *)
+
+module H = Nbr_pool.Pool.Handle
+
+(* Property: pack/unpack round-trips for every representable
+   (class, index, generation) triple, and packed handles survive the
+   Harris list's mark-tagging ([h lsl 1]) inside OCaml's 63-bit int. *)
+let prop_handle_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"handle pack/unpack round-trip"
+    QCheck.(
+      triple (int_bound (H.max_classes - 1))
+        (int_bound (H.max_capacity - 1))
+        (map (fun g -> g land H.gen_mask) (int_bound max_int)))
+    (fun (cls, index, gen) ->
+      let h = H.pack ~cls ~index ~gen in
+      h >= 0
+      && H.cls h = cls
+      && H.index h = index
+      && H.gen h = gen
+      && h lsl 1 asr 1 = h)
+
+let classed () =
+  P.create_classed
+    ~classes:
+      [|
+        { Nbr_pool.Pool.cc_capacity = 16; cc_data_fields = 1; cc_ptr_fields = 1 };
+        { Nbr_pool.Pool.cc_capacity = 8; cc_data_fields = 3; cc_ptr_fields = 0 };
+        { Nbr_pool.Pool.cc_capacity = 4; cc_data_fields = 1; cc_ptr_fields = 4 };
+      |]
+    ~nthreads:1 ()
+
+let test_size_class_routing () =
+  let p = classed () in
+  Alcotest.(check int) "nclasses" 3 (P.nclasses p);
+  Alcotest.(check int) "total capacity" 28 (P.capacity p);
+  Alcotest.(check int) "class 1 capacity" 8 (P.class_capacity p 1);
+  let a = P.alloc p and b = P.alloc ~cls:1 p and c = P.alloc ~cls:2 p in
+  Alcotest.(check int) "default routes to class 0" 0 (H.cls a);
+  Alcotest.(check int) "cls:1 routes to class 1" 1 (H.cls b);
+  Alcotest.(check int) "cls:2 routes to class 2" 2 (H.cls c);
+  (* Per-class field shapes are independent. *)
+  P.set_data p b 2 7;
+  Alcotest.(check int) "wide data field in class 1" 7 (P.get_data p b 2);
+  P.set_ptr p c 3 a;
+  Alcotest.(check int) "wide ptr field in class 2" a (P.get_ptr p c 3);
+  (* uids are dense and disjoint across classes. *)
+  let ua = P.uid p a and ub = P.uid p b and uc = P.uid p c in
+  Alcotest.(check bool) "uids within [0, capacity)" true
+    (List.for_all (fun u -> u >= 0 && u < 28) [ ua; ub; uc ]);
+  Alcotest.(check bool) "uids disjoint" true
+    (ua <> ub && ub <> uc && ua <> uc);
+  (* Per-class accounting sees exactly its own traffic. *)
+  let k = P.class_stats p 1 in
+  Alcotest.(check int) "class 1 allocs" 1 k.P.k_allocs;
+  Alcotest.(check int) "class 1 in_use" 1 k.P.k_in_use;
+  Alcotest.(check int) "class 0 in_use" 1 (P.class_stats p 0).P.k_in_use
+
+let test_magazine_and_depot () =
+  let p = mk ~capacity:256 () in
+  (* A burst of frees loads the thread's magazine... *)
+  let slots = Array.init 24 (fun _ -> P.alloc p) in
+  Array.iter (P.free p) slots;
+  let filled = P.magazine_fill p ~cls:0 ~tid:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "frees cached in the magazine (%d)" filled)
+    true (filled > 0);
+  (* ...allocs drain it again without touching shared state... *)
+  let before = (P.stats p).P.s_depot_exchanges in
+  let again = Array.init filled (fun _ -> P.alloc p) in
+  Alcotest.(check int) "allocs served from the magazine" before
+    (P.stats p).P.s_depot_exchanges;
+  Alcotest.(check int) "magazine drained" 0 (P.magazine_fill p ~cls:0 ~tid:0);
+  Array.iter (P.free p) again;
+  (* ...and a departing thread's flush empties the cache back to the
+     depot with nothing lost: accounting stays exact. *)
+  P.flush_thread p ~tid:0;
+  Alcotest.(check int) "flush empties the magazine" 0
+    (P.magazine_fill p ~cls:0 ~tid:0);
+  Alcotest.(check int) "nothing leaked" 0 (P.stats p).P.s_in_use;
+  Alcotest.(check bool) "flush exchanged with the depot" true
+    ((P.stats p).P.s_depot_exchanges > before)
+
+let test_depot_exchange_roundtrip () =
+  let p = mk ~capacity:512 () in
+  (* Free far more than one magazine holds: full magazines must be
+     pushed to the depot... *)
+  let slots = Array.init 200 (fun _ -> P.alloc p) in
+  Array.iter (P.free p) slots;
+  let st = P.stats p in
+  Alcotest.(check bool)
+    (Printf.sprintf "depot exchanges happened (%d)" st.P.s_depot_exchanges)
+    true
+    (st.P.s_depot_exchanges > 0);
+  (* ...and allocation pulls them back without ever minting a handle
+     twice. *)
+  let seen = Hashtbl.create 256 in
+  for _ = 1 to 200 do
+    let s = P.alloc p in
+    Alcotest.(check bool) "no live handle handed out twice" false
+      (Hashtbl.mem seen s);
+    Hashtbl.add seen s ()
+  done;
+  Alcotest.(check int) "all 200 back in use" 200 (P.stats p).P.s_in_use
+
 (* Property: under any alloc/free trace, the pool never hands out a slot
    that is currently live, and in_use always equals |allocated \ freed|. *)
 let prop_alloc_free_trace =
@@ -118,5 +228,11 @@ let suite =
     Alcotest.test_case "UAF read detection" `Quick test_uaf_detection;
     Alcotest.test_case "pointer fields nil" `Quick
       test_ptr_fields_nil_initialized;
+    QCheck_alcotest.to_alcotest prop_handle_roundtrip;
+    Alcotest.test_case "size-class routing" `Quick test_size_class_routing;
+    Alcotest.test_case "magazine load/drain/flush" `Quick
+      test_magazine_and_depot;
+    Alcotest.test_case "depot exchange round-trip" `Quick
+      test_depot_exchange_roundtrip;
     QCheck_alcotest.to_alcotest prop_alloc_free_trace;
   ]

@@ -102,6 +102,82 @@ let trial_deterministic =
       in
       run () = run ())
 
+(* ------------------------------------------------------------------ *)
+(* Tentpole property: a held stale handle never yields live data.
+   After a record is freed and its slot recycled, every scheme's
+   validated read path either refuses outright (restart via
+   [Neutralized]: NBR family, HP, HE) or hands back the recycled
+   occupant's memory with the staleness detected and counted (epoch
+   family and foils) — and the pool-level read itself always fails with
+   [Stale], never [Value].  Checked across all ten schemes. *)
+
+module type SCHEME =
+  Nbr_core.Smr_intf.S with type aint = Sim.aint and type pool = P.t
+
+module D = Nbr_core.Debra.Make (Sim)
+module Q = Nbr_core.Qsbr.Make (Sim)
+module R = Nbr_core.Rcu.Make (Sim)
+module I = Nbr_core.Ibr.Make (Sim)
+module HP = Nbr_core.Hp.Make (Sim)
+module LK = Nbr_core.Leaky.Make (Sim)
+module UF = Nbr_core.Unsafe_free.Make (Sim)
+
+let all_schemes : (string * (module SCHEME)) list =
+  [
+    ("nbr", (module N));
+    ("nbr+", (module NP));
+    ("debra", (module D));
+    ("qsbr", (module Q));
+    ("rcu", (module R));
+    ("ibr", (module I));
+    ("hp", (module HP));
+    ("he", (module HE));
+    ("leaky", (module LK));
+    ("unsafe-free", (module UF));
+  ]
+
+let stale_never_live (name, (module S : SCHEME)) (v_old, v_new) =
+  Sim.set_config
+    { Sim.default_config with cores = 1; granularity = 1; seed = 23 };
+  let pool = P.create ~capacity:8 ~data_fields:1 ~ptr_fields:1 ~nthreads:1 () in
+  let smr = S.create pool ~nthreads:1 Nbr_core.Smr_config.default in
+  let c = S.register smr ~tid:0 in
+  let ok = ref false in
+  Sim.run ~nthreads:1 (fun _ ->
+      S.begin_op c;
+      let s = S.alloc c in
+      P.set_data pool s 0 v_old;
+      S.end_op c;
+      (* The record dies and its slot is recycled behind our back. *)
+      P.free pool s;
+      let s' = P.alloc pool in
+      P.set_data pool s' 0 v_new;
+      (* Pool level: always a typed failure carrying the memory's
+         *current* contents — never the dead record's data as [Value]. *)
+      let pool_ok =
+        match P.read_data pool s 0 with
+        | P.Stale v -> v = v_new
+        | P.Value _ -> false
+      in
+      S.begin_op c;
+      let scheme_ok =
+        match S.read_data c ~src:s ~field:0 with
+        | v -> v = v_new
+        | exception Sim.Neutralized -> true
+      in
+      (try S.end_op c with Sim.Neutralized -> ());
+      ok := pool_ok && scheme_ok && not (P.valid pool s));
+  if not !ok then QCheck.Test.fail_reportf "%s yielded live/stale data" name;
+  (P.stats pool).P.s_uaf_reads > 0
+
+let stale_handle_never_live =
+  QCheck.Test.make ~count:40
+    ~name:"stale handle never yields live data (10 schemes)"
+    QCheck.(pair small_signed_int small_signed_int)
+    (fun (a, b) ->
+      let v_old = a and v_new = b + 1_000_000 in
+      List.for_all (fun sch -> stale_never_live sch (v_old, v_new)) all_schemes)
+
 (* Rng sanity: below stays in range; for_thread decorrelates threads. *)
 let rng_bounds =
   QCheck.Test.make ~count:200 ~name:"rng below stays in bounds"
@@ -117,4 +193,10 @@ let rng_bounds =
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    [ bounded_garbage_nbr_plus; leaky_unbounded; trial_deterministic; rng_bounds ]
+    [
+      bounded_garbage_nbr_plus;
+      leaky_unbounded;
+      trial_deterministic;
+      stale_handle_never_live;
+      rng_bounds;
+    ]
