@@ -16,6 +16,9 @@
    - latency_*               per-operation latency quantiles (p50/p99) from
                              one harness trial with [record_latency] on, plus
                              restarts-per-op quantiles
+   - kv_*                    serving-layer service times: get/put p50/p99 and
+                             mean ns/request from one closed-loop KV run
+                             (nbr+ over hash-set shards); regression-gated
 
    Output: BENCH_<runtime>.json in --out-dir (default ".").
 
@@ -75,28 +78,17 @@ module RtBench (Rt : Nbr_runtime.Runtime_intf.S) = struct
       /. float_of_int (nthreads * iters)
   end
 
-  module RP_none = Read_path (Nbr_core.Leaky.Make (Rt))
-  module RP_nbr = Read_path (Nbr_core.Nbr.Make (Rt))
-  module RP_nbrp = Read_path (Nbr_core.Nbr_plus.Make (Rt))
-  module RP_debra = Read_path (Nbr_core.Debra.Make (Rt))
-  module RP_qsbr = Read_path (Nbr_core.Qsbr.Make (Rt))
-  module RP_rcu = Read_path (Nbr_core.Rcu.Make (Rt))
-  module RP_ibr = Read_path (Nbr_core.Ibr.Make (Rt))
-  module RP_hp = Read_path (Nbr_core.Hp.Make (Rt))
-  module RP_he = Read_path (Nbr_core.Hazard_eras.Make (Rt))
-
+  (* One measurement closure per sound scheme, driven off the registry so
+     the scheme set lives in exactly one place (lib/workload/registry). *)
   let read_paths =
-    [
-      ("none", RP_none.measure);
-      ("nbr", RP_nbr.measure);
-      ("nbr+", RP_nbrp.measure);
-      ("debra", RP_debra.measure);
-      ("qsbr", RP_qsbr.measure);
-      ("rcu", RP_rcu.measure);
-      ("ibr", RP_ibr.measure);
-      ("hp", RP_hp.measure);
-      ("he", RP_he.measure);
-    ]
+    List.filter_map
+      (fun (e : Nbr_workload.Registry.entry) ->
+        if e.r_foil then None
+        else
+          let module S = (val e.r_scheme : Nbr_workload.Registry.SCHEME) in
+          let module RP = Read_path (S.Make (Rt)) in
+          Some (e.r_name, RP.measure))
+      Nbr_workload.Registry.all
 
   (* ns per signalAll broadcast (n-1 sends) while the victims poll: the
      sender-side cost of one NBR reclamation event. *)
@@ -200,8 +192,26 @@ module RtBench (Rt : Nbr_runtime.Runtime_intf.S) = struct
     !out
 end
 
+(* Serving-layer tracking run: closed-loop read-heavy traffic against a
+   small sharded store, so the recorded quantiles are service times (no
+   queueing model) — stable enough to regression-gate. *)
+module KvBench (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module K = Nbr_kv.Service.Make (Rt)
+
+  let run ~duration_ns =
+    let keyspace = 65_536 in
+    let st =
+      K.St.create
+        (K.St.Cfg.make ~nshards:4 ~keyspace ~scheme:"nbr+" ~nthreads:4 ())
+    in
+    let traffic = Nbr_workload.Traffic.make ~keyspace () in
+    K.run st (K.Cfg.make ~duration_ns ~seed:7 ~prefill:8192 ~traffic ())
+end
+
 module N = RtBench (Nbr_runtime.Native_rt)
 module S = RtBench (Nbr_runtime.Sim_rt)
+module KV_nat = KvBench (Nbr_runtime.Native_rt)
+module KV_sim = KvBench (Nbr_runtime.Sim_rt)
 module H_nat = Nbr_workload.Harness.Make (Nbr_runtime.Native_rt)
 module H_sim = Nbr_workload.Harness.Make (Nbr_runtime.Sim_rt)
 
@@ -257,6 +267,25 @@ let record_reclaim_tail run_trial =
           put "insert" l.T.lat_insert;
           put "delete" l.T.lat_delete)
     [ ("inline", None); ("reclaim", Some Nbr_reclaim.Reclaimer.On_pressure) ]
+
+(* kv_* entries from one serving-layer run; all ns, lower is better, so
+   the ratio gate applies directly (throughput is published inverted as
+   mean ns per request).  The p99s ride along under the ungated "kv/"
+   prefix: on the native runtime they are dominated by OS scheduling
+   noise, far too volatile for a 2x gate on shared CI runners. *)
+let record_kv (rep : Nbr_kv.Service.report) =
+  let g = rep.Nbr_kv.Service.rep_latency.Nbr_kv.Service.l_get
+  and p = rep.Nbr_kv.Service.rep_latency.Nbr_kv.Service.l_put in
+  record "kv_get_p50_ns" g.Nbr_obs.Histogram.s_p50;
+  record "kv_put_p50_ns" p.Nbr_obs.Histogram.s_p50;
+  record "kv_req_ns" (1e6 /. rep.Nbr_kv.Service.rep_throughput_kops);
+  record "kv/get_p99_ns" g.s_p99;
+  record "kv/put_p99_ns" p.s_p99;
+  Printf.printf
+    "  kv_get     p50 %10.1f  p99 %10.1f\n  kv_put     p50 %10.1f  p99 \
+     %10.1f\n  kv_req_ns      %10.1f\n%!"
+    g.Nbr_obs.Histogram.s_p50 g.s_p99 p.Nbr_obs.Histogram.s_p50 p.s_p99
+    (1e6 /. rep.Nbr_kv.Service.rep_throughput_kops)
 
 let write_json ~runtime ~mode ~path =
   let oc = open_out path in
@@ -317,7 +346,8 @@ let read_entries path =
 (* ------------------------------------------------------------------ *)
 (* Regression gate (CI): compare two result files.                     *)
 
-let guarded_prefixes = [ "read_path_1t/"; "read_path_mt/"; "alloc_free" ]
+let guarded_prefixes =
+  [ "read_path_1t/"; "read_path_mt/"; "alloc_free"; "kv_" ]
 
 let check ~baseline ~against ~max_ratio =
   let base = read_entries baseline and cur = read_entries against in
@@ -428,7 +458,7 @@ let () =
       List.iter
         (fun (scheme, structure) ->
           let cfg =
-            T.mk ~nthreads:mt_native ~duration_ns:dur ~key_range:256 ~seed:7
+            T.Cfg.make ~nthreads:mt_native ~duration_ns:dur ~key_range:256 ~seed:7
               ~smr:N.smr_cfg ()
           in
           let r = H_nat.run ~scheme ~structure cfg in
@@ -447,7 +477,7 @@ let () =
       (* Latency quantiles: one short harness trial with per-operation
          histograms on.  Cheap enough to run even in --quick/--no-wall. *)
       let lat_cfg =
-        T.mk ~nthreads:mt_native
+        T.Cfg.make ~nthreads:mt_native
           ~duration_ns:(if quick then 50_000_000 else 200_000_000)
           ~key_range:256 ~seed:7 ~smr:N.smr_cfg ~record_latency:true ()
       in
@@ -456,7 +486,7 @@ let () =
       (* Retire-heavy tail pair: inline vs background reclaimer. *)
       record_reclaim_tail (fun reclaim ->
           let cfg =
-            T.mk ~nthreads:mt_native
+            T.Cfg.make ~nthreads:mt_native
               ~duration_ns:(if quick then 50_000_000 else 200_000_000)
               ~key_range:128 ~ins_pct:50 ~del_pct:50 ~seed:7
               ~smr:(Nbr_core.Smr_config.with_threshold N.smr_cfg 64)
@@ -464,6 +494,10 @@ let () =
           in
           H_nat.run ~scheme:"nbr+" ~structure:"harris-list" cfg)
     end;
+    (* Same duration in quick mode: the run is 100ms of wall time, and a
+       shorter one over-weights warmup, skewing quick CI runs against
+       the committed standard-mode baseline. *)
+    if not alloc_only then record_kv (KV_nat.run ~duration_ns:100_000_000);
     write_json ~runtime:"native" ~mode
       ~path:(Filename.concat out_dir "BENCH_native.json")
   in
@@ -510,7 +544,7 @@ let () =
     if not alloc_only then begin
       (* Deterministic virtual-time latency quantiles. *)
       let lat_cfg =
-        T.mk ~nthreads:mt_sim ~duration_ns:2_000_000 ~key_range:256 ~seed:7
+        T.Cfg.make ~nthreads:mt_sim ~duration_ns:2_000_000 ~key_range:256 ~seed:7
           ~smr:S.smr_cfg ~record_latency:true ()
       in
       let r = H_sim.run ~scheme:"nbr" ~structure:"lazy-list" lat_cfg in
@@ -519,13 +553,14 @@ let () =
          (deterministic in virtual time). *)
       record_reclaim_tail (fun reclaim ->
           let cfg =
-            T.mk ~nthreads:mt_sim ~duration_ns:3_000_000 ~key_range:128
+            T.Cfg.make ~nthreads:mt_sim ~duration_ns:3_000_000 ~key_range:128
               ~ins_pct:50 ~del_pct:50 ~seed:7
               ~smr:(Nbr_core.Smr_config.with_threshold S.smr_cfg 64)
               ?reclaim ~record_latency:true ()
           in
           H_sim.run ~scheme:"nbr+" ~structure:"harris-list" cfg)
     end;
+    if not alloc_only then record_kv (KV_sim.run ~duration_ns:1_000_000);
     write_json ~runtime:"sim" ~mode
       ~path:(Filename.concat out_dir "BENCH_sim.json")
   in
@@ -548,7 +583,7 @@ let () =
   | path ->
       Nbr_obs.Trace.enable ~nthreads:4 ();
       let cfg =
-        T.mk ~nthreads:4 ~duration_ns:500_000 ~key_range:128 ~seed:11
+        T.Cfg.make ~nthreads:4 ~duration_ns:500_000 ~key_range:128 ~seed:11
           ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 64)
           ()
       in

@@ -222,7 +222,7 @@ let trial_cmd =
     if trace_out <> None then
       Nbr_obs.Trace.enable ~capacity:65536 ~nthreads:trace_threads ();
     let cfg =
-      T.mk ~nthreads:threads ~duration_ns ~key_range:range ~ins_pct:ins
+      T.Cfg.make ~nthreads:threads ~duration_ns ~key_range:range ~ins_pct:ins
         ~del_pct:del
         ~smr:
           (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default

@@ -16,7 +16,7 @@ let () =
   Sim.set_config { Sim.default_config with cores = 4 };
   let ok = ref true in
   let cfg =
-    Nbr.Workload.Trial.mk ~nthreads:6 ~duration_ns:1_500_000 ~key_range:256
+    Nbr.Workload.Trial.Cfg.make ~nthreads:6 ~duration_ns:1_500_000 ~key_range:256
       ~smr:(Nbr.Scheme.Config.with_threshold Nbr.Scheme.Config.default 64)
       ()
   in
@@ -29,7 +29,7 @@ let () =
         H_sim.structure_names)
     H_sim.scheme_names;
   (* Native spot-checks. *)
-  let ncfg = Nbr.Workload.Trial.mk ~nthreads:4 ~duration_ns:300_000_000 () in
+  let ncfg = Nbr.Workload.Trial.Cfg.make ~nthreads:4 ~duration_ns:300_000_000 () in
   List.iter
     (fun (s, d) -> ok := check (H_nat.run ~scheme:s ~structure:d ncfg) && !ok)
     [

@@ -17,7 +17,7 @@ let measure scheme =
   Sim.set_config { Sim.default_config with cores = 8; seed = 42 };
   let duration_ns = 4_000_000 in
   let cfg =
-    T.mk ~nthreads:8 ~duration_ns ~key_range:4096 ~ins_pct:50 ~del_pct:50
+    T.Cfg.make ~nthreads:8 ~duration_ns ~key_range:4096 ~ins_pct:50 ~del_pct:50
       ~smr:(Nbr.Scheme.Config.with_threshold Nbr.Scheme.Config.default 256)
       ~seed:42
       ~stall:{ T.stall_tid = 1; stall_ns = duration_ns }

@@ -1,0 +1,47 @@
+(* Serve a sharded key-value store through Nbr.Kv — the supported entry
+   point for using this library as a serving layer rather than a bare
+   data structure.
+
+   Run with:  dune exec examples/kv_service.exe
+
+   The store is 4 hash-set shards over NBR+ reclamation; traffic is
+   open-loop read-heavy Zipfian with a flash crowd in the middle of the
+   run (offered load jumps 8x for 20% of the trial).  Because workers
+   admit requests from a virtual arrival clock, the queueing delay the
+   crowd causes lands in the recorded latency — watch the gap between
+   p50 and p99.9.  Each shard also gets a background reclaimer kicked by
+   its pool's high watermark, so retire processing stays off the request
+   path. *)
+
+module Sim = Nbr.Runtime.Sim
+module K = Nbr.Kv.Service.Make (Sim)
+module Traffic = Nbr.Workload.Traffic
+
+let () =
+  Sim.set_config { Sim.default_config with cores = 16; seed = 42 };
+  let keyspace = 1 lsl 20 in
+  let store =
+    K.St.create
+      (K.St.Cfg.make ~nshards:4 ~keyspace ~scheme:"nbr+" ~nthreads:16
+         ~reclaim:Nbr.Reclaim.On_pressure ())
+  in
+  let traffic =
+    Traffic.make ~theta:0.99 ~mx:Traffic.read_heavy
+      ~shape:(Traffic.Flash_crowd { fc_at_pct = 40; fc_len_pct = 20; fc_mult = 8 })
+      ~rate_rps:1_000_000 ~keyspace ()
+  in
+  let report =
+    K.run store
+      (K.Cfg.make ~duration_ns:2_000_000 ~seed:42 ~prefill:20_000 ~traffic ())
+  in
+  Format.printf "%a@." Nbr.Kv.Service.pp_report report;
+  if not (Nbr.Kv.Service.valid report) then begin
+    print_endline "validation FAILED";
+    exit 1
+  end;
+  Printf.printf
+    "\n16 workers on 16 simulated cores; %d requests at %.0fk req/s.\n\
+     The flash crowd shows up as the p50 -> p99.9 spread: queueing\n\
+     delay while the offered load exceeds the service rate.\n"
+    report.Nbr.Kv.Service.rep_requests
+    report.Nbr.Kv.Service.rep_throughput_kops

@@ -34,7 +34,7 @@ let () =
     (fun scheme ->
       Sim.set_config { Sim.default_config with cores = 16; seed = 9 };
       let cfg =
-        T.mk ~nthreads:32 ~duration_ns:1_500_000 ~key_range ~ins_pct:25
+        T.Cfg.make ~nthreads:32 ~duration_ns:1_500_000 ~key_range ~ins_pct:25
           ~del_pct:25
           ~smr:
             (Nbr.Scheme.Config.with_threshold Nbr.Scheme.Config.default

@@ -1,0 +1,80 @@
+(** The request pipeline over a sharded {!Store}: open-loop workers
+    admit Zipfian traffic from a virtual arrival clock, group admissions
+    by destination shard, execute per-shard batches, and record
+    arrival→completion latency into log-linear histograms — so a flash
+    crowd that outruns the service rate shows up directly in the p99.9
+    tail.  Fault plans, churn, per-shard background reclamation and
+    tracing compose exactly as in the trial runner. *)
+
+type latency = {
+  l_get : Nbr_obs.Histogram.summary;
+  l_put : Nbr_obs.Histogram.summary;
+  l_del : Nbr_obs.Histogram.summary;
+  l_scan : Nbr_obs.Histogram.summary;
+}
+
+type report = {
+  rep_scheme : string;
+  rep_structure : string;
+  rep_runtime : string;
+  rep_nshards : int;
+  rep_nthreads : int;
+  rep_requests : int;
+  rep_throughput_kops : float;  (** thousand requests per second *)
+  rep_latency : latency;  (** arrival → completion, queueing included *)
+  rep_stats : Store.stats;
+  rep_garbage_bound : int;
+  rep_expected_size : int;  (** prefill + successful puts − deletes *)
+  rep_signal_faults : bool;
+  rep_foil : bool;
+  rep_bounded_claim : bool;
+}
+(** Runtime-independent, so sim and native sweeps share reporting
+    code. *)
+
+val valid : report -> bool
+(** Set semantics ([size = expected]); zero committed UAF for sound
+    schemes; zero counted UAF reads additionally required under the
+    simulator's exact delivery unless signal faults were injected. *)
+
+val bounded_ok : report -> bool
+(** The paper's P2 at the service level: worst per-shard per-thread
+    garbage within the shard bound.  Vacuously true for schemes that do
+    not claim bounded garbage. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
+  module St : module type of Store.Make (Rt)
+
+  module Cfg : sig
+    type t = {
+      duration_ns : int;
+      traffic : Nbr_workload.Traffic.t;
+      batch : int;  (** max admissions per pipeline turn *)
+      seed : int;
+      prefill : int;  (** uniform-random put attempts before the clock *)
+      faults : Nbr_fault.Fault_plan.t option;
+      churn_ops : int;
+          (** per-worker requests between churn cycles; 0 = off *)
+    }
+
+    val make :
+      ?duration_ns:int ->
+      ?batch:int ->
+      ?seed:int ->
+      ?prefill:int ->
+      ?faults:Nbr_fault.Fault_plan.t ->
+      ?churn_ops:int ->
+      traffic:Nbr_workload.Traffic.t ->
+      unit ->
+      t
+    (** Defaults: 2 ms, batch 32, seed 1, no prefill, no faults, no
+        churn. *)
+  end
+
+  val run : St.t -> Cfg.t -> report
+  (** Prefill, then [Rt.run] with the store's workers plus (if
+      configured) one reclaimer fiber/domain per shard.  The store must
+      have been created with the same worker count it is served with. *)
+end

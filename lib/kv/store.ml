@@ -1,0 +1,398 @@
+(* Sharded key-value store over the DS + SMR + pool stack (DESIGN.md §14).
+
+   Each shard owns one structure instance (hash-set or (a,b)-tree) over
+   its own pool and its own instance of the selected reclamation scheme,
+   so shards share nothing: keys are routed by a multiplicative hash
+   distinct from the structures' internal bucket hash.  The scheme is
+   picked at runtime by name through {!Nbr_workload.Registry}; its module
+   types are erased behind per-shard closure records, so one [t] can hold
+   any of the ten schemes without functorizing every caller.
+
+   Thread model: worker tids [0, nthreads) register with every shard (a
+   request for any key may land on any shard).  With background
+   reclamation enabled, shard [i] additionally gets its own reclaimer
+   role at tid [nthreads + i], wired to that shard's pool watermarks —
+   the serving-layer analogue of the trial runner's single reclaimer. *)
+
+(* Aggregated per-store counters: runtime-independent (plain ints), so
+   reports from different runtimes share one type. *)
+type stats = {
+  st_size : int;
+  st_in_use : int;
+  st_peak_in_use : int;
+  st_uaf_reads : int;
+  st_committed_uaf : int;
+  st_max_garbage : int;
+  st_peak_garbage : int;
+  st_pressure_events : int;
+  st_alloc_retries : int;
+  st_restarts : int;
+  st_degrades : int;
+  st_restores : int;
+}
+
+module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
+  module P = Nbr_pool.Pool.Make (Rt)
+
+  module Cfg = struct
+    type t = {
+      scheme : string;
+      structure : string;  (** ["hash-set"] or ["ab-tree"] *)
+      nshards : int;
+      nthreads : int;  (** worker threads; tids in [0, nthreads) *)
+      keyspace : int;  (** keys are in [0, keyspace) *)
+      shard_capacity : int;  (** pool slots per shard *)
+      smr : Nbr_core.Smr_config.t;
+      reclaim : Nbr_reclaim.Reclaimer.policy option;
+          (** per-shard background reclaimer role + pool watermarks *)
+      reclaimer_faults : Nbr_fault.Fault_plan.reclaimer_fault list;
+          (** fault schedule applied to {e every} shard's reclaimer *)
+    }
+
+    let structures = [ "hash-set"; "ab-tree" ]
+
+    let make ?(structure = "hash-set") ?(nshards = 8)
+        ?(keyspace = 1 lsl 20) ?shard_capacity
+        ?(smr = Nbr_core.Smr_config.default) ?reclaim
+        ?(reclaimer_faults = []) ~scheme ~nthreads () =
+      if nshards < 1 then invalid_arg "Kv.Store.Cfg.make: nshards < 1";
+      if nthreads < 1 then invalid_arg "Kv.Store.Cfg.make: nthreads < 1";
+      if keyspace < 2 then invalid_arg "Kv.Store.Cfg.make: keyspace < 2";
+      if not (List.mem structure structures) then
+        invalid_arg
+          ("Kv.Store.Cfg.make: unknown structure " ^ structure
+         ^ " (kv shards are hash-set or ab-tree)");
+      ignore (Nbr_workload.Registry.find_exn scheme);
+      if not (Nbr_workload.Registry.supported ~scheme ~structure) then
+        invalid_arg
+          ("Kv.Store.Cfg.make: " ^ scheme ^ " cannot run " ^ structure
+         ^ " safely (paper P5); use ab-tree");
+      let shard_capacity =
+        match shard_capacity with
+        | Some c ->
+            if c < 256 then
+              invalid_arg "Kv.Store.Cfg.make: shard_capacity < 256";
+            c
+        | None ->
+            (* Sized for the live set a Zipfian run actually touches,
+               not the whole keyspace; clamped because sim pool cells
+               are the memory cost of a big run.  Heavy drivers pass it
+               explicitly. *)
+            min 262_144 (max 8192 (keyspace / (2 * nshards)))
+      in
+      {
+        scheme;
+        structure;
+        nshards;
+        nthreads;
+        keyspace;
+        shard_capacity;
+        smr;
+        reclaim;
+        reclaimer_faults;
+      }
+  end
+
+  (* One shard, module types erased: every closure already knows its
+     scheme, structure, pool and contexts. *)
+  type shard = {
+    sh_contains : tid:int -> int -> bool;
+    sh_insert : tid:int -> int -> bool;
+    sh_delete : tid:int -> int -> bool;
+    sh_size : unit -> int;
+    sh_stall : tid:int -> int -> unit;
+    sh_crash : tid:int -> unit;
+    sh_hog : slots:int -> ns:int -> unit;
+    sh_churn : tid:int -> unit;
+    sh_drain : tid:int -> unit;
+    sh_reclaimer_run : unit -> unit;
+    sh_reclaimer_stop : unit -> unit;
+    sh_offload_counts : unit -> int * int;
+    sh_pool_stats : unit -> P.stats;
+    sh_smr_stats : unit -> Nbr_core.Smr_stats.t;
+    sh_reset_peak : unit -> unit;
+    sh_bound : int;
+    sh_bounded_claim : bool;
+  }
+
+  type t = { cfg : Cfg.t; shards : shard array; foil : bool }
+
+  let build_shard (cfg : Cfg.t) ~total ~tid_reclaimer
+      (module S : Nbr_workload.Registry.SCHEME) : shard =
+    let module Smr = S.Make (Rt) in
+    let module Build
+        (Ds : sig
+           type t
+
+           val data_fields : int
+           val ptr_fields : int
+           val max_reservations : int
+           val create : P.t -> t
+           val contains : t -> Smr.ctx -> int -> bool
+           val insert : t -> Smr.ctx -> int -> bool
+           val delete : t -> Smr.ctx -> int -> bool
+           val size : t -> int
+         end) =
+    struct
+      module R = Nbr_reclaim.Reclaimer.Make (Rt) (Smr)
+
+      let shard () =
+        let pool =
+          P.create ~capacity:cfg.shard_capacity ~data_fields:Ds.data_fields
+            ~ptr_fields:Ds.ptr_fields ~nthreads:total ()
+        in
+        let smr_cfg =
+          {
+            cfg.smr with
+            Nbr_core.Smr_config.max_reservations = Ds.max_reservations;
+          }
+        in
+        let smr = Smr.create pool ~nthreads:total smr_cfg in
+        let ds = Ds.create pool in
+        let ctxs =
+          Array.init cfg.nthreads (fun tid -> Smr.register smr ~tid)
+        in
+        let recl =
+          match cfg.reclaim with
+          | None -> None
+          | Some policy ->
+              let r =
+                R.create ~policy
+                  ~max_backlog:
+                    (max 64 (2 * smr_cfg.Nbr_core.Smr_config.bag_threshold))
+                  ~faults:cfg.reclaimer_faults smr ~tid:tid_reclaimer
+              in
+              (* Same hysteresis as the trial runner: high crossing kicks
+                 the shard's reclaimer well before on_pressure territory. *)
+              let cap = cfg.shard_capacity in
+              P.set_watermarks pool ~lo:(cap / 2)
+                ~hi:(cap - (cap / 4))
+                ~on_high:(fun () -> R.kick r);
+              Some r
+        in
+        {
+          sh_contains = (fun ~tid k -> Ds.contains ds ctxs.(tid) k);
+          sh_insert = (fun ~tid k -> Ds.insert ds ctxs.(tid) k);
+          sh_delete = (fun ~tid k -> Ds.delete ds ctxs.(tid) k);
+          sh_size = (fun () -> Ds.size ds);
+          sh_stall =
+            (fun ~tid ns ->
+              (* E2's delayed thread, at the serving layer: pause inside
+                 a read phase on this shard, pinning whatever the scheme
+                 pins for in-flight operations. *)
+              let ctx = ctxs.(tid) in
+              let stalled = ref false in
+              Smr.begin_op ctx;
+              Smr.read_only ctx (fun () ->
+                  if not !stalled then begin
+                    stalled := true;
+                    Rt.stall_ns ns
+                  end);
+              Smr.end_op ctx);
+          sh_crash =
+            (fun ~tid ->
+              (* Die mid-operation: enter but never leave. *)
+              Smr.begin_op ctxs.(tid));
+          sh_hog =
+            (fun ~slots ~ns ->
+              (* Manufactured pool pressure against this shard: raw
+                 slots, no reclamation flush — the hog is the adversary,
+                 not an SMR client. *)
+              let held = ref [] in
+              (try
+                 for _ = 1 to slots do
+                   held := P.alloc pool :: !held
+                 done
+               with P.Exhausted _ -> ());
+              Rt.stall_ns ns;
+              List.iter (fun s -> P.free pool s) !held);
+          sh_churn =
+            (fun ~tid ->
+              Smr.deregister ctxs.(tid);
+              ctxs.(tid) <- Smr.register smr ~tid);
+          sh_drain =
+            (fun ~tid ->
+              ignore (Smr.collect_handoffs ctxs.(tid));
+              Smr.adopt_orphans ctxs.(tid);
+              Smr.on_pressure ctxs.(tid));
+          sh_reclaimer_run =
+            (fun () -> match recl with Some r -> R.run r | None -> ());
+          sh_reclaimer_stop =
+            (fun () -> match recl with Some r -> R.stop r | None -> ());
+          sh_offload_counts =
+            (fun () ->
+              match recl with
+              | None -> (0, 0)
+              | Some r ->
+                  let o = R.offload r in
+                  ( Atomic.get o.Nbr_core.Smr_intf.Offload.degrades,
+                    Atomic.get o.Nbr_core.Smr_intf.Offload.restores ));
+          sh_pool_stats = (fun () -> P.stats pool);
+          sh_smr_stats = (fun () -> Smr.stats smr);
+          sh_reset_peak = (fun () -> P.reset_peak pool);
+          sh_bound =
+            (* The trial runner's bound with the live-set term scaled to
+               one shard's share of the keyspace (capped by capacity:
+               the pool cannot hold more).  See Trial.garbage_bound. *)
+            (smr_cfg.Nbr_core.Smr_config.bag_threshold
+            + (total * Ds.max_reservations)
+            + (2 * min (cfg.keyspace / cfg.nshards) cfg.shard_capacity)
+            + 64);
+          sh_bounded_claim = Smr.bounded_garbage;
+        }
+    end in
+    match cfg.structure with
+    | "hash-set" ->
+        let module B = Build (struct
+          module H = Nbr_ds.Hash_set.Make (Rt) (Smr)
+
+          type t = H.t
+
+          let data_fields = H.data_fields
+          let ptr_fields = H.ptr_fields
+          let max_reservations = H.max_reservations
+
+          let create pool =
+            (* Buckets sized to keep chains short at shard occupancy. *)
+            H.create ~buckets:(max 64 (cfg.shard_capacity / 128)) pool
+
+          let contains = H.contains
+          let insert = H.insert
+          let delete = H.delete
+          let size = H.size
+        end) in
+        B.shard ()
+    | "ab-tree" ->
+        let module B = Build (Nbr_ds.Ab_tree.Make (Rt) (Smr)) in
+        B.shard ()
+    | s -> invalid_arg ("Kv.Store: unknown structure " ^ s)
+
+  let create (cfg : Cfg.t) =
+    let entry = Nbr_workload.Registry.find_exn cfg.scheme in
+    let total =
+      cfg.nthreads
+      + (match cfg.reclaim with None -> 0 | Some _ -> cfg.nshards)
+    in
+    let shards =
+      Array.init cfg.nshards (fun i ->
+          build_shard cfg ~total ~tid_reclaimer:(cfg.nthreads + i)
+            entry.Nbr_workload.Registry.r_scheme)
+    in
+    { cfg; shards; foil = entry.Nbr_workload.Registry.r_foil }
+
+  let cfg t = t.cfg
+  let nshards t = t.cfg.Cfg.nshards
+  let nthreads t = t.cfg.Cfg.nthreads
+  let keyspace t = t.cfg.Cfg.keyspace
+  let reclaim_on t = t.cfg.Cfg.reclaim <> None
+  let foil t = t.foil
+  let bounded_claim t = t.shards.(0).sh_bounded_claim
+
+  (* Key → shard routing: a SplitMix64-style finalizer, deliberately
+     different from the hash-set's internal Fibonacci bucket hash so
+     shard choice and bucket choice stay independent. *)
+  let shard_of t k =
+    let h = k lxor (k lsr 33) in
+    let h = h * 0x2545f4914f6cdd1d land max_int in
+    let h = h lxor (h lsr 29) in
+    h mod t.cfg.Cfg.nshards
+
+  let get t ~tid k = t.shards.(shard_of t k).sh_contains ~tid k
+  let put t ~tid k = t.shards.(shard_of t k).sh_insert ~tid k
+  let delete t ~tid k = t.shards.(shard_of t k).sh_delete ~tid k
+
+  (* Shard-local scan: [len] membership probes starting at [k], all
+     against [k]'s shard — the single-partition leg of a scatter-gather
+     range read on a hash-partitioned store.  Returns the hit count. *)
+  let scan t ~tid k len =
+    let sh = t.shards.(shard_of t k) in
+    let hits = ref 0 in
+    for i = 0 to len - 1 do
+      if sh.sh_contains ~tid ((k + i) mod t.cfg.Cfg.keyspace) then incr hits
+    done;
+    !hits
+
+  let shard_of_op t (op : Nbr_workload.Traffic.op) =
+    match op with
+    | Get k | Put k | Delete k | Scan (k, _) -> shard_of t k
+
+  (* Execute [op] on shard [shard] (which must be [shard_of_op t op] —
+     the batching pipeline groups requests per shard before executing).
+     Returns 1 for a successful update / present key, else 0; scans
+     return their hit count. *)
+  let exec_on t ~tid ~shard (op : Nbr_workload.Traffic.op) =
+    let sh = t.shards.(shard) in
+    match op with
+    | Get k -> if sh.sh_contains ~tid k then 1 else 0
+    | Put k -> if sh.sh_insert ~tid k then 1 else 0
+    | Delete k -> if sh.sh_delete ~tid k then 1 else 0
+    | Scan (k, len) ->
+        let hits = ref 0 in
+        for i = 0 to len - 1 do
+          if sh.sh_contains ~tid ((k + i) mod t.cfg.Cfg.keyspace) then
+            incr hits
+        done;
+        !hits
+
+  let size t =
+    Array.fold_left (fun acc sh -> acc + sh.sh_size ()) 0 t.shards
+
+  (* Fault / lifecycle verbs the service pipeline composes.  Stalls and
+     crashes target shard 0: the victim holds (or abandons) an in-flight
+     operation on one shard, and — faults being the only time this
+     matters — the armed watchdogs of {e every} shard can reap the
+     frozen thread via its stopped heartbeat. *)
+  let stall t ~tid ns = t.shards.(0).sh_stall ~tid ns
+  let crash t ~tid = t.shards.(0).sh_crash ~tid
+  let hog t ~slots ~ns = t.shards.(0).sh_hog ~slots ~ns
+  let churn t ~tid = Array.iter (fun sh -> sh.sh_churn ~tid) t.shards
+  let drain t ~tid = Array.iter (fun sh -> sh.sh_drain ~tid) t.shards
+  let run_reclaimer t i = t.shards.(i).sh_reclaimer_run ()
+
+  let stop_reclaimers t =
+    Array.iter (fun sh -> sh.sh_reclaimer_stop ()) t.shards
+
+  let reset_peaks t = Array.iter (fun sh -> sh.sh_reset_peak ()) t.shards
+
+  let garbage_bound t =
+    Array.fold_left (fun acc sh -> max acc sh.sh_bound) 0 t.shards
+
+  let stats t =
+    Array.fold_left
+      (fun acc sh ->
+        let ps = sh.sh_pool_stats () in
+        let ss = sh.sh_smr_stats () in
+        let d, r = sh.sh_offload_counts () in
+        {
+          st_size = acc.st_size + sh.sh_size ();
+          st_in_use = acc.st_in_use + ps.P.s_in_use;
+          st_peak_in_use = acc.st_peak_in_use + ps.P.s_peak_in_use;
+          st_uaf_reads = acc.st_uaf_reads + ps.P.s_uaf_reads;
+          st_committed_uaf =
+            acc.st_committed_uaf + Nbr_core.Smr_stats.committed_uaf ss;
+          st_max_garbage =
+            max acc.st_max_garbage (Nbr_core.Smr_stats.max_garbage ss);
+          st_peak_garbage = max acc.st_peak_garbage ps.P.s_peak_garbage;
+          st_pressure_events =
+            acc.st_pressure_events + ps.P.s_pressure_events;
+          st_alloc_retries = acc.st_alloc_retries + ps.P.s_alloc_retries;
+          st_restarts = acc.st_restarts + Nbr_core.Smr_stats.restarts ss;
+          st_degrades = acc.st_degrades + d;
+          st_restores = acc.st_restores + r;
+        })
+      {
+        st_size = 0;
+        st_in_use = 0;
+        st_peak_in_use = 0;
+        st_uaf_reads = 0;
+        st_committed_uaf = 0;
+        st_max_garbage = 0;
+        st_peak_garbage = 0;
+        st_pressure_events = 0;
+        st_alloc_retries = 0;
+        st_restarts = 0;
+        st_degrades = 0;
+        st_restores = 0;
+      }
+      t.shards
+end

@@ -63,9 +63,20 @@ end
 module Ds = Nbr_ds
 
 (** The benchmark/validation harness: {!Workload.Trial} configs and
-    results, {!Workload.Harness} (scheme × structure registry),
+    results, {!Workload.Registry} (the scheme-name → functor table),
+    {!Workload.Traffic} (Zipfian production-shaped load),
+    {!Workload.Harness} (scheme × structure matrix),
     {!Workload.Experiments} (the paper's figures), {!Workload.Table}. *)
 module Workload = Nbr_workload
+
+(** The serving layer (DESIGN.md §14), and the supported entry point for
+    building a service on this stack: {!Kv.Store.Make} shards a
+    key-value store across per-shard structure × scheme × pool
+    instances, {!Kv.Service.Make} drives it with {!Workload.Traffic}
+    through a batching request pipeline that records arrival→completion
+    latency — flash crowds, fault plans, churn and per-shard background
+    reclamation all compose.  See examples/kv_service.ml. *)
+module Kv = Nbr_kv
 
 (** Observability: {!Obs.Trace} (flag-gated event rings, Chrome
     trace-event export) and {!Obs.Histogram} (log-bucket latency
@@ -84,7 +95,7 @@ module Fault = Nbr_fault.Fault_plan
     retire-count, or watermark pressure).  Workers degrade to inline
     reclamation when the reclaimer stalls or crashes and restore when
     it returns.  Usually engaged by passing [?reclaim] to
-    {!Workload.Trial.mk}; [Reclaim.Make] is the standalone functor. *)
+    {!Workload.Trial.Cfg.make}; [Reclaim.Make] is the standalone functor. *)
 module Reclaim = Nbr_reclaim.Reclaimer
 
 (** Analysis suite: {!Check.Explore} (schedule-exploring model checker

@@ -66,7 +66,7 @@ let run_point ~scheme ~structure ~profile ~key_range ~smr_threshold ~nthreads
     (fun seed ->
       Sim.set_config { base_sim_config with seed };
       let cfg =
-        Trial.mk ~nthreads ~duration_ns:profile.duration_ns ~key_range
+        Trial.Cfg.make ~nthreads ~duration_ns:profile.duration_ns ~key_range
           ~ins_pct:ins ~del_pct:del
           ~smr:
             (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
@@ -216,7 +216,7 @@ let memory_experiment ~title ~stalled quick =
                 else None
               in
               let cfg =
-                Trial.mk ~nthreads ~duration_ns:duration ~key_range:65536
+                Trial.Cfg.make ~nthreads ~duration_ns:duration ~key_range:65536
                   ~ins_pct:50 ~del_pct:50
                   ~smr:
                     (Nbr_core.Smr_config.with_threshold
@@ -313,7 +313,7 @@ let chaos quick =
           in
           Sim.set_config { base_sim_config with seed };
           let cfg =
-            Trial.mk ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
+            Trial.Cfg.make ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
               ~del_pct:50
               ~smr:
                 (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
@@ -357,7 +357,7 @@ let churn_trial ~scheme ~structure ~nthreads ~duration ~key_range ~seed
   Sim.set_config { base_sim_config with seed };
   Nbr_obs.Trace.enable ~nthreads ();
   let cfg =
-    Trial.mk ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
+    Trial.Cfg.make ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
       ~del_pct:50
       ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 64)
       ~seed ?faults ~churn_ops ()
@@ -584,7 +584,7 @@ let ablation_fences quick =
         }
       in
       let cfg =
-        Trial.mk ~nthreads:6
+        Trial.Cfg.make ~nthreads:6
           ~duration_ns:(if quick then 150_000_000 else 600_000_000)
           ~key_range:64 ~ins_pct:40 ~del_pct:40 ~smr ~seed:3 ()
       in
@@ -626,7 +626,7 @@ let reclaim quick =
         (fun (mode, reclaim) ->
           Sim.set_config { base_sim_config with seed = 31 };
           let cfg =
-            Trial.mk ~nthreads ~duration_ns:lat_duration ~key_range
+            Trial.Cfg.make ~nthreads ~duration_ns:lat_duration ~key_range
               ~ins_pct:50 ~del_pct:50
               ~smr:
                 (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
@@ -689,7 +689,7 @@ let reclaim quick =
             else None
           in
           let cfg =
-            Trial.mk ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
+            Trial.Cfg.make ~nthreads ~duration_ns:duration ~key_range ~ins_pct:50
               ~del_pct:50
               ~smr:
                 (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default

@@ -1,8 +1,8 @@
-(** The scheme × structure registry for one runtime.
+(** The scheme × structure trial matrix for one runtime.
 
-    Instantiates every reclamation scheme against every data structure and
-    exposes uniform [run] entry points keyed by name, so experiment
-    definitions (and the CLI) can express figures as data. *)
+    Instantiates every sound scheme from {!Registry} against every data
+    structure and exposes uniform [run] entry points keyed by name, so
+    experiment definitions (and the CLI) can express figures as data. *)
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   module For_scheme
@@ -46,62 +46,23 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       ]
   end
 
-  module S_nbr = For_scheme (Nbr_core.Nbr.Make (Rt))
-  module S_nbrp = For_scheme (Nbr_core.Nbr_plus.Make (Rt))
-  module S_debra = For_scheme (Nbr_core.Debra.Make (Rt))
-  module S_qsbr = For_scheme (Nbr_core.Qsbr.Make (Rt))
-  module S_rcu = For_scheme (Nbr_core.Rcu.Make (Rt))
-  module S_ibr = For_scheme (Nbr_core.Ibr.Make (Rt))
-  module S_hp = For_scheme (Nbr_core.Hp.Make (Rt))
-  module S_he = For_scheme (Nbr_core.Hazard_eras.Make (Rt))
-  module S_leaky = For_scheme (Nbr_core.Leaky.Make (Rt))
+  let runners_of (module S : Registry.SCHEME) =
+    let module Smr = S.Make (Rt) in
+    let module F = For_scheme (Smr) in
+    F.runners
 
   let schemes =
-    [
-      ("nbr", S_nbr.runners);
-      ("nbr+", S_nbrp.runners);
-      ("debra", S_debra.runners);
-      ("qsbr", S_qsbr.runners);
-      ("rcu", S_rcu.runners);
-      ("ibr", S_ibr.runners);
-      ("hp", S_hp.runners);
-      ("he", S_he.runners);
-      ("none", S_leaky.runners);
-    ]
+    List.filter_map
+      (fun e ->
+        if e.Registry.r_foil then None
+        else Some (e.Registry.r_name, runners_of e.Registry.r_scheme))
+      Registry.all
 
   let scheme_names = List.map fst schemes
+  let structure_names = Registry.structure_names
+  let unsupported = Registry.unsupported
+  let supported = Registry.supported
 
-  let structure_names =
-    [
-      "lazy-list"; "dgt-tree"; "harris-list"; "ab-tree"; "hash-set";
-      "skip-list";
-    ]
-
-  (* Era/hazard protection cannot cover traversals through unlinked
-     records (paper P5), and the rotation-window HP/HE variants here
-     cannot keep a skiplist's many cross-level predecessors protected:
-     never pair these schemes with those structures.  IBR shares the P5
-     half of that: its era ratchet cannot protect a mark-tagged link read
-     out of an already-retired record (a thread descheduled mid-traversal
-     can wake inside one whose frozen link points at a freed record born
-     after its announced upper bound — found by the churn QCheck property),
-     so the [read_raw]-traversing structures are off limits to it too.
-     IBR's validated [read_ptr] keeps it safe on the remaining structures,
-     skiplist included. *)
-  let unsupported =
-    [
-      ("hp", "harris-list"); ("hp", "hash-set"); ("hp", "skip-list");
-      ("he", "harris-list"); ("he", "hash-set"); ("he", "skip-list");
-      ("ibr", "harris-list"); ("ibr", "hash-set");
-    ]
-
-  let supported ~scheme ~structure =
-    not (List.mem (scheme, structure) unsupported)
-
-  (** [run ~scheme ~structure cfg] executes one trial.  Raises
-      [Invalid_argument] for unknown names; note that HP cannot run the
-      mark-traversing structures (harris-list) safely — callers follow the
-      paper and never ask for that pairing. *)
   let run ~scheme ~structure cfg =
     match List.assoc_opt scheme schemes with
     | None -> invalid_arg ("Harness.run: unknown scheme " ^ scheme)

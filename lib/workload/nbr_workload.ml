@@ -2,6 +2,8 @@
     experiment definitions that regenerate the paper's figures. *)
 
 module Trial = Trial
+module Registry = Registry
+module Traffic = Traffic
 module Runner = Runner
 module Harness = Harness
 module Table = Table

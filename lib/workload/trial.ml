@@ -15,71 +15,94 @@ type stall = {
     paper's thread that is "made to sleep within a data-structure
     operation". *)
 
-type cfg = {
+module Cfg = struct
+  type t = {
+    nthreads : int;
+    duration_ns : int;
+        (** measured with the runtime's clock (virtual in sim) *)
+    key_range : int;  (** keys are drawn uniformly from [0, key_range) *)
+    prefill : int;  (** distinct keys inserted before the clock starts *)
+    ins_pct : int;  (** percent of operations that are inserts *)
+    del_pct : int;  (** percent deletes; the rest are contains *)
+    smr : Nbr_core.Smr_config.t;
+    pool_capacity : int;
+    seed : int;
+    stall : stall option;
+    faults : Nbr_fault.Fault_plan.t option;
+        (** chaos schedule (multi-thread stalls, crashes, hogs, signal
+            faults) interpreted by the runner; [stall] above is the simpler
+            fixed-thread E2 knob and composes with it *)
+    churn_ops : int;
+        (** dynamic membership: when positive, every worker except thread 0
+            deregisters from the scheme and re-registers after each
+            [churn_ops] completed operations, orphaning whatever it had
+            buffered for the survivors to adopt.  0 = static membership. *)
+    reclaim : Nbr_reclaim.Reclaimer.policy option;
+        (** background reclamation: when set, the runner adds one extra
+            thread running the {!Nbr_reclaim.Reclaimer} role under this
+            policy, installs pool watermarks wired to its pressure kick,
+            and workers export threshold-crossing limbo bags to it instead
+            of sweeping inline.  Reclaimer faults in [faults] are
+            interpreted by that role.  [None] = classic inline trial. *)
+    record_latency : bool;
+        (** per-operation latency + restarts-per-op histograms (two clock
+            reads and two O(1) histogram inserts per operation while on —
+            a single bool check while off) *)
+  }
+
+  let make ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
+      ?prefill ?(ins_pct = 25) ?(del_pct = 25)
+      ?(smr = Nbr_core.Smr_config.default) ?pool_capacity ?(seed = 1) ?stall
+      ?faults ?(churn_ops = 0) ?reclaim ?(record_latency = false) () =
+    let prefill = match prefill with Some p -> p | None -> key_range / 2 in
+    let pool_capacity =
+      match pool_capacity with
+      | Some c -> c
+      | None ->
+          (* Room for the live structure plus leaky churn.  Structures
+             allocate at most ~2 records per element (tree routers, CoW);
+             leaky runs additionally consume a slot per update.  Kept tight
+             because pool construction cost is per-trial; trials that
+             genuinely need more pass [pool_capacity] explicitly. *)
+          (4 * key_range) + 200_000 + (nthreads * 12_000)
+    in
+    {
+      nthreads;
+      duration_ns;
+      key_range;
+      prefill;
+      ins_pct;
+      del_pct;
+      smr;
+      pool_capacity;
+      seed;
+      stall;
+      faults;
+      churn_ops;
+      reclaim;
+      record_latency;
+    }
+end
+
+type cfg = Cfg.t = {
   nthreads : int;
-  duration_ns : int;  (** measured with the runtime's clock (virtual in sim) *)
-  key_range : int;  (** keys are drawn uniformly from [0, key_range) *)
-  prefill : int;  (** distinct keys inserted before the clock starts *)
-  ins_pct : int;  (** percent of operations that are inserts *)
-  del_pct : int;  (** percent deletes; the rest are contains *)
+  duration_ns : int;
+  key_range : int;
+  prefill : int;
+  ins_pct : int;
+  del_pct : int;
   smr : Nbr_core.Smr_config.t;
   pool_capacity : int;
   seed : int;
   stall : stall option;
   faults : Nbr_fault.Fault_plan.t option;
-      (** chaos schedule (multi-thread stalls, crashes, hogs, signal
-          faults) interpreted by the runner; [stall] above is the simpler
-          fixed-thread E2 knob and composes with it *)
   churn_ops : int;
-      (** dynamic membership: when positive, every worker except thread 0
-          deregisters from the scheme and re-registers after each
-          [churn_ops] completed operations, orphaning whatever it had
-          buffered for the survivors to adopt.  0 = static membership. *)
   reclaim : Nbr_reclaim.Reclaimer.policy option;
-      (** background reclamation: when set, the runner adds one extra
-          thread running the {!Nbr_reclaim.Reclaimer} role under this
-          policy, installs pool watermarks wired to its pressure kick,
-          and workers export threshold-crossing limbo bags to it instead
-          of sweeping inline.  Reclaimer faults in [faults] are
-          interpreted by that role.  [None] = classic inline trial. *)
   record_latency : bool;
-      (** per-operation latency + restarts-per-op histograms (two clock
-          reads and two O(1) histogram inserts per operation while on —
-          a single bool check while off) *)
 }
-
-let mk ?(nthreads = 4) ?(duration_ns = 2_000_000) ?(key_range = 1024)
-    ?prefill ?(ins_pct = 25) ?(del_pct = 25)
-    ?(smr = Nbr_core.Smr_config.default) ?pool_capacity ?(seed = 1)
-    ?stall ?faults ?(churn_ops = 0) ?reclaim ?(record_latency = false) () =
-  let prefill = match prefill with Some p -> p | None -> key_range / 2 in
-  let pool_capacity =
-    match pool_capacity with
-    | Some c -> c
-    | None ->
-        (* Room for the live structure plus leaky churn.  Structures
-           allocate at most ~2 records per element (tree routers, CoW);
-           leaky runs additionally consume a slot per update.  Kept tight
-           because pool construction cost is per-trial; trials that
-           genuinely need more pass [pool_capacity] explicitly. *)
-        (4 * key_range) + 200_000 + (nthreads * 12_000)
-  in
-  {
-    nthreads;
-    duration_ns;
-    key_range;
-    prefill;
-    ins_pct;
-    del_pct;
-    smr;
-    pool_capacity;
-    seed;
-    stall;
-    faults;
-    churn_ops;
-    reclaim;
-    record_latency;
-  }
+(** Re-export of {!Cfg.t} so existing field accesses ([cfg.key_range])
+    keep working; construct via {!Cfg.make}, never by record literal —
+    new knobs get defaults there instead of churning every caller. *)
 
 (** Whether the configuration tampers with neutralization signals.
     Delayed handlers open a window in which a reader keeps traversing

@@ -17,5 +17,7 @@ let () =
       ("lifecycle", Test_lifecycle.suite);
       ("native-runtime", Test_native.suite);
       ("obs", Test_obs.suite);
+      ("traffic", Test_traffic.suite);
+      ("kv", Test_kv.suite);
       ("check", Test_check.suite);
     ]

@@ -520,7 +520,7 @@ let smoke_scenario ~scheme ~structure () =
   Sim.set_config det_config;
   Sim.set_max_events 5_000_000;
   let cfg =
-    Nbr_workload.Trial.mk ~nthreads:2 ~duration_ns:20_000 ~key_range:16
+    Nbr_workload.Trial.Cfg.make ~nthreads:2 ~duration_ns:20_000 ~key_range:16
       ~seed:11 ()
   in
   let san =

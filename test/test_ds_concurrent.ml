@@ -26,7 +26,7 @@ let run_combo ~scheme ~structure ~seed ?(nthreads = 5) ?(key_range = 128)
     ~finally:(fun () -> Sim.set_max_events 0)
     (fun () ->
       let cfg =
-        T.mk ~nthreads ~duration_ns ~key_range
+        T.Cfg.make ~nthreads ~duration_ns ~key_range
           ~smr:
             (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default
                threshold)

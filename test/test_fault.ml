@@ -168,7 +168,7 @@ let chaos_trial ~seed ~signal scheme =
   let structure = structure_for scheme in
   Sim.set_config { Sim.default_config with cores = 8; granularity = 400; seed };
   let cfg =
-    T.mk ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50 ~del_pct:50
+    T.Cfg.make ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50 ~del_pct:50
       ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 32)
       ~seed ~faults:plan ()
   in
@@ -211,7 +211,7 @@ let chaos_native_case scheme =
       in
       let structure = structure_for scheme in
       let cfg =
-        T.mk ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50
+        T.Cfg.make ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50
           ~del_pct:50
           ~smr:
             (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 32)
@@ -254,7 +254,7 @@ let chaos_outstanding_case scheme =
       Sim.set_config
         { Sim.default_config with cores = 8; granularity = 400; seed = 17 };
       let cfg =
-        T.mk ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50
+        T.Cfg.make ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50
           ~del_pct:50
           ~smr:
             (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default

@@ -1,0 +1,189 @@
+(* KV serving-layer tests on the deterministic simulator.
+
+   The oracle trick: each worker owns the keys congruent to its tid, so
+   every key's operation sequence is single-threaded and replaying the
+   per-thread logs sequentially gives the exact expected final
+   membership — while the shards themselves still see full concurrency
+   (threads collide on buckets, SMR phases, and the pool, just never on
+   the same key).  Runs over every registered scheme, asserting zero
+   committed UAF for the sound ones. *)
+
+module Sim = Nbr_runtime.Sim_rt
+module St = Nbr_kv.Store.Make (Sim)
+module Svc = Nbr_kv.Service.Make (Sim)
+module Registry = Nbr_workload.Registry
+module Traffic = Nbr_workload.Traffic
+module Rng = Nbr_sync.Rng
+
+let nthreads = 4
+let nshards = 2
+let keyspace = 2048
+let ops_per_thread = 1500
+
+(* Pre-drawn per-thread op logs (deterministic), shared by the
+   concurrent run and the sequential oracle. *)
+let op_logs seed =
+  Array.init nthreads (fun tid ->
+      let rng = Rng.for_thread ~seed ~tid in
+      Array.init ops_per_thread (fun _ ->
+          (* Key owned by this tid; ~45% insert / 35% delete / 20% get. *)
+          let k = (Rng.below rng (keyspace / nthreads) * nthreads) + tid in
+          match Rng.below rng 100 with
+          | r when r < 45 -> Traffic.Put k
+          | r when r < 80 -> Traffic.Delete k
+          | _ -> Traffic.Get k))
+
+let oracle logs =
+  let present = Hashtbl.create 256 in
+  Array.iter
+    (fun (ops : Traffic.op array) ->
+      Array.iter
+        (function
+          | Traffic.Put k -> Hashtbl.replace present k ()
+          | Traffic.Delete k -> Hashtbl.remove present k
+          | Traffic.Get _ | Traffic.Scan _ -> ())
+        ops)
+    logs;
+  present
+
+let run_store ~scheme ~seed =
+  Sim.set_config
+    { Sim.default_config with cores = 3; granularity = 1; seed };
+  let structure =
+    if Registry.supported ~scheme ~structure:"hash-set" then "hash-set"
+    else "ab-tree"
+  in
+  let st =
+    St.create
+      (St.Cfg.make ~structure ~nshards ~keyspace ~shard_capacity:8192
+         ~scheme ~nthreads ())
+  in
+  let logs = op_logs seed in
+  Sim.run ~nthreads (fun tid ->
+      Array.iter
+        (fun op ->
+          match op with
+          | Traffic.Put k -> ignore (St.put st ~tid k)
+          | Traffic.Delete k -> ignore (St.delete st ~tid k)
+          | Traffic.Get k -> ignore (St.get st ~tid k)
+          | Traffic.Scan _ -> ())
+        logs.(tid);
+      St.drain st ~tid);
+  (st, logs)
+
+let test_scheme_oracle scheme () =
+  List.iter
+    (fun seed ->
+      let st, logs = run_store ~scheme ~seed in
+      let expected = oracle logs in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/seed%d: size matches oracle" scheme seed)
+        (Hashtbl.length expected) (St.size st);
+      (* Spot-check membership key by key through the read path. *)
+      for k = 0 to keyspace - 1 do
+        let want = Hashtbl.mem expected k in
+        let got = St.get st ~tid:0 k in
+        if want <> got then
+          Alcotest.failf "%s/seed%d: key %d expected %b got %b" scheme seed
+            k want got
+      done;
+      let s = St.stats st in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/seed%d: zero committed UAF" scheme seed)
+        0 s.Nbr_kv.Store.st_committed_uaf;
+      (* Exact signal delivery and no fault injection: even transient
+         UAF reads must be absent. *)
+      Alcotest.(check int)
+        (Printf.sprintf "%s/seed%d: zero UAF reads" scheme seed)
+        0 s.Nbr_kv.Store.st_uaf_reads)
+    [ 3; 17 ]
+
+(* The unsound foil frees retired slots immediately; the run must still
+   terminate, but no state assertion is meaningful once slots recycle
+   under live readers. *)
+let test_foil_runs () =
+  let st, _ = run_store ~scheme:"unsafe-free" ~seed:3 in
+  Alcotest.(check bool) "foil store survives" true (St.size st >= 0)
+
+(* Service pipeline: flash-crowd open-loop traffic with per-shard
+   background reclaimers; the report must validate (set semantics, no
+   UAF) and respect the bounded-garbage claim, and the crowd's queueing
+   has to surface in the tail (p99.9 >= p50 with real traffic). *)
+let test_service_flash_crowd () =
+  Sim.set_config { Sim.default_config with cores = 8; seed = 21 };
+  let keyspace = 1 lsl 16 in
+  let st =
+    Svc.St.create
+      (Svc.St.Cfg.make ~nshards:4 ~keyspace ~scheme:"nbr+" ~nthreads:8
+         ~reclaim:Nbr_reclaim.Reclaimer.On_pressure ())
+  in
+  let traffic =
+    Traffic.make
+      ~shape:(Traffic.Flash_crowd { fc_at_pct = 40; fc_len_pct = 20; fc_mult = 8 })
+      ~rate_rps:1_000_000 ~keyspace ()
+  in
+  let rep =
+    Svc.run st
+      (Svc.Cfg.make ~duration_ns:1_000_000 ~seed:21 ~prefill:4_000 ~traffic ())
+  in
+  Alcotest.(check bool) "requests flowed" true
+    (rep.Nbr_kv.Service.rep_requests > 1_000);
+  Alcotest.(check bool) "report validates" true (Nbr_kv.Service.valid rep);
+  Alcotest.(check bool) "garbage bounded" true (Nbr_kv.Service.bounded_ok rep);
+  let g = rep.Nbr_kv.Service.rep_latency.Nbr_kv.Service.l_get in
+  Alcotest.(check bool) "tail at or above median" true
+    (g.Nbr_obs.Histogram.s_p999 >= g.Nbr_obs.Histogram.s_p50)
+
+(* Same service config, same seed: the sim must reproduce the report
+   bit for bit. *)
+let test_service_deterministic () =
+  let go () =
+    Sim.set_config { Sim.default_config with cores = 4; seed = 9 };
+    let st =
+      Svc.St.create
+        (Svc.St.Cfg.make ~nshards:2 ~keyspace:4096 ~shard_capacity:8192
+           ~scheme:"nbr" ~nthreads:4 ())
+    in
+    let traffic = Traffic.make ~rate_rps:2_000_000 ~keyspace:4096 () in
+    Svc.run st
+      (Svc.Cfg.make ~duration_ns:300_000 ~seed:9 ~prefill:500 ~traffic ())
+  in
+  let a = go () and b = go () in
+  Alcotest.(check int) "same requests" a.Nbr_kv.Service.rep_requests
+    b.Nbr_kv.Service.rep_requests;
+  Alcotest.(check int) "same size" a.Nbr_kv.Service.rep_stats.Nbr_kv.Store.st_size
+    b.Nbr_kv.Service.rep_stats.Nbr_kv.Store.st_size;
+  Alcotest.(check (float 0.0)) "same p99"
+    a.Nbr_kv.Service.rep_latency.Nbr_kv.Service.l_get.Nbr_obs.Histogram.s_p99
+    b.Nbr_kv.Service.rep_latency.Nbr_kv.Service.l_get.Nbr_obs.Histogram.s_p99
+
+let test_cfg_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown scheme rejected" true
+    (raises (fun () -> St.Cfg.make ~scheme:"epoch9000" ~nthreads:2 ()));
+  Alcotest.(check bool) "P5-unsafe pairing rejected" true
+    (raises (fun () ->
+         St.Cfg.make ~structure:"hash-set" ~scheme:"hp" ~nthreads:2 ()));
+  Alcotest.(check bool) "hp on ab-tree accepted" true
+    (match St.Cfg.make ~structure:"ab-tree" ~scheme:"hp" ~nthreads:2 () with
+    | _ -> true
+    | exception Invalid_argument _ -> false)
+
+let suite =
+  List.map
+    (fun scheme ->
+      Alcotest.test_case
+        (Printf.sprintf "oracle-%s" scheme)
+        `Quick (test_scheme_oracle scheme))
+    Registry.scheme_names
+  @ [
+      Alcotest.test_case "foil-runs" `Quick test_foil_runs;
+      Alcotest.test_case "service-flash-crowd" `Quick test_service_flash_crowd;
+      Alcotest.test_case "service-deterministic" `Quick
+        test_service_deterministic;
+      Alcotest.test_case "cfg-validation" `Quick test_cfg_validation;
+    ]

@@ -199,7 +199,7 @@ let test_watchdog_reaps_crashed () =
   Nbr_obs.Trace.enable ~nthreads ();
   Fun.protect ~finally:Nbr_obs.Trace.clear @@ fun () ->
   let cfg =
-    T.mk ~nthreads ~duration_ns:duration ~key_range:64 ~ins_pct:50 ~del_pct:50
+    T.Cfg.make ~nthreads ~duration_ns:duration ~key_range:64 ~ins_pct:50 ~del_pct:50
       ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 16)
       ~seed:5 ~faults:plan ()
   in
@@ -260,7 +260,7 @@ let churn_never_double_frees =
       Sim.set_config
         { Sim.default_config with cores = 4; granularity = 200; seed };
       let cfg =
-        T.mk ~nthreads ~duration_ns:400_000 ~key_range:64 ~ins_pct:40
+        T.Cfg.make ~nthreads ~duration_ns:400_000 ~key_range:64 ~ins_pct:40
           ~del_pct:40
           ~smr:
             (Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default

@@ -10,7 +10,7 @@ module T = Nbr_workload.Trial
 
 let run ~scheme ~structure =
   let cfg =
-    T.mk ~nthreads:4 ~duration_ns:200_000_000 ~key_range:128
+    T.Cfg.make ~nthreads:4 ~duration_ns:200_000_000 ~key_range:128
       ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 48)
       ~seed:5 ()
   in
@@ -77,7 +77,7 @@ let bounded_schemes = [ "nbr"; "nbr+"; "ibr"; "hp"; "he" ]
 
 let check_parity ~scheme ~structure () =
   let cfg =
-    T.mk ~nthreads:4 ~duration_ns:100_000_000 ~key_range:128
+    T.Cfg.make ~nthreads:4 ~duration_ns:100_000_000 ~key_range:128
       ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 48)
       ~seed:11 ()
   in

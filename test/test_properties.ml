@@ -94,7 +94,7 @@ let trial_deterministic =
         Sim.set_config
           { Sim.default_config with cores = 3; granularity = 1; seed };
         let cfg =
-          Nbr_workload.Trial.mk ~nthreads:4 ~duration_ns:120_000 ~key_range:64
+          Nbr_workload.Trial.Cfg.make ~nthreads:4 ~duration_ns:120_000 ~key_range:64
             ~seed ()
         in
         let r = H.run ~scheme:"nbr+" ~structure cfg in

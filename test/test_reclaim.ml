@@ -48,7 +48,7 @@ let reclaim_trial ?(nthreads = 4) ?(duration = 800_000) ?(seed = 7)
     end
   in
   let cfg =
-    T.mk ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50 ~del_pct:50
+    T.Cfg.make ~nthreads ~duration_ns:duration ~key_range:128 ~ins_pct:50 ~del_pct:50
       ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 32)
       ~seed ?faults ~reclaim:policy ()
   in
@@ -202,7 +202,7 @@ let test_watermarks_trip () =
   let plan = FP.none ~nthreads in
   plan.FP.threads.(1) <- [ FP.Hog { at_op = 20; slots = 400; ns = 150_000 } ];
   let cfg =
-    T.mk ~nthreads ~duration_ns:800_000 ~key_range:64 ~ins_pct:50 ~del_pct:50
+    T.Cfg.make ~nthreads ~duration_ns:800_000 ~key_range:64 ~ins_pct:50 ~del_pct:50
       ~smr:(Nbr_core.Smr_config.with_threshold Nbr_core.Smr_config.default 16)
       ~pool_capacity:600 ~seed:11 ~faults:plan ~reclaim:R.On_pressure ()
   in
