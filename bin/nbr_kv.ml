@@ -17,7 +17,7 @@ module Run (Rt : Nbr.Runtime.S) = struct
   module K = Nbr.Kv.Service.Make (Rt)
 
   let one ~scheme ~structure ~nshards ~nthreads ~keyspace ~shard_capacity
-      ~threshold ~reclaim ~faults ~churn ~traffic ~duration_ns ~batch
+      ~threshold ~reclaim ~faults ~guard ~churn ~traffic ~duration_ns ~batch
       ~prefill ~seed =
     let reclaimer_faults =
       match faults with
@@ -32,7 +32,7 @@ module Run (Rt : Nbr.Runtime.S) = struct
            ?reclaim ~reclaimer_faults ~scheme ~nthreads ())
     in
     K.run store
-      (K.Cfg.make ~duration_ns ~batch ~seed ~prefill ?faults
+      (K.Cfg.make ~duration_ns ~batch ~seed ~prefill ?faults ?guard
          ~churn_ops:churn ~traffic ())
 end
 
@@ -45,8 +45,10 @@ let us ns = ns /. 1e3
 
 let pp_text_row ppf (r : Svc.report) =
   let g = r.Svc.rep_latency.Svc.l_get and p = r.Svc.rep_latency.Svc.l_put in
+  let slo = r.Svc.rep_slo in
   Format.fprintf ppf
-    "%-12s %9.1f  %7.1f %8.1f %9.1f  %7.1f %8.1f %9.1f  %3d/%-3d  %s%s@."
+    "%-12s %9.1f  %7.1f %8.1f %9.1f  %7.1f %8.1f %9.1f  %3d/%-3d  %5.1f \
+     %6d %6d  %s%s%s@."
     r.Svc.rep_scheme r.Svc.rep_throughput_kops
     (us g.Nbr.Obs.Histogram.s_p50)
     (us g.s_p99) (us g.s_p999)
@@ -54,14 +56,18 @@ let pp_text_row ppf (r : Svc.report) =
     (us p.s_p99) (us p.s_p999)
     r.Svc.rep_stats.Nbr.Kv.Store.st_degrades
     r.Svc.rep_stats.Nbr.Kv.Store.st_restores
+    (Nbr.Kv.Guard.goodput_pct slo)
+    slo.Nbr.Kv.Guard.slo_shed slo.Nbr.Kv.Guard.slo_timed_out
     (if Svc.valid r then "ok" else "INVALID")
     (if Svc.bounded_ok r then "" else " GARBAGE-UNBOUNDED")
+    (if Svc.slo_ok r then "" else " LEDGER-BROKEN")
 
 let pp_md_row ppf (r : Svc.report) =
   let g = r.Svc.rep_latency.Svc.l_get and p = r.Svc.rep_latency.Svc.l_put in
+  let slo = r.Svc.rep_slo in
   Format.fprintf ppf
     "| %s | %s | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %d/%d | \
-     %s |@."
+     %.1f | %d | %d | %d | %s |@."
     r.Svc.rep_scheme r.Svc.rep_structure r.Svc.rep_throughput_kops
     (us g.Nbr.Obs.Histogram.s_p50)
     (us g.s_p99) (us g.s_p999)
@@ -69,7 +75,11 @@ let pp_md_row ppf (r : Svc.report) =
     (us p.s_p99) (us p.s_p999)
     r.Svc.rep_stats.Nbr.Kv.Store.st_degrades
     r.Svc.rep_stats.Nbr.Kv.Store.st_restores
-    (if Svc.valid r then
+    (Nbr.Kv.Guard.goodput_pct slo)
+    slo.Nbr.Kv.Guard.slo_shed slo.Nbr.Kv.Guard.slo_timed_out
+    slo.Nbr.Kv.Guard.slo_retries
+    (if not (Svc.slo_ok r) then "LEDGER-BROKEN"
+     else if Svc.valid r then
        if Svc.bounded_ok r then "ok" else "ok, unbounded"
      else "INVALID")
 
@@ -202,6 +212,49 @@ let () =
              schedule on every shard's reclaimer).  Implies a reclaimer \
              (default policy pressure).")
   in
+  let guard =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:
+            "Enable service-level overload protection: per-request \
+             deadlines, bounded-inflight admission control, budgeted \
+             retries, and per-shard circuit breakers with a brownout \
+             ladder.")
+  in
+  let deadline_us =
+    Arg.(
+      value & opt int 200
+      & info [ "deadline-us" ]
+          ~doc:"Per-request deadline from arrival, in µs (with --guard).")
+  in
+  let inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "inflight" ]
+          ~doc:
+            "Per-shard admitted-but-incomplete budget (with --guard); \
+             newest arrivals beyond it are shed.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ]
+          ~doc:
+            "Max extra attempts per request on pool exhaustion (with \
+             --guard), behind a global retry budget.")
+  in
+  let shard_pressure =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-pressure" ] ~docv:"SHARD"
+          ~doc:
+            "Install the shard-targeted pressure adversary: staggered \
+             allocation hogs pin ~3/4 of SHARD's pool, driving its \
+             breaker through brownout, open, half-open and reclose.  \
+             Implies --guard and a pressure reclaimer.")
+  in
   let churn =
     Arg.(
       value & opt int 0
@@ -224,8 +277,8 @@ let () =
   in
   let run schemes structure runtime shards threads cores granularity quantum
       keys theta mix shape flash_mult rate batch duration_ms prefill
-      shard_capacity threshold seed reclaim pressure_chaos churn trace_out
-      md =
+      shard_capacity threshold seed reclaim pressure_chaos guard deadline_us
+      inflight retries shard_pressure churn trace_out md =
     let duration_ns = duration_ms * 1_000_000 in
     let scheme_list =
       match schemes with
@@ -279,18 +332,41 @@ let () =
                 Printf.eprintf "bad --reclaim policy %s\n" s;
                 exit 2)
       in
-      match (parse reclaim, pressure_chaos) with
+      match (parse reclaim, pressure_chaos || shard_pressure <> None) with
       | None, true -> Some Nbr.Reclaim.On_pressure
       | p, _ -> p
     in
     let faults =
-      if pressure_chaos then
+      match shard_pressure with
+      | Some sh ->
+          (* Hogs sized off the effective shard capacity so the target
+             shard's occupancy crosses the guard's unhealthy backstop
+             regardless of --shard-capacity / --keys choices. *)
+          let eff_cap =
+            match shard_capacity with
+            | Some c -> c
+            | None -> min 262_144 (max 8192 (keys / (2 * shards)))
+          in
+          Some
+            (Nbr.Fault.shard_pressure ~seed ~nthreads:threads ~shard:sh
+               ~hogs:3
+               ~hog_slots:(eff_cap / 4)
+               ~hold_ns:(duration_ns / 4) ())
+      | None ->
+          if pressure_chaos then
+            Some
+              (Nbr.Fault.pressure_chaos ~seed ~nthreads:threads ~stalls:1
+                 ~crashes:1 ~hogs:2 ~hog_slots:1024
+                 ~stall_ns:(duration_ns / 8) ~ops_window:200
+                 ~reclaimer_stall_ns:(duration_ns / 8)
+                 ~restart_ns:(duration_ns / 4) ())
+          else None
+    in
+    let guard =
+      if guard || shard_pressure <> None then
         Some
-          (Nbr.Fault.pressure_chaos ~seed ~nthreads:threads ~stalls:1
-             ~crashes:1 ~hogs:2 ~hog_slots:1024
-             ~stall_ns:(duration_ns / 8) ~ops_window:200
-             ~reclaimer_stall_ns:(duration_ns / 8)
-             ~restart_ns:(duration_ns / 4) ())
+          (Nbr.Kv.Guard.Cfg.make ~deadline_ns:(deadline_us * 1_000)
+             ~inflight ~max_retries:retries ())
       else None
     in
     let traffic =
@@ -303,14 +379,16 @@ let () =
     if md then
       Format.printf
         "| scheme | structure | kreq/s | get p50 | get p99 | get p99.9 | \
-         put p50 | put p99 | put p99.9 | degr/rest | verdict |@.|---|---|---|---|---|---|---|---|---|---|---|@."
+         put p50 | put p99 | put p99.9 | degr/rest | goodput%% | shed | \
+         t/o | retries | verdict \
+         |@.|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|@."
     else
       Format.printf
-        "%-12s %9s  %7s %8s %9s  %7s %8s %9s  %7s@.%-12s %9s  %7s %8s %9s \
-         %8s %8s %9s@."
+        "%-12s %9s  %7s %8s %9s  %7s %8s %9s  %7s  %5s %6s %6s@.%-12s %9s  \
+         %7s %8s %9s %8s %8s %9s@."
         "scheme" "kreq/s" "get p50" "p99" "p99.9" "put p50" "p99" "p99.9"
-        "deg/res" "" "" "(µs)" "" "" "(µs)" "" "";
-    let failed = ref false in
+        "deg/res" "good%" "shed" "t/o" "" "" "(µs)" "" "" "(µs)" "" "";
+    let failed = ref false and exhausted = ref false in
     List.iter
       (fun scheme ->
         (* P5-unsafe pairings sweep on ab-tree instead. *)
@@ -319,29 +397,47 @@ let () =
             structure
           else "ab-tree"
         in
-        let r =
+        match
           match runtime with
           | "sim" ->
               Sim.set_config
                 { Sim.default_config with cores; seed; granularity; quantum };
               Run_sim.one ~scheme ~structure ~nshards:shards
                 ~nthreads:threads ~keyspace:keys ~shard_capacity ~threshold
-                ~reclaim ~faults ~churn ~traffic ~duration_ns ~batch
+                ~reclaim ~faults ~guard ~churn ~traffic ~duration_ns ~batch
                 ~prefill ~seed
           | "native" ->
               Run_nat.one ~scheme ~structure ~nshards:shards
                 ~nthreads:threads ~keyspace:keys ~shard_capacity ~threshold
-                ~reclaim ~faults ~churn ~traffic ~duration_ns ~batch
+                ~reclaim ~faults ~guard ~churn ~traffic ~duration_ns ~batch
                 ~prefill ~seed
           | other ->
               Printf.eprintf "unknown runtime %s\n" other;
               exit 2
-        in
-        if md then Format.printf "%a" pp_md_row r
-        else Format.printf "%a" pp_text_row r;
-        if not (Svc.valid r) then failed := true;
-        if not (Svc.bounded_ok r) then failed := true)
+        with
+        | r ->
+            if md then Format.printf "%a" pp_md_row r
+            else Format.printf "%a" pp_text_row r;
+            if not (Svc.valid r) then failed := true;
+            if not (Svc.bounded_ok r) then failed := true;
+            if not (Svc.slo_ok r) then failed := true
+        | exception Nbr.Pool.Exhausted x ->
+            (* One scheme running its pool dry is a result, not a reason
+               to abandon the rest of the sweep. *)
+            if md then
+              Format.printf "| %s | %s | exhausted | | | | | | | | | | | | \
+                             FAILED |@."
+                scheme structure
+            else
+              Format.printf "%-12s  exhausted (%a)@." scheme
+                Nbr.Pool.pp_exhausted x;
+            failed := true;
+            exhausted := true)
       scheme_list;
+    if !exhausted then
+      Format.eprintf
+        "hint: raise --shard-capacity, shorten the run, pick a reclaiming \
+         scheme, or enable --guard to shed instead of dying.@.";
     (match trace_out with
     | None -> ()
     | Some file ->
@@ -362,15 +458,14 @@ let () =
       const run $ schemes $ structure $ runtime $ shards $ threads $ cores
       $ granularity $ quantum $ keys $ theta $ mix $ shape $ flash_mult
       $ rate $ batch $ duration_ms $ prefill $ shard_capacity $ threshold
-      $ seed $ reclaim $ pressure_chaos $ churn $ trace_out $ md)
+      $ seed $ reclaim $ pressure_chaos $ guard $ deadline_us $ inflight
+      $ retries $ shard_pressure $ churn $ trace_out $ md)
   in
   match Cmd.eval ~catch:false (Cmd.v info term) with
   | code -> exit code
   | exception Nbr.Pool.Exhausted x ->
-      Format.eprintf
-        "nbr_kv: %a@.hint: raise --shard-capacity, shorten the run, or \
-         pick a reclaiming scheme.@."
-        Nbr.Pool.pp_exhausted x;
+      (* Backstop only: the sweep catches per-cell and keeps going. *)
+      Format.eprintf "nbr_kv: %a@." Nbr.Pool.pp_exhausted x;
       exit 1
   | exception Invalid_argument msg ->
       Format.eprintf "nbr_kv: %s@." msg;

@@ -215,7 +215,9 @@ let on_event t (e : Trace.event) =
   | Trace.Pool_overflow | Trace.Fault_action | Trace.Heartbeat_timeout
   | Trace.Peer_declared_dead | Trace.Watermark_high | Trace.Watermark_low
   | Trace.Bag_handoff | Trace.Degrade | Trace.Restore
-  | Trace.Handshake_timeout ->
+  | Trace.Handshake_timeout | Trace.Admission_shed | Trace.Request_timeout
+  | Trace.Request_retry | Trace.Breaker_open | Trace.Breaker_half_open
+  | Trace.Breaker_close | Trace.Brownout ->
       ()
 
 let attach cfg =

@@ -347,6 +347,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
       end
     done;
     if !give_up then begin
+      Smr_stats.add_handshake_timeouts c.st (List.length !unacked);
       List.iter
         (fun t ->
           if !Nbr_obs.Trace.on then

@@ -29,6 +29,10 @@ type t = {
       (** UAF reads of the phase currently in flight, not yet classified;
           folded into [uaf_benign] on restart, dropped on phase
           completion (= committed) *)
+  mutable handshake_timeouts : int;
+      (** bounded-wait broadcast handshakes that gave up on a peer after
+          all escalation rounds — a per-shard health signal the service
+          guard's circuit breakers consume *)
 }
 
 let zero () =
@@ -42,6 +46,7 @@ let zero () =
     uaf_reads = 0;
     uaf_benign = 0;
     uaf_pending = 0;
+    handshake_timeouts = 0;
   }
 
 let retires s = s.retires
@@ -56,6 +61,10 @@ let add_reclaim_events s n = s.reclaim_events <- s.reclaim_events + n
 let add_lo_reclaims s n = s.lo_reclaims <- s.lo_reclaims + n
 let add_restarts s n = s.restarts <- s.restarts + n
 let note_garbage s n = if n > s.max_garbage then s.max_garbage <- n
+let handshake_timeouts s = s.handshake_timeouts
+
+let add_handshake_timeouts s n =
+  s.handshake_timeouts <- s.handshake_timeouts + n
 
 let uaf_reads s = s.uaf_reads
 let benign_uaf s = s.uaf_benign
@@ -80,11 +89,12 @@ let add into from =
   into.max_garbage <- max into.max_garbage from.max_garbage;
   into.uaf_reads <- into.uaf_reads + from.uaf_reads;
   into.uaf_benign <- into.uaf_benign + from.uaf_benign;
-  into.uaf_pending <- into.uaf_pending + from.uaf_pending
+  into.uaf_pending <- into.uaf_pending + from.uaf_pending;
+  into.handshake_timeouts <- into.handshake_timeouts + from.handshake_timeouts
 
 let pp ppf s =
   Format.fprintf ppf
     "retires=%d freed=%d reclaim_events=%d lo_reclaims=%d restarts=%d \
-     max_garbage=%d uaf=%d (benign=%d pending=%d)"
+     max_garbage=%d uaf=%d (benign=%d pending=%d) hs_timeouts=%d"
     s.retires s.freed s.reclaim_events s.lo_reclaims s.restarts s.max_garbage
-    s.uaf_reads s.uaf_benign s.uaf_pending
+    s.uaf_reads s.uaf_benign s.uaf_pending s.handshake_timeouts

@@ -42,6 +42,12 @@ val max_garbage : t -> int
     to the pool by this thread — the per-thread bounded-garbage metric of
     the chaos suite (E2's P2 check). *)
 
+val handshake_timeouts : t -> int
+(** Bounded-wait broadcast handshakes that gave up on a peer after all
+    escalation rounds (one count per unacknowledged peer per broadcast).
+    A wedged-writer symptom; the service guard's circuit breakers read
+    it as a shard health signal. *)
+
 val uaf_reads : t -> int
 (** Guarded dereferences that landed on a Free slot (total). *)
 
@@ -66,6 +72,7 @@ val add_freed : t -> int -> unit
 val add_reclaim_events : t -> int -> unit
 val add_lo_reclaims : t -> int -> unit
 val add_restarts : t -> int -> unit
+val add_handshake_timeouts : t -> int -> unit
 
 val note_garbage : t -> int -> unit
 (** [note_garbage t n] raises [max_garbage t] to [n] if [n] is larger. *)

@@ -38,6 +38,11 @@ type thread_fault =
   | Hog of { at_op : int; slots : int; ns : int }
       (** after [at_op] operations, allocate [slots] pool slots directly,
           hold them for [ns], then free them — induced pool pressure *)
+  | Shard_hog of { at_op : int; shard : int; slots : int; ns : int }
+      (** like [Hog], but aimed at one shard of a sharded store: the
+          slots come from that shard's pool, so the pressure (and any
+          breaker trip) lands on a known shard.  Interpreters without
+          shards (the single-pool trial runner) treat it as [Hog]. *)
 
 type reclaimer_fault =
   | R_stall of { at_iter : int; ns : int }
@@ -72,13 +77,19 @@ let none ~nthreads =
     reclaimer = [];
   }
 
-let fault_op = function Stall { at_op; _ } | Crash { at_op } | Hog { at_op; _ } -> at_op
+let fault_op = function
+  | Stall { at_op; _ } | Crash { at_op } | Hog { at_op; _ }
+  | Shard_hog { at_op; _ } ->
+      at_op
 
 (* Orders a thread's fault list for the runner: by trigger op, and for a
    tie a Crash fires after anything else at the same index — a thread that
    both stalls and crashes at op [k] should suffer the stall first, since
    the crash is terminal (faults after it are unreachable). *)
-let fault_rank = function Stall _ -> 0 | Hog _ -> 1 | Crash _ -> 2
+let fault_rank = function
+  | Stall _ -> 0
+  | Hog _ | Shard_hog _ -> 1
+  | Crash _ -> 2
 
 let sort_faults l =
   List.sort
@@ -165,6 +176,33 @@ let pressure_chaos ~seed ~nthreads ?(stalls = 1) ?(crashes = 1) ?(hogs = 1)
   in
   { base with threads; reclaimer }
 
+(** Shard pressure: the slo-chaos adversary.  A fixed (not seed-drawn)
+    schedule of overlapping [Shard_hog] bursts, all aimed at one shard:
+    hog [i] fires from thread [1 + i mod (nthreads-1)] at op
+    [start_op + i*stagger_ops] and holds [hold_ns], so the target
+    shard's pool occupancy stays above its watermark across several
+    consecutive service health polls (tripping its breaker up the
+    brownout ladder and open), then drains completely (letting the
+    half-open probes succeed and the breaker close).  The schedule is
+    fixed so the open → half-open → close round-trip the CI smoke
+    asserts on is present in every plan; [seed] is recorded for replay
+    bookkeeping only.  Thread 0 never hogs, so requests keep flowing. *)
+let shard_pressure ~seed ~nthreads ~shard ?(hogs = 3) ?(hog_slots = 48)
+    ?(start_op = 20) ?(stagger_ops = 15) ?(hold_ns = 300_000) () =
+  if nthreads < 2 then
+    invalid_arg "Fault_plan.shard_pressure: nthreads must be >= 2";
+  if shard < 0 then invalid_arg "Fault_plan.shard_pressure: shard";
+  let threads = Array.make nthreads [] in
+  for i = 0 to hogs - 1 do
+    let tid = 1 + (i mod (nthreads - 1)) in
+    let at_op = start_op + (i * stagger_ops) in
+    threads.(tid) <-
+      Shard_hog { at_op; shard; slots = hog_slots; ns = hold_ns }
+      :: threads.(tid)
+  done;
+  Array.iteri (fun i l -> threads.(i) <- sort_faults l) threads;
+  { seed; threads; signals = None; reclaimer = [] }
+
 let reclaimer_faults t = t.reclaimer
 let has_reclaimer_faults t = t.reclaimer <> []
 
@@ -228,6 +266,8 @@ let pp_thread_fault ppf = function
   | Crash { at_op } -> Format.fprintf ppf "crash@%d" at_op
   | Hog { at_op; slots; ns } ->
       Format.fprintf ppf "hog@%d(%d slots,%dns)" at_op slots ns
+  | Shard_hog { at_op; shard; slots; ns } ->
+      Format.fprintf ppf "shard%d-hog@%d(%d slots,%dns)" shard at_op slots ns
 
 let pp_reclaimer_fault ppf = function
   | R_stall { at_iter; ns } -> Format.fprintf ppf "r-stall@%d(%dns)" at_iter ns

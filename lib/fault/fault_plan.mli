@@ -28,6 +28,12 @@ type thread_fault =
       (** after [at_op] operations, allocate [slots] pool slots
           directly, hold them for [ns], then free them — induced pool
           pressure *)
+  | Shard_hog of { at_op : int; shard : int; slots : int; ns : int }
+      (** like [Hog], but aimed at one shard of a sharded store: the
+          slots come from that shard's pool, so the pressure (and any
+          circuit-breaker trip) lands on a known shard.  Interpreters
+          without shards (the single-pool trial runner) treat it as
+          [Hog]. *)
 
 type reclaimer_fault =
   | R_stall of { at_iter : int; ns : int }
@@ -96,6 +102,28 @@ val pressure_chaos :
     schedule — a stall long enough to trip the backlog detector, then a
     crash that restarts after [restart_ns] ([restart_ns < 0] keeps the
     reclaimer dead: the permanent degradation case). *)
+
+val shard_pressure :
+  seed:int ->
+  nthreads:int ->
+  shard:int ->
+  ?hogs:int ->
+  ?hog_slots:int ->
+  ?start_op:int ->
+  ?stagger_ops:int ->
+  ?hold_ns:int ->
+  unit ->
+  t
+(** The slo-chaos adversary: a fixed schedule of [hogs] overlapping
+    {!Shard_hog} bursts aimed at [shard], staggered [stagger_ops]
+    operations apart from [start_op] and each held for [hold_ns].  The
+    target shard's pool occupancy stays high across several consecutive
+    service health polls — walking its circuit breaker up the brownout
+    ladder and open — then drains completely so half-open probes succeed
+    and the breaker closes.  Fixed (not seed-drawn) so the traced
+    open → half-open → close round-trip is present in every plan; [seed]
+    is recorded for bookkeeping.  Thread 0 never hogs.  Raises
+    [Invalid_argument] when [nthreads < 2] or [shard < 0]. *)
 
 val faults_for : t -> int -> thread_fault list
 (** The (sorted) fault list for one thread; [] out of range. *)

@@ -1,0 +1,489 @@
+(* Service-level overload protection (DESIGN.md §15).
+
+   One [Guard.t] fronts a sharded store with four composed mechanisms:
+
+   - per-request deadlines, derived from the request's *arrival* time
+     and enforced twice — at admission and again immediately before
+     shard execution — so a backlog converts into explicit [Timed_out]
+     completions instead of an unbounded latency tail;
+   - admission control: a bounded per-shard inflight budget with a
+     reject-newest shed policy (the request that finds the budget full
+     is the one refused), each shed traced;
+   - retry with capped exponential backoff + deterministic jitter for
+     transiently-failed requests (pool starvation mid-batch), behind a
+     retry budget proportional to completions so retries cannot
+     amplify an overload;
+   - per-shard circuit breakers fed by health signals the stack already
+     publishes (pool watermark excursions, offload degradation,
+     handshake timeouts, [Exhausted]), with a brownout ladder — shed
+     scans first, then writes, reads last — before fully opening, and
+     probe-limited half-open recovery.
+
+   The module is runtime-free: every entry point takes [~now] (the
+   caller's [Rt.now_ns ()]) and [~tid], so one implementation serves
+   both the deterministic simulator and the native runtime, and the
+   breaker state machine is directly drivable from unit tests.  Shared
+   state is a handful of atomics; transitions go through CAS so exactly
+   one racing worker performs (and traces) each one.
+
+   The ledger invariant the reports validate: every admitted request is
+   exactly one of completed / shed / timed-out.  A disabled guard (no
+   [Cfg]) still keeps the ledger — admission always proceeds and
+   failures propagate as before — so accounting holds for guarded and
+   unguarded runs alike. *)
+
+type cls = Read | Write | Scan
+
+let cls_code = function Read -> 0 | Write -> 1 | Scan -> 2
+
+let cls_of_op (op : Nbr_workload.Traffic.op) =
+  match op with
+  | Nbr_workload.Traffic.Get _ -> Read
+  | Put _ | Delete _ -> Write
+  | Scan _ -> Scan
+
+module Cfg = struct
+  type t = {
+    deadline_ns : int;
+    inflight : int;  (** per-shard admitted-but-incomplete budget *)
+    max_retries : int;  (** extra attempts per request *)
+    retry_budget_pct : int;  (** retries allowed as % of completions *)
+    backoff_ns : int;  (** base backoff before the first retry *)
+    backoff_cap_ns : int;
+    unhealthy_for : int;  (** consecutive bad polls per ladder rung *)
+    recover_for : int;  (** consecutive good polls to step back down *)
+    open_ns : int;  (** open-state cooldown before half-open *)
+    probes : int;  (** half-open probe budget (all must succeed) *)
+  }
+
+  let make ?(deadline_ns = 200_000) ?(inflight = 64) ?(max_retries = 2)
+      ?(retry_budget_pct = 10) ?(backoff_ns = 1_000)
+      ?(backoff_cap_ns = 16_000) ?(unhealthy_for = 2) ?(recover_for = 2)
+      ?(open_ns = 50_000) ?(probes = 4) () =
+    if deadline_ns < 1 then invalid_arg "Guard.Cfg.make: deadline_ns < 1";
+    if inflight < 1 then invalid_arg "Guard.Cfg.make: inflight < 1";
+    if max_retries < 0 then invalid_arg "Guard.Cfg.make: max_retries < 0";
+    if retry_budget_pct < 0 || retry_budget_pct > 100 then
+      invalid_arg "Guard.Cfg.make: retry_budget_pct not in [0,100]";
+    if backoff_ns < 1 || backoff_cap_ns < backoff_ns then
+      invalid_arg "Guard.Cfg.make: backoff";
+    if unhealthy_for < 1 || recover_for < 1 then
+      invalid_arg "Guard.Cfg.make: ladder streaks must be >= 1";
+    if open_ns < 1 then invalid_arg "Guard.Cfg.make: open_ns < 1";
+    if probes < 1 then invalid_arg "Guard.Cfg.make: probes < 1";
+    {
+      deadline_ns;
+      inflight;
+      max_retries;
+      retry_budget_pct;
+      backoff_ns;
+      backoff_cap_ns;
+      unhealthy_for;
+      recover_for;
+      open_ns;
+      probes;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* The per-shard breaker: closed with a brownout level (0 healthy,
+   1 shed scans, 2 shed writes too), open (3: shed everything, wait out
+   the cooldown), half-open (4: a bounded number of probe requests).
+   All transitions are CAS-guarded on the state word, so concurrent
+   workers observing the same evidence race to a single transition. *)
+
+module Breaker = struct
+  type transition =
+    | Brownout_to of int  (** ladder moved (up or down) to this level *)
+    | Opened
+    | Half_opened
+    | Reclosed
+
+  type t = {
+    bu_for : int;
+    br_for : int;
+    b_open_ns : int;
+    b_probes : int;
+    state : int Atomic.t;  (** 0..2 closed level / 3 open / 4 half-open *)
+    since : int Atomic.t;  (** timestamp of the last open *)
+    bad : int Atomic.t;  (** consecutive unhealthy polls *)
+    good : int Atomic.t;
+    probes_left : int Atomic.t;
+    probe_ok : int Atomic.t;
+  }
+
+  let create ?(unhealthy_for = 2) ?(recover_for = 2) ?(open_ns = 50_000)
+      ?(probes = 4) () =
+    {
+      bu_for = max 1 unhealthy_for;
+      br_for = max 1 recover_for;
+      b_open_ns = max 1 open_ns;
+      b_probes = max 1 probes;
+      state = Atomic.make 0;
+      since = Atomic.make 0;
+      bad = Atomic.make 0;
+      good = Atomic.make 0;
+      probes_left = Atomic.make 0;
+      probe_ok = Atomic.make 0;
+    }
+
+  let of_cfg (c : Cfg.t) =
+    create ~unhealthy_for:c.Cfg.unhealthy_for ~recover_for:c.Cfg.recover_for
+      ~open_ns:c.Cfg.open_ns ~probes:c.Cfg.probes ()
+
+  let state_code t = Atomic.get t.state
+
+  let move t ~from ~to_ = Atomic.compare_and_set t.state from to_
+
+  (* One health poll.  Only drives the closed-state ladder: once open,
+     recovery is time- and probe-driven, not poll-driven. *)
+  let note_health t ~now ~healthy =
+    let s = Atomic.get t.state in
+    if s >= 3 then None
+    else if healthy then begin
+      Atomic.set t.bad 0;
+      let g = 1 + Atomic.fetch_and_add t.good 1 in
+      if s > 0 && g >= t.br_for then begin
+        Atomic.set t.good 0;
+        if move t ~from:s ~to_:(s - 1) then Some (Brownout_to (s - 1))
+        else None
+      end
+      else None
+    end
+    else begin
+      Atomic.set t.good 0;
+      let b = 1 + Atomic.fetch_and_add t.bad 1 in
+      if b >= t.bu_for then begin
+        Atomic.set t.bad 0;
+        if s = 2 then
+          if move t ~from:2 ~to_:3 then begin
+            Atomic.set t.since now;
+            Some Opened
+          end
+          else None
+        else if move t ~from:s ~to_:(s + 1) then Some (Brownout_to (s + 1))
+        else None
+      end
+      else None
+    end
+
+  (* Hard trip: [Exhausted] (or any equally terminal evidence) skips the
+     ladder.  From half-open it also re-opens (a probe window in which
+     the pool still starves has failed by definition). *)
+  let trip t ~now =
+    let s = Atomic.get t.state in
+    if s <> 3 && move t ~from:s ~to_:3 then begin
+      Atomic.set t.since now;
+      Atomic.set t.bad 0;
+      Atomic.set t.good 0;
+      Some Opened
+    end
+    else None
+
+  type admission = Proceed | Probe | Reject
+
+  (* Reads are the last class shed: level 1 sheds scans, level 2 also
+     writes, and only a fully-open breaker refuses reads. *)
+  let rec take_probe t =
+    let p = Atomic.get t.probes_left in
+    if p > 0 then
+      if Atomic.compare_and_set t.probes_left p (p - 1) then true
+      else take_probe t
+    else false
+
+  let admit t ~now ~cls =
+    match Atomic.get t.state with
+    | 0 -> (Proceed, None)
+    | 1 -> ((if cls = Scan then Reject else Proceed), None)
+    | 2 -> ((if cls = Read then Proceed else Reject), None)
+    | 3 ->
+        if
+          now - Atomic.get t.since >= t.b_open_ns
+          && move t ~from:3 ~to_:4
+        then begin
+          Atomic.set t.probe_ok 0;
+          Atomic.set t.probes_left (t.b_probes - 1);
+          (* this request is the first probe *)
+          (Probe, Some Half_opened)
+        end
+        else (Reject, None)
+    | _ -> ((if take_probe t then Probe else Reject), None)
+
+  (* A probe admission that never executed (deadline fired first) says
+     nothing about shard health: hand the token back. *)
+  let return_probe t = Atomic.incr t.probes_left
+
+  let note_probe t ~now ~ok =
+    if Atomic.get t.state <> 4 then None
+    else if ok then begin
+      let k = 1 + Atomic.fetch_and_add t.probe_ok 1 in
+      if k >= t.b_probes && move t ~from:4 ~to_:0 then begin
+        Atomic.set t.bad 0;
+        Atomic.set t.good 0;
+        Some Reclosed
+      end
+      else None
+    end
+    else if move t ~from:4 ~to_:3 then begin
+      Atomic.set t.since now;
+      Some Opened
+    end
+    else None
+end
+
+(* ------------------------------------------------------------------ *)
+
+type slo = {
+  slo_on : bool;
+  slo_admitted : int;
+  slo_completed : int;
+  slo_shed : int;
+  slo_timed_out : int;
+  slo_retries : int;
+  slo_exhausted : int;  (** [Exhausted] raises absorbed by the guard *)
+  slo_opens : int;
+  slo_half_opens : int;
+  slo_closes : int;
+  slo_brownouts : int;
+}
+
+let slo_ok s =
+  s.slo_admitted = s.slo_completed + s.slo_shed + s.slo_timed_out
+
+let goodput_pct s =
+  if s.slo_admitted = 0 then 100.0
+  else 100.0 *. float_of_int s.slo_completed /. float_of_int s.slo_admitted
+
+let pp_slo ppf s =
+  Format.fprintf ppf
+    "admitted=%d completed=%d shed=%d timed_out=%d retries=%d exhausted=%d \
+     opens=%d half_opens=%d closes=%d brownouts=%d goodput=%.1f%%%s"
+    s.slo_admitted s.slo_completed s.slo_shed s.slo_timed_out s.slo_retries
+    s.slo_exhausted s.slo_opens s.slo_half_opens s.slo_closes s.slo_brownouts
+    (goodput_pct s)
+    (if slo_ok s then "" else "  LEDGER-BROKEN")
+
+type t = {
+  cfg : Cfg.t;
+  on : bool;
+  breakers : Breaker.t array;
+  inflight : int Atomic.t array;
+  admitted : int Atomic.t;
+  completed : int Atomic.t;
+  shed : int Atomic.t;
+  timed_out : int Atomic.t;
+  retries : int Atomic.t;
+  exhausted : int Atomic.t;
+  opens : int Atomic.t;
+  half_opens : int Atomic.t;
+  closes : int Atomic.t;
+  brownouts : int Atomic.t;
+}
+
+let disabled_cfg = Cfg.make ()
+
+let create ?cfg ~nshards () =
+  if nshards < 1 then invalid_arg "Guard.create: nshards < 1";
+  let on, cfg =
+    match cfg with None -> (false, disabled_cfg) | Some c -> (true, c)
+  in
+  {
+    cfg;
+    on;
+    breakers = Array.init nshards (fun _ -> Breaker.of_cfg cfg);
+    inflight = Array.init nshards (fun _ -> Atomic.make 0);
+    admitted = Atomic.make 0;
+    completed = Atomic.make 0;
+    shed = Atomic.make 0;
+    timed_out = Atomic.make 0;
+    retries = Atomic.make 0;
+    exhausted = Atomic.make 0;
+    opens = Atomic.make 0;
+    half_opens = Atomic.make 0;
+    closes = Atomic.make 0;
+    brownouts = Atomic.make 0;
+  }
+
+let enabled t = t.on
+let deadline_ns t = t.cfg.Cfg.deadline_ns
+let breaker t ~shard = t.breakers.(shard)
+
+let emit ~tid ~now k a b =
+  if !Nbr_obs.Trace.on then Nbr_obs.Trace.emit ~tid ~ns:now k a b
+
+let note_transition t ~tid ~now ~shard = function
+  | None -> ()
+  | Some (Breaker.Brownout_to l) ->
+      Atomic.incr t.brownouts;
+      emit ~tid ~now Nbr_obs.Trace.Brownout shard l
+  | Some Breaker.Opened ->
+      Atomic.incr t.opens;
+      emit ~tid ~now Nbr_obs.Trace.Breaker_open shard t.cfg.Cfg.unhealthy_for
+  | Some Breaker.Half_opened ->
+      Atomic.incr t.half_opens;
+      emit ~tid ~now Nbr_obs.Trace.Breaker_half_open shard t.cfg.Cfg.probes
+  | Some Breaker.Reclosed ->
+      Atomic.incr t.closes;
+      emit ~tid ~now Nbr_obs.Trace.Breaker_close shard t.cfg.Cfg.probes
+
+(* Health heuristic over the signals the stack already publishes.  The
+   occupancy backstop fires near capacity even when no watermarks are
+   configured (no background reclaimer), so an unguarded-by-reclaim
+   store still browns out before it exhausts. *)
+let healthy_of ~occupancy ~capacity ~pressured ~degraded ~hs_timed_out =
+  (not pressured) && (not degraded) && (not hs_timed_out)
+  && (capacity <= 0 || occupancy < capacity - (capacity / 4))
+
+let poll t ~now ~tid ~shard ~healthy =
+  if t.on then
+    note_transition t ~tid ~now ~shard
+      (Breaker.note_health t.breakers.(shard) ~now ~healthy)
+
+let shed_one t ~now ~tid ~shard ~cls =
+  Atomic.incr t.shed;
+  emit ~tid ~now Nbr_obs.Trace.Admission_shed shard (cls_code cls)
+
+let timeout_one t ~now ~tid ~shard ~arrival =
+  Atomic.incr t.timed_out;
+  emit ~tid ~now Nbr_obs.Trace.Request_timeout shard
+    (now - arrival - t.cfg.Cfg.deadline_ns)
+
+type admission = Admitted of { probe : bool } | Rejected
+
+(* Admission: deadline first (a request already past its deadline is
+   [Timed_out], never silently dropped), then the inflight budget
+   (reject-newest), then the shard breaker. *)
+let admit t ~now ~tid ~shard ~cls ~arrival =
+  Atomic.incr t.admitted;
+  if not t.on then Admitted { probe = false }
+  else if now - arrival > t.cfg.Cfg.deadline_ns then begin
+    timeout_one t ~now ~tid ~shard ~arrival;
+    Rejected
+  end
+  else begin
+    let infl = t.inflight.(shard) in
+    if Atomic.get infl >= t.cfg.Cfg.inflight then begin
+      shed_one t ~now ~tid ~shard ~cls;
+      Rejected
+    end
+    else begin
+      let verdict, tr = Breaker.admit t.breakers.(shard) ~now ~cls in
+      note_transition t ~tid ~now ~shard tr;
+      match verdict with
+      | Breaker.Reject ->
+          shed_one t ~now ~tid ~shard ~cls;
+          Rejected
+      | Breaker.Proceed ->
+          Atomic.incr infl;
+          Admitted { probe = false }
+      | Breaker.Probe ->
+          Atomic.incr infl;
+          Admitted { probe = true }
+    end
+  end
+
+(* Deadline recheck at the head of shard execution: queueing between
+   admission and execution may have eaten the whole budget.  Returns
+   false when the request was completed as [Timed_out] here. *)
+let pre_exec t ~now ~tid ~shard ~arrival ~probe =
+  if not t.on then true
+  else if now - arrival > t.cfg.Cfg.deadline_ns then begin
+    timeout_one t ~now ~tid ~shard ~arrival;
+    Atomic.decr t.inflight.(shard);
+    if probe then Breaker.return_probe t.breakers.(shard);
+    false
+  end
+  else true
+
+let complete t ~now ~tid ~shard ~probe =
+  Atomic.incr t.completed;
+  if t.on then begin
+    Atomic.decr t.inflight.(shard);
+    if probe then
+      note_transition t ~tid ~now ~shard
+        (Breaker.note_probe t.breakers.(shard) ~now ~ok:true)
+  end
+
+(* Final failure after the retry budget is spent: accounted by where
+   the clock stands — past-deadline failures are timeouts, the rest are
+   sheds.  A failed probe re-opens the breaker. *)
+let fail t ~now ~tid ~shard ~cls ~arrival ~probe =
+  if t.on then begin
+    Atomic.decr t.inflight.(shard);
+    if probe then
+      note_transition t ~tid ~now ~shard
+        (Breaker.note_probe t.breakers.(shard) ~now ~ok:false)
+  end;
+  if t.on && now - arrival > t.cfg.Cfg.deadline_ns then
+    timeout_one t ~now ~tid ~shard ~arrival
+  else begin
+    Atomic.incr t.shed;
+    emit ~tid ~now Nbr_obs.Trace.Admission_shed shard (cls_code cls)
+  end
+
+(* An admitted request its worker can never execute (the worker was
+   expelled or crashed mid-batch): completed as shed so the ledger
+   still balances — the alternative is a silently lost request. *)
+let forfeit t ~now ~tid ~shard ~cls ~probe =
+  if t.on then begin
+    Atomic.decr t.inflight.(shard);
+    if probe then Breaker.return_probe t.breakers.(shard)
+  end;
+  shed_one t ~now ~tid ~shard ~cls
+
+let note_exhausted t ~now ~tid ~shard =
+  Atomic.incr t.exhausted;
+  if t.on then
+    note_transition t ~tid ~now ~shard
+      (Breaker.trip t.breakers.(shard) ~now)
+
+(* SplitMix-style avalanche for backoff jitter: deterministic in the
+   simulator (a pure function of tid/shard/attempt/arrival), decorrelated
+   enough that colliding retries spread out. *)
+let mix a b =
+  let z = (a lxor (b * 0x9e3779b9)) + 0x1e3779b97f4a7c15 in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14c2ca6afdf2dcef in
+  (z lxor (z lsr 31)) land max_int
+
+(* [Some delay_ns] if this request may retry: attempts under the cap,
+   the global retry budget (a fraction of completions, plus a small
+   floor so cold starts can retry at all) not exhausted, and the
+   backed-off attempt still lands inside the deadline. *)
+let retry t ~now ~tid ~shard ~arrival ~attempt =
+  if (not t.on) || attempt > t.cfg.Cfg.max_retries then None
+  else begin
+    let budget =
+      (Atomic.get t.completed * t.cfg.Cfg.retry_budget_pct / 100) + 4
+    in
+    if Atomic.get t.retries >= budget then None
+    else begin
+      let base =
+        min t.cfg.Cfg.backoff_cap_ns
+          (t.cfg.Cfg.backoff_ns lsl (attempt - 1))
+      in
+      let jitter = mix (mix tid shard) (mix attempt arrival) mod (1 + (base / 2)) in
+      let delay = base + jitter in
+      if now + delay - arrival > t.cfg.Cfg.deadline_ns then None
+      else begin
+        Atomic.incr t.retries;
+        emit ~tid ~now Nbr_obs.Trace.Request_retry shard attempt;
+        Some delay
+      end
+    end
+  end
+
+let snapshot t =
+  {
+    slo_on = t.on;
+    slo_admitted = Atomic.get t.admitted;
+    slo_completed = Atomic.get t.completed;
+    slo_shed = Atomic.get t.shed;
+    slo_timed_out = Atomic.get t.timed_out;
+    slo_retries = Atomic.get t.retries;
+    slo_exhausted = Atomic.get t.exhausted;
+    slo_opens = Atomic.get t.opens;
+    slo_half_opens = Atomic.get t.half_opens;
+    slo_closes = Atomic.get t.closes;
+    slo_brownouts = Atomic.get t.brownouts;
+  }

@@ -4,7 +4,14 @@
     arrival→completion latency into log-linear histograms — so a flash
     crowd that outruns the service rate shows up directly in the p99.9
     tail.  Fault plans, churn, per-shard background reclamation and
-    tracing compose exactly as in the trial runner. *)
+    tracing compose exactly as in the trial runner.
+
+    With a {!Guard.Cfg} configured, admission enforces per-request
+    deadlines, a bounded per-shard inflight budget (reject-newest
+    shedding) and per-shard circuit breakers; execution rechecks
+    deadlines, absorbs [Pool.Exhausted] into a budgeted backoff-retry
+    loop, and the report carries the request ledger ({!slo_ok}:
+    admitted = completed + shed + timed-out). *)
 
 type latency = {
   l_get : Nbr_obs.Histogram.summary;
@@ -19,10 +26,12 @@ type report = {
   rep_runtime : string;
   rep_nshards : int;
   rep_nthreads : int;
-  rep_requests : int;
-  rep_throughput_kops : float;  (** thousand requests per second *)
+  rep_requests : int;  (** completed requests (the goodput) *)
+  rep_throughput_kops : float;
+      (** thousand completed requests per second *)
   rep_latency : latency;  (** arrival → completion, queueing included *)
   rep_stats : Store.stats;
+  rep_slo : Guard.slo;  (** request ledger + guard counters *)
   rep_garbage_bound : int;
   rep_expected_size : int;  (** prefill + successful puts − deletes *)
   rep_signal_faults : bool;
@@ -42,6 +51,12 @@ val bounded_ok : report -> bool
     garbage within the shard bound.  Vacuously true for schemes that do
     not claim bounded garbage. *)
 
+val slo_ok : report -> bool
+(** The guard's request ledger balances: every admitted request ended
+    as exactly one of completed / shed / timed-out.  Holds for
+    unguarded runs too (the disabled guard still counts), except when
+    an [Exhausted] escape aborted the run mid-flight. *)
+
 val pp_report : Format.formatter -> report -> unit
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
@@ -57,6 +72,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
       faults : Nbr_fault.Fault_plan.t option;
       churn_ops : int;
           (** per-worker requests between churn cycles; 0 = off *)
+      guard : Guard.Cfg.t option;
+          (** overload protection; [None] = off (queue without bound) *)
     }
 
     val make :
@@ -66,11 +83,12 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
       ?prefill:int ->
       ?faults:Nbr_fault.Fault_plan.t ->
       ?churn_ops:int ->
+      ?guard:Guard.Cfg.t ->
       traffic:Nbr_workload.Traffic.t ->
       unit ->
       t
     (** Defaults: 2 ms, batch 32, seed 1, no prefill, no faults, no
-        churn. *)
+        churn, no guard. *)
   end
 
   val run : St.t -> Cfg.t -> report

@@ -29,6 +29,16 @@ type stats = {
   st_restarts : int;
   st_degrades : int;
   st_restores : int;
+  st_handshake_timeouts : int;
+}
+
+(* Cheap per-shard health snapshot for the service guard's breakers:
+   a few atomic loads, no allocation beyond the record. *)
+type health = {
+  h_occupancy : int;
+  h_capacity : int;
+  h_pressured : bool;  (** pool inside its high-watermark excursion *)
+  h_degraded : bool;  (** offload switchboard fell back to inline *)
 }
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
@@ -108,6 +118,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
     sh_reclaimer_run : unit -> unit;
     sh_reclaimer_stop : unit -> unit;
     sh_offload_counts : unit -> int * int;
+    sh_health : unit -> health;
+    sh_hs_timeouts : tid:int -> int;
     sh_pool_stats : unit -> P.stats;
     sh_smr_stats : unit -> Nbr_core.Smr_stats.t;
     sh_reset_peak : unit -> unit;
@@ -227,6 +239,26 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
                   let o = R.offload r in
                   ( Atomic.get o.Nbr_core.Smr_intf.Offload.degrades,
                     Atomic.get o.Nbr_core.Smr_intf.Offload.restores ));
+          sh_health =
+            (fun () ->
+              {
+                h_occupancy = P.occupancy pool;
+                h_capacity = cfg.shard_capacity;
+                h_pressured = P.pressured pool;
+                h_degraded =
+                  (match recl with
+                  | None -> false
+                  | Some r ->
+                      not
+                        (Atomic.get
+                           (R.offload r).Nbr_core.Smr_intf.Offload.enabled));
+              });
+          sh_hs_timeouts =
+            (fun ~tid ->
+              (* Own-context read: cheap and single-writer, the same
+                 idiom the trial runner uses for restart deltas. *)
+              Nbr_core.Smr_stats.handshake_timeouts
+                (Smr.ctx_stats ctxs.(tid)));
           sh_pool_stats = (fun () -> P.stats pool);
           sh_smr_stats = (fun () -> Smr.stats smr);
           sh_reset_peak = (fun () -> P.reset_peak pool);
@@ -345,6 +377,15 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
   let stall t ~tid ns = t.shards.(0).sh_stall ~tid ns
   let crash t ~tid = t.shards.(0).sh_crash ~tid
   let hog t ~slots ~ns = t.shards.(0).sh_hog ~slots ~ns
+
+  (* Shard-targeted pressure (the slo-chaos adversary): same hog, but
+     the caller picks the victim shard, so a specific breaker trips. *)
+  let hog_on t ~shard ~slots ~ns =
+    t.shards.(shard mod t.cfg.Cfg.nshards).sh_hog ~slots ~ns
+
+  let health t ~shard = t.shards.(shard).sh_health ()
+  let shard_capacity t = t.cfg.Cfg.shard_capacity
+  let hs_timeouts t ~tid ~shard = t.shards.(shard).sh_hs_timeouts ~tid
   let churn t ~tid = Array.iter (fun sh -> sh.sh_churn ~tid) t.shards
   let drain t ~tid = Array.iter (fun sh -> sh.sh_drain ~tid) t.shards
   let run_reclaimer t i = t.shards.(i).sh_reclaimer_run ()
@@ -379,6 +420,9 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
           st_restarts = acc.st_restarts + Nbr_core.Smr_stats.restarts ss;
           st_degrades = acc.st_degrades + d;
           st_restores = acc.st_restores + r;
+          st_handshake_timeouts =
+            acc.st_handshake_timeouts
+            + Nbr_core.Smr_stats.handshake_timeouts ss;
         })
       {
         st_size = 0;
@@ -393,6 +437,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
         st_restarts = 0;
         st_degrades = 0;
         st_restores = 0;
+        st_handshake_timeouts = 0;
       }
       t.shards
 end

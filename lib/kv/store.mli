@@ -22,9 +22,20 @@ type stats = {
   st_restarts : int;
   st_degrades : int;  (** offload degrade events across shards *)
   st_restores : int;
+  st_handshake_timeouts : int;
+      (** bounded-wait handshakes that gave up (summed over shards) *)
 }
 (** Aggregated per-store counters — runtime-independent, so reports
     from different runtimes share one type. *)
+
+type health = {
+  h_occupancy : int;
+  h_capacity : int;
+  h_pressured : bool;  (** pool inside its high-watermark excursion *)
+  h_degraded : bool;  (** offload switchboard fell back to inline *)
+}
+(** Cheap per-shard health snapshot (a few atomic loads) — the signal
+    set the service guard's circuit breakers poll. *)
 
 module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
   module P : module type of Nbr_pool.Pool.Make (Rt)
@@ -125,6 +136,11 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
   val hog : t -> slots:int -> ns:int -> unit
   (** Manufactured pool pressure against shard 0. *)
 
+  val hog_on : t -> shard:int -> slots:int -> ns:int -> unit
+  (** Manufactured pool pressure against a chosen shard (the slo-chaos
+      adversary: the pressure, and any breaker trip, lands on a known
+      shard).  [shard] is taken modulo the shard count. *)
+
   val churn : t -> tid:int -> unit
   (** Deregister and immediately re-register [tid] on every shard,
       orphaning its buffered retires for survivors to adopt. *)
@@ -141,6 +157,17 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
   val reset_peaks : t -> unit
 
   (** {1 Introspection} *)
+
+  val health : t -> shard:int -> health
+  (** One shard's current health signals.  Safe from any thread; cheap
+      enough to poll once per shard batch. *)
+
+  val shard_capacity : t -> int
+
+  val hs_timeouts : t -> tid:int -> shard:int -> int
+  (** Cumulative handshake timeouts recorded by [tid]'s own context on
+      [shard] — single-writer, so cheap to poll; callers diff
+      successive reads to detect fresh timeouts. *)
 
   val garbage_bound : t -> int
   (** Worst per-shard bounded-garbage cap (the trial runner's formula

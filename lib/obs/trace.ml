@@ -45,6 +45,13 @@ type kind =
   | Restore
   | Handshake_timeout
   | Stale_handle
+  | Admission_shed
+  | Request_timeout
+  | Request_retry
+  | Breaker_open
+  | Breaker_half_open
+  | Breaker_close
+  | Brownout
 
 let kind_code = function
   | Signal_sent -> 0
@@ -78,6 +85,13 @@ let kind_code = function
   | Restore -> 28
   | Handshake_timeout -> 29
   | Stale_handle -> 30
+  | Admission_shed -> 31
+  | Request_timeout -> 32
+  | Request_retry -> 33
+  | Breaker_open -> 34
+  | Breaker_half_open -> 35
+  | Breaker_close -> 36
+  | Brownout -> 37
 
 let kind_of_code = function
   | 0 -> Signal_sent
@@ -110,6 +124,14 @@ let kind_of_code = function
   | 27 -> Degrade
   | 28 -> Restore
   | 29 -> Handshake_timeout
+  | 30 -> Stale_handle
+  | 31 -> Admission_shed
+  | 32 -> Request_timeout
+  | 33 -> Request_retry
+  | 34 -> Breaker_open
+  | 35 -> Breaker_half_open
+  | 36 -> Breaker_close
+  | 37 -> Brownout
   | _ -> Stale_handle
 
 let kind_name = function
@@ -144,6 +166,13 @@ let kind_name = function
   | Restore -> "restore"
   | Handshake_timeout -> "handshake_timeout"
   | Stale_handle -> "stale_handle"
+  | Admission_shed -> "admission_shed"
+  | Request_timeout -> "request_timeout"
+  | Request_retry -> "request_retry"
+  | Breaker_open -> "breaker_open"
+  | Breaker_half_open -> "breaker_half_open"
+  | Breaker_close -> "breaker_close"
+  | Brownout -> "brownout"
 
 type event = { e_ns : int; e_tid : int; e_seq : int; e_kind : kind; e_a : int; e_b : int }
 

@@ -83,6 +83,28 @@ type kind =
       (** fine: a generation-validated access went through a stale
           handle (its record was freed, possibly recycled);
           a = handle, b = the slot's current generation *)
+  | Admission_shed
+      (** the service guard rejected a request at admission (inflight
+          budget full, shard browned out, or breaker open);
+          a = shard, b = op class (0 read / 1 write / 2 scan) *)
+  | Request_timeout
+      (** an admitted request exceeded its deadline and completed as
+          [Timed_out]; a = shard, b = lateness in ns *)
+  | Request_retry
+      (** a transiently-failed request is being retried after backoff;
+          a = shard, b = attempt # (1-based) *)
+  | Breaker_open
+      (** a shard circuit breaker tripped fully open; a = shard,
+          b = consecutive unhealthy polls observed *)
+  | Breaker_half_open
+      (** an open breaker let its cooldown elapse and entered half-open
+          (probe) state; a = shard, b = probe budget *)
+  | Breaker_close
+      (** a half-open breaker's probes succeeded and it closed;
+          a = shard, b = probe successes *)
+  | Brownout
+      (** a shard moved along the brownout ladder; a = shard,
+          b = new level (0 healthy / 1 shed scans / 2 shed writes) *)
 
 val kind_name : kind -> string
 

@@ -399,6 +399,8 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
 
   let wm_kick t = match t.wm_hook with None -> () | Some f -> f ()
 
+  let pressured t = Atomic.get t.wm_state = 1
+
   (* Crossing detection is a single CAS-guarded state bit per direction:
      exactly one thread observes each upward crossing (emits the event,
      calls the hook), and re-arming waits for total occupancy across all

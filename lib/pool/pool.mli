@@ -154,6 +154,18 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) : sig
   val clear_watermarks : t -> unit
   (** Disable watermark tracking and drop the hook. *)
 
+  val occupancy : t -> int
+  (** Published total occupancy (slots in use) across all size classes.
+      Occupancy is published in per-thread batches, so the value may
+      trail the exact count by a small slop (batch × threads).  Cheap —
+      one atomic load per class — and safe from any thread; intended as
+      a health signal for admission control and circuit breakers. *)
+
+  val pressured : t -> bool
+  (** True while the pool sits in the high-watermark excursion (occupancy
+      crossed [hi] and has not yet fallen back below [lo]).  Always false
+      when no watermarks are configured.  One atomic load. *)
+
   (** {1 Lifecycle} *)
 
   val alloc : ?on_pressure:(unit -> unit) -> ?cls:int -> t -> int

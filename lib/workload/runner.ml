@@ -178,7 +178,8 @@ struct
                   (match f with
                   | Nbr_fault.Fault_plan.Stall _ -> 0
                   | Nbr_fault.Fault_plan.Crash _ -> 1
-                  | Nbr_fault.Fault_plan.Hog _ -> 2)
+                  | Nbr_fault.Fault_plan.Hog _ -> 2
+                  | Nbr_fault.Fault_plan.Shard_hog _ -> 3)
                   !my_ops;
               match f with
               | Nbr_fault.Fault_plan.Stall { ns; _ } -> stall_in_op !ctx ns
@@ -189,7 +190,8 @@ struct
                      phase, the whole limbo bag — is orphaned forever. *)
                   Smr.begin_op !ctx;
                   crashed := true
-              | Nbr_fault.Fault_plan.Hog { slots; ns; _ } ->
+              | Nbr_fault.Fault_plan.Hog { slots; ns; _ }
+              | Nbr_fault.Fault_plan.Shard_hog { slots; ns; _ } ->
                   (* Manufactured pool pressure: grab raw slots (no
                      reclamation flush on this path — the hog is the
                      adversary, not an SMR client) and sit on them. *)

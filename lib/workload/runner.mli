@@ -1,0 +1,38 @@
+(** Generic trial runner: one scheme × one structure × one runtime.
+
+    Builds the pool, instantiates the scheme, prefills the structure,
+    launches the workers, and collects metrics.  The same code drives
+    every cell of every figure, so any scheme/structure pair measured is
+    measured identically — the property the paper's Setbench harness
+    provides.
+
+    Every trial doubles as a correctness check: successful inserts and
+    deletes are counted per thread and the structure's final size must
+    equal [prefill + inserts − deletes], and the pool must report zero
+    committed use-after-free reads. *)
+
+module Make
+    (Rt : Nbr_runtime.Runtime_intf.S)
+    (Smr : Nbr_core.Smr_intf.S
+             with type aint = Rt.aint
+              and type pool = Nbr_pool.Pool.Make(Rt).t)
+    (Ds : sig
+       type t
+
+       val name : string
+       val data_fields : int
+       val ptr_fields : int
+       val max_reservations : int
+       val create : Nbr_pool.Pool.Make(Rt).t -> t
+       val contains : t -> Smr.ctx -> int -> bool
+       val insert : t -> Smr.ctx -> int -> bool
+       val delete : t -> Smr.ctx -> int -> bool
+       val size : t -> int
+     end) : sig
+  val run : Trial.cfg -> Trial.result
+  (** One complete trial under [Rt.run]: deterministic seed-shuffled
+      prefill, [cfg.nthreads] workers (plus one background reclaimer
+      role at tid [nthreads] when [cfg.reclaim] is set), fault and
+      churn schedules from the config, then drain, validation counters
+      and per-thread metric aggregation into the result record. *)
+end

@@ -19,5 +19,6 @@ let () =
       ("obs", Test_obs.suite);
       ("traffic", Test_traffic.suite);
       ("kv", Test_kv.suite);
+      ("guard", Test_guard.suite);
       ("check", Test_check.suite);
     ]

@@ -1,0 +1,267 @@
+(* Overload-protection tests: the breaker state machine driven
+   deterministically (it is runtime-free, so no scheduler is needed),
+   the brownout ladder's trace order, and the request-ledger invariant
+   as a QCheck property over schemes × arrival shapes on guarded
+   simulator service runs. *)
+
+module Sim = Nbr_runtime.Sim_rt
+module Svc = Nbr_kv.Service.Make (Sim)
+module Guard = Nbr_kv.Guard
+module Breaker = Guard.Breaker
+module Trace = Nbr_obs.Trace
+module Traffic = Nbr_workload.Traffic
+module Registry = Nbr_workload.Registry
+
+let b () = Breaker.create ~unhealthy_for:2 ~recover_for:2 ~open_ns:1_000 ~probes:2 ()
+
+let climb_to_open br =
+  (* 2 bad polls per rung: 0 -> 1 -> 2 -> open. *)
+  let last = ref None in
+  for i = 1 to 6 do
+    last := Breaker.note_health br ~now:(10 * i) ~healthy:false
+  done;
+  !last
+
+let test_ladder_and_round_trip () =
+  let br = b () in
+  Alcotest.(check int) "starts closed" 0 (Breaker.state_code br);
+  Alcotest.(check bool) "one bad poll moves nothing" true
+    (Breaker.note_health br ~now:1 ~healthy:false = None);
+  Alcotest.(check bool) "second bad poll browns out to 1" true
+    (Breaker.note_health br ~now:2 ~healthy:false
+    = Some (Breaker.Brownout_to 1));
+  Alcotest.(check bool) "two more reach level 2" true
+    (Breaker.note_health br ~now:3 ~healthy:false = None
+    && Breaker.note_health br ~now:4 ~healthy:false
+       = Some (Breaker.Brownout_to 2));
+  Alcotest.(check bool) "two more open" true
+    (Breaker.note_health br ~now:5 ~healthy:false = None
+    && Breaker.note_health br ~now:6 ~healthy:false = Some Breaker.Opened);
+  Alcotest.(check int) "open" 3 (Breaker.state_code br);
+  Alcotest.(check bool) "polls ignored while open" true
+    (Breaker.note_health br ~now:7 ~healthy:true = None);
+  (* Cooldown not yet elapsed: everything rejected. *)
+  Alcotest.(check bool) "rejects reads before cooldown" true
+    (Breaker.admit br ~now:500 ~cls:Guard.Read = (Breaker.Reject, None));
+  (* Cooldown elapsed: the winning admit becomes the first probe. *)
+  (match Breaker.admit br ~now:2_000 ~cls:Guard.Read with
+  | Breaker.Probe, Some Breaker.Half_opened -> ()
+  | _ -> Alcotest.fail "expected first probe + Half_opened");
+  Alcotest.(check int) "half-open" 4 (Breaker.state_code br);
+  (* probes = 2: one token left, then reject. *)
+  (match Breaker.admit br ~now:2_001 ~cls:Guard.Write with
+  | Breaker.Probe, None -> ()
+  | _ -> Alcotest.fail "expected second probe");
+  Alcotest.(check bool) "probe budget exhausted" true
+    (Breaker.admit br ~now:2_002 ~cls:Guard.Read = (Breaker.Reject, None));
+  (* Both probes succeed: reclosed at level 0. *)
+  Alcotest.(check bool) "first success keeps half-open" true
+    (Breaker.note_probe br ~now:2_010 ~ok:true = None);
+  Alcotest.(check bool) "second success recloses" true
+    (Breaker.note_probe br ~now:2_011 ~ok:true = Some Breaker.Reclosed);
+  Alcotest.(check int) "closed at level 0" 0 (Breaker.state_code br)
+
+let test_probe_failure_reopens () =
+  let br = b () in
+  Alcotest.(check bool) "climbed to open" true
+    (climb_to_open br = Some Breaker.Opened);
+  (match Breaker.admit br ~now:5_000 ~cls:Guard.Read with
+  | Breaker.Probe, Some Breaker.Half_opened -> ()
+  | _ -> Alcotest.fail "expected half-open probe");
+  Alcotest.(check bool) "failed probe reopens" true
+    (Breaker.note_probe br ~now:5_010 ~ok:false = Some Breaker.Opened);
+  Alcotest.(check int) "open again" 3 (Breaker.state_code br);
+  (* The cooldown restarted at the reopen. *)
+  Alcotest.(check bool) "cooldown restarted" true
+    (Breaker.admit br ~now:5_020 ~cls:Guard.Read = (Breaker.Reject, None))
+
+let test_return_probe () =
+  let br = b () in
+  ignore (climb_to_open br);
+  ignore (Breaker.admit br ~now:5_000 ~cls:Guard.Read);
+  ignore (Breaker.admit br ~now:5_001 ~cls:Guard.Read);
+  Alcotest.(check bool) "budget spent" true
+    (Breaker.admit br ~now:5_002 ~cls:Guard.Read = (Breaker.Reject, None));
+  (* A probe whose request timed out before executing says nothing
+     about shard health — its token comes back. *)
+  Breaker.return_probe br;
+  (match Breaker.admit br ~now:5_003 ~cls:Guard.Read with
+  | Breaker.Probe, None -> ()
+  | _ -> Alcotest.fail "returned token not reusable")
+
+let test_recovery_ladder () =
+  let br = b () in
+  for i = 1 to 4 do
+    ignore (Breaker.note_health br ~now:i ~healthy:false)
+  done;
+  Alcotest.(check int) "at level 2" 2 (Breaker.state_code br);
+  Alcotest.(check bool) "two good polls step down" true
+    (Breaker.note_health br ~now:10 ~healthy:true = None
+    && Breaker.note_health br ~now:11 ~healthy:true
+       = Some (Breaker.Brownout_to 1));
+  (* A bad poll resets the good streak. *)
+  ignore (Breaker.note_health br ~now:12 ~healthy:false);
+  Alcotest.(check bool) "streak broken, one good not enough" true
+    (Breaker.note_health br ~now:13 ~healthy:true = None);
+  Alcotest.(check bool) "fresh streak steps down to 0" true
+    (Breaker.note_health br ~now:14 ~healthy:true
+    = Some (Breaker.Brownout_to 0));
+  Alcotest.(check int) "healthy again" 0 (Breaker.state_code br)
+
+(* The shed order is the ladder's point: scans go first, then writes,
+   and reads pass until the breaker is fully open. *)
+let test_class_gating () =
+  let br = b () in
+  let adm cls = fst (Breaker.admit br ~now:1 ~cls) in
+  Alcotest.(check bool) "level 0 admits all" true
+    (adm Guard.Read = Breaker.Proceed
+    && adm Guard.Write = Breaker.Proceed
+    && adm Guard.Scan = Breaker.Proceed);
+  ignore (Breaker.note_health br ~now:1 ~healthy:false);
+  ignore (Breaker.note_health br ~now:2 ~healthy:false);
+  Alcotest.(check bool) "level 1 sheds scans only" true
+    (adm Guard.Read = Breaker.Proceed
+    && adm Guard.Write = Breaker.Proceed
+    && adm Guard.Scan = Breaker.Reject);
+  ignore (Breaker.note_health br ~now:3 ~healthy:false);
+  ignore (Breaker.note_health br ~now:4 ~healthy:false);
+  Alcotest.(check bool) "level 2 sheds writes too, reads pass" true
+    (adm Guard.Read = Breaker.Proceed
+    && adm Guard.Write = Breaker.Reject
+    && adm Guard.Scan = Breaker.Reject)
+
+let test_hard_trip () =
+  let br = b () in
+  Alcotest.(check bool) "trip from closed opens" true
+    (Breaker.trip br ~now:100 = Some Breaker.Opened);
+  Alcotest.(check bool) "trip while open is a no-op" true
+    (Breaker.trip br ~now:101 = None);
+  Alcotest.(check int) "open" 3 (Breaker.state_code br)
+
+let test_healthy_of () =
+  let h = Guard.healthy_of in
+  Alcotest.(check bool) "all clear" true
+    (h ~occupancy:10 ~capacity:100 ~pressured:false ~degraded:false
+       ~hs_timed_out:false);
+  Alcotest.(check bool) "watermark excursion" false
+    (h ~occupancy:10 ~capacity:100 ~pressured:true ~degraded:false
+       ~hs_timed_out:false);
+  Alcotest.(check bool) "offload degraded" false
+    (h ~occupancy:10 ~capacity:100 ~pressured:false ~degraded:true
+       ~hs_timed_out:false);
+  Alcotest.(check bool) "fresh handshake timeout" false
+    (h ~occupancy:10 ~capacity:100 ~pressured:false ~degraded:false
+       ~hs_timed_out:true);
+  Alcotest.(check bool) "occupancy backstop at 3/4 capacity" false
+    (h ~occupancy:75 ~capacity:100 ~pressured:false ~degraded:false
+       ~hs_timed_out:false)
+
+(* The guard traces every transition it performs: drive one shard's
+   breaker through the full ladder and recovery and assert the trace
+   shows brownout(1) -> brownout(2) -> open -> half-open -> close in
+   time order. *)
+let test_brownout_trace_order () =
+  Trace.enable ~capacity:1024 ~nthreads:1 ();
+  let g = Guard.create ~cfg:(Guard.Cfg.make ~unhealthy_for:2 ~open_ns:100 ~probes:1 ()) ~nshards:2 () in
+  for i = 1 to 6 do
+    Guard.poll g ~now:(10 * i) ~tid:0 ~shard:1 ~healthy:false
+  done;
+  (* Past the cooldown an admitted read becomes the probe; completing
+     it recloses (probes = 1). *)
+  (match Guard.admit g ~now:200 ~tid:0 ~shard:1 ~cls:Guard.Read ~arrival:190 with
+  | Guard.Admitted { probe = true } ->
+      Guard.complete g ~now:210 ~tid:0 ~shard:1 ~probe:true
+  | _ -> Alcotest.fail "expected the probe admission");
+  let names =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.e_kind with
+        | Trace.Brownout -> Some (Printf.sprintf "brownout%d" e.Trace.e_b)
+        | Trace.Breaker_open -> Some "open"
+        | Trace.Breaker_half_open -> Some "half-open"
+        | Trace.Breaker_close -> Some "close"
+        | _ -> None)
+      (List.sort (fun a b -> compare a.Trace.e_ns b.Trace.e_ns)
+         (Trace.events ()))
+  in
+  Trace.clear ();
+  Alcotest.(check (list string))
+    "ladder order"
+    [ "brownout1"; "brownout2"; "open"; "half-open"; "close" ]
+    names;
+  let s = Guard.snapshot g in
+  Alcotest.(check bool) "counters match the trace" true
+    (s.Guard.slo_brownouts = 2 && s.Guard.slo_opens = 1
+    && s.Guard.slo_half_opens = 1 && s.Guard.slo_closes = 1)
+
+(* Ledger property: under any scheme and any arrival shape, a guarded
+   service run admits each request into exactly one terminal state. *)
+let run_guarded ~scheme ~shape ~seed =
+  Sim.set_config { Sim.default_config with cores = 4; seed };
+  let keyspace = 4096 in
+  let structure =
+    if Registry.supported ~scheme ~structure:"hash-set" then "hash-set"
+    else "ab-tree"
+  in
+  let st =
+    Svc.St.create
+      (Svc.St.Cfg.make ~structure ~nshards:2 ~keyspace ~shard_capacity:4096
+         ~scheme ~nthreads:4 ())
+  in
+  let traffic =
+    Traffic.make ~mx:(Option.get (Traffic.mix_of_name "write-heavy")) ~shape
+      ~rate_rps:2_000_000 ~keyspace ()
+  in
+  Svc.run st
+    (Svc.Cfg.make ~duration_ns:300_000 ~seed ~prefill:500
+       ~guard:
+         (Guard.Cfg.make ~deadline_ns:60_000 ~inflight:24 ~max_retries:2 ())
+       ~traffic ())
+
+let shapes =
+  [
+    ("steady", Traffic.Steady);
+    ( "flash",
+      Traffic.Flash_crowd { fc_at_pct = 30; fc_len_pct = 30; fc_mult = 10 } );
+    ("diurnal", Traffic.Diurnal { d_cycles = 2; d_floor_pct = 20 });
+  ]
+
+let prop_ledger_balances =
+  QCheck.Test.make ~count:24 ~name:"guarded run: admitted = completed + shed + timed-out"
+    QCheck.(
+      triple
+        (oneofl Registry.all_scheme_names)
+        (oneofl (List.map fst shapes))
+        small_nat)
+    (fun (scheme, shape_name, seed) ->
+      let shape = List.assoc shape_name shapes in
+      let rep = run_guarded ~scheme ~shape ~seed:(1 + seed) in
+      let s = rep.Nbr_kv.Service.rep_slo in
+      if not (Guard.slo_ok s) then
+        QCheck.Test.fail_reportf "%s/%s/seed%d: ledger broken: %a" scheme
+          shape_name seed Guard.pp_slo s;
+      if s.Guard.slo_admitted = 0 then
+        QCheck.Test.fail_reportf "%s/%s/seed%d: nothing admitted" scheme
+          shape_name seed;
+      (* Goodput is what the throughput figure reports. *)
+      if rep.Nbr_kv.Service.rep_requests <> s.Guard.slo_completed then
+        QCheck.Test.fail_reportf
+          "%s/%s/seed%d: rep_requests %d <> completed %d" scheme shape_name
+          seed rep.Nbr_kv.Service.rep_requests s.Guard.slo_completed;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "breaker-ladder-round-trip" `Quick
+      test_ladder_and_round_trip;
+    Alcotest.test_case "breaker-probe-failure-reopens" `Quick
+      test_probe_failure_reopens;
+    Alcotest.test_case "breaker-return-probe" `Quick test_return_probe;
+    Alcotest.test_case "breaker-recovery-ladder" `Quick test_recovery_ladder;
+    Alcotest.test_case "breaker-class-gating" `Quick test_class_gating;
+    Alcotest.test_case "breaker-hard-trip" `Quick test_hard_trip;
+    Alcotest.test_case "healthy-of" `Quick test_healthy_of;
+    Alcotest.test_case "brownout-trace-order" `Quick
+      test_brownout_trace_order;
+    QCheck_alcotest.to_alcotest prop_ledger_balances;
+  ]
