@@ -1,194 +1,12 @@
-(* Concurrency-idiom lint for the NBR codebase (DESIGN.md §11).
+(* Static analysis driver for the NBR codebase (DESIGN.md §11, §16).
 
-   A compiler-libs AST walk over the library sources enforcing the
-   idioms the hot paths depend on:
+   A thin shell over [Nbr_analysis.Driver]: the concurrency-idiom rules
+   (atomic-make, domain-dls, obj-magic, pool-raw-index, missing-mli)
+   plus the R1–R4 phase-discipline dataflow rules (read-phase-write,
+   unguarded-deref, phase-bracket, write-phase-read) over CFGs and
+   per-callee effect summaries.
 
-   - [atomic-make]   lib/core and lib/ds must not call [Atomic.make]
-                     directly: shared cells go through the runtime
-                     ([Rt.make] / [Rt.make_padded]) or [Padded], so the
-                     simulator can cost them and contended cells get
-                     cache-line isolation.
-   - [domain-dls]    [Domain.DLS] is a runtime-layer concern (thread
-                     identity); outside lib/runtime it reintroduces the
-                     per-dereference lookup PR 2 removed.
-   - [obj-magic]     no [Obj.magic] anywhere in lib/.
-   - [pool-raw-index] outside lib/pool, no raw cell addressing
-                     ([data_cell] / [ptr_cell]): those accessors bypass
-                     generation validation, so a stale handle reads the
-                     recycled occupant's memory with no detection.  The
-                     scheme layer (which implements the validated
-                     accessors on top of the cells) and the tagged-link
-                     structure are grandfathered in the allowlist.
-   - [missing-mli]   every library module carries an interface, or is
-                     explicitly grandfathered in the allowlist.
+   Usage: nbr_lint [--github] [--allowlist FILE] [--sarif FILE] DIR...
+   Exit status 1 iff any finding is not allowlisted or waived. *)
 
-   Usage: nbr_lint [--github] [--allowlist FILE] DIR...
-   Exit status 1 iff any finding is not allowlisted.  [--github] emits
-   GitHub Actions annotations so findings surface on the PR diff. *)
-
-let github = ref false
-let allowlist_file = ref ""
-let roots = ref []
-
-(* Allowlist: "rule:path" lines, '#' comments.  Paths are compared after
-   normalizing "./" prefixes. *)
-let allowlist : (string * string, unit) Hashtbl.t = Hashtbl.create 64
-
-let normalize p =
-  if String.length p > 2 && String.sub p 0 2 = "./" then
-    String.sub p 2 (String.length p - 2)
-  else p
-
-let load_allowlist file =
-  let ic = open_in file in
-  (try
-     while true do
-       let line = String.trim (input_line ic) in
-       if line <> "" && line.[0] <> '#' then
-         match String.index_opt line ':' with
-         | Some i ->
-             let rule = String.sub line 0 i in
-             let path =
-               normalize
-                 (String.trim
-                    (String.sub line (i + 1) (String.length line - i - 1)))
-             in
-             Hashtbl.replace allowlist (rule, path) ()
-         | None ->
-             Printf.eprintf "nbr_lint: bad allowlist line: %s\n" line;
-             exit 2
-     done
-   with End_of_file -> ());
-  close_in ic
-
-let allowed ~rule ~file = Hashtbl.mem allowlist (rule, normalize file)
-
-let errors = ref 0
-
-let report ~rule ~file ~line msg =
-  if not (allowed ~rule ~file) then begin
-    incr errors;
-    if !github then
-      Printf.printf "::error file=%s,line=%d::[%s] %s\n" file line rule msg
-    else Printf.printf "%s:%d: [%s] %s\n" file line rule msg
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Identifier rules, as one AST walk per file.                         *)
-
-let path_has_prefix ~prefix file =
-  let file = normalize file in
-  let n = String.length prefix in
-  String.length file >= n && String.sub file 0 n = prefix
-
-let in_core_or_ds file =
-  path_has_prefix ~prefix:"lib/core/" file
-  || path_has_prefix ~prefix:"lib/ds/" file
-
-let in_runtime file = path_has_prefix ~prefix:"lib/runtime/" file
-
-let check_ident ~file (lid : Longident.t Location.loc) =
-  let line = lid.Location.loc.Location.loc_start.Lexing.pos_lnum in
-  match Longident.flatten lid.Location.txt with
-  | "Obj" :: "magic" :: _ ->
-      report ~rule:"obj-magic" ~file ~line
-        "Obj.magic defeats the type system; find another way"
-  | "Atomic" :: "make" :: _ when in_core_or_ds file ->
-      report ~rule:"atomic-make" ~file ~line
-        "bare Atomic.make in scheme/structure code: shared cells must go \
-         through Rt.make / Rt.make_padded (or Nbr_sync.Padded) so the \
-         simulator costs them and hot cells get cache-line isolation"
-  | "Domain" :: "DLS" :: _ when not (in_runtime file) ->
-      report ~rule:"domain-dls" ~file ~line
-        "Domain.DLS outside lib/runtime: thread identity is a runtime \
-         concern (use the tid-threaded _t interfaces)"
-  | l
-    when (match List.rev l with
-         | ("data_cell" | "ptr_cell") :: _ -> true
-         | _ -> false)
-         && not (path_has_prefix ~prefix:"lib/pool/" file) ->
-      report ~rule:"pool-raw-index" ~file ~line
-        "raw cell addressing bypasses generation validation: go through \
-         the scheme's validated accessors (read_data / read_ptr / \
-         peek_ptr), or grandfather a deliberate use in the allowlist"
-  | _ -> ()
-
-let make_iterator file =
-  let open Ast_iterator in
-  let expr it e =
-    (match e.Parsetree.pexp_desc with
-    | Parsetree.Pexp_ident lid -> check_ident ~file lid
-    | _ -> ());
-    default_iterator.expr it e
-  in
-  let module_expr it m =
-    (match m.Parsetree.pmod_desc with
-    | Parsetree.Pmod_ident lid -> check_ident ~file lid
-    | _ -> ());
-    default_iterator.module_expr it m
-  in
-  let open_description it (o : Parsetree.open_description) =
-    check_ident ~file o.Parsetree.popen_expr;
-    default_iterator.open_description it o
-  in
-  { default_iterator with expr; module_expr; open_description }
-
-let lint_file file =
-  let ic = open_in file in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-  let lexbuf = Lexing.from_channel ic in
-  Lexing.set_filename lexbuf file;
-  match Parse.implementation lexbuf with
-  | ast ->
-      let it = make_iterator file in
-      it.Ast_iterator.structure it ast
-  | exception exn ->
-      report ~rule:"parse" ~file ~line:1
-        (Printf.sprintf "failed to parse: %s" (Printexc.to_string exn))
-
-let check_mli file =
-  if path_has_prefix ~prefix:"lib/" file && not (Sys.file_exists (file ^ "i"))
-  then
-    report ~rule:"missing-mli" ~file ~line:1
-      "library module without an interface (add a .mli, or grandfather it \
-       in the allowlist)"
-
-(* ------------------------------------------------------------------ *)
-
-let rec walk dir f =
-  Array.iter
-    (fun entry ->
-      let p = Filename.concat dir entry in
-      if Sys.is_directory p then walk p f
-      else if Filename.check_suffix entry ".ml" then f p)
-    (let a = Sys.readdir dir in
-     Array.sort compare a;
-     a)
-
-let () =
-  Arg.parse
-    [
-      ("--github", Arg.Set github, " emit GitHub Actions error annotations");
-      ( "--allowlist",
-        Arg.Set_string allowlist_file,
-        "FILE rule:path exemptions, one per line" );
-    ]
-    (fun d -> roots := d :: !roots)
-    "nbr_lint [--github] [--allowlist FILE] DIR...";
-  if !allowlist_file <> "" then load_allowlist !allowlist_file;
-  let roots = if !roots = [] then [ "lib" ] else List.rev !roots in
-  List.iter
-    (fun root ->
-      if not (Sys.file_exists root && Sys.is_directory root) then begin
-        Printf.eprintf "nbr_lint: no such directory: %s\n" root;
-        exit 2
-      end;
-      walk root (fun file ->
-          lint_file file;
-          check_mli file))
-    roots;
-  if !errors > 0 then begin
-    Printf.printf "nbr_lint: %d finding(s)\n" !errors;
-    exit 1
-  end
-  else print_endline "nbr_lint: clean"
+let () = exit (Nbr_analysis.Driver.main ())

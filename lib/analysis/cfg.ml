@@ -1,0 +1,310 @@
+(* Control-flow graphs over [Parsetree] expressions, for the R3
+   phase-bracketing dataflow and the R2 dominance queries (DESIGN.md
+   §16).
+
+   One CFG covers one function body.  Lambda literals in the body are
+   *not* inlined — each is analyzed as its own function by [Rules] — so
+   a node here is either a protocol event (a call whose resolved effects
+   include begin/end/phase, as decided by the caller-supplied
+   [classify]) or a raise.  Control constructs contribute edges:
+   if/match fan out and re-join, while/for loop back, and try adds an
+   edge from the try entry plus one from every direct raise in the body
+   to the handler.  Exceptions are modeled from *explicit* raises only:
+   callee-propagated exceptions (e.g. [Exhausted] escaping an
+   allocation) are deliberately out of scope, matching the codebase
+   convention that ops do not [Fun.protect] their bracket. *)
+
+type event = Begins | Ends | Phase | Raise
+
+type node = {
+  id : int;
+  loc : Location.t;
+  events : event list;
+  mutable preds : int list;
+  mutable succs : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+  raise_exit : int;  (** sink for raises with no enclosing handler *)
+}
+
+let has ev n = List.mem ev n.events
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let build ~(classify : Parsetree.expression -> event list)
+    (body : Parsetree.expression) : t =
+  let nodes : node list ref = ref [] in
+  let count = ref 0 in
+  let fresh ?(events = []) loc =
+    let id = !count in
+    incr count;
+    nodes := { id; loc; events; preds = []; succs = [] } :: !nodes;
+    id
+  in
+  let edges : (int * int) list ref = ref [] in
+  let link srcs dst = List.iter (fun s -> edges := (s, dst) :: !edges) srcs in
+  let entry = fresh Location.none in
+  let raise_exit = fresh Location.none in
+  (* [go preds raise_sink e] threads control through [e]; returns the
+     fall-through predecessors.  An empty result means all paths
+     diverge. *)
+  let rec go preds raise_sink (e : Parsetree.expression) : int list =
+    let open Parsetree in
+    match e.pexp_desc with
+    | Pexp_sequence (a, b) ->
+        let p = go preds raise_sink a in
+        go p raise_sink b
+    | Pexp_let (_, vbs, body) ->
+        let p =
+          List.fold_left (fun p vb -> go p raise_sink vb.pvb_expr) preds vbs
+        in
+        go p raise_sink body
+    | Pexp_ifthenelse (c, t, eo) ->
+        let pc = go preds raise_sink c in
+        let pt = go pc raise_sink t in
+        let pe = match eo with Some e -> go pc raise_sink e | None -> pc in
+        pt @ pe
+    | Pexp_match (scrut, cases) ->
+        let ps = go preds raise_sink scrut in
+        List.concat_map
+          (fun c ->
+            let pg =
+              match c.pc_guard with
+              | Some g -> go ps raise_sink g
+              | None -> ps
+            in
+            go pg raise_sink c.pc_rhs)
+          cases
+    | Pexp_try (body, cases) ->
+        (* The handler is reachable from the try entry (any callee may
+           raise) and from direct raises inside the body. *)
+        let handler = fresh e.pexp_loc in
+        link preds handler;
+        let pb = go preds handler body in
+        let ph =
+          List.concat_map (fun c -> go [ handler ] raise_sink c.pc_rhs) cases
+        in
+        pb @ ph
+    | Pexp_while (c, b) ->
+        let head = fresh e.pexp_loc in
+        link preds head;
+        let pc = go [ head ] raise_sink c in
+        let pb = go pc raise_sink b in
+        link pb head;
+        pc
+    | Pexp_for (_, lo, hi, _, b) ->
+        let p1 = go preds raise_sink lo in
+        let p2 = go p1 raise_sink hi in
+        let head = fresh e.pexp_loc in
+        link p2 head;
+        let pb = go [ head ] raise_sink b in
+        link pb head;
+        [ head ]
+    | Pexp_fun _ | Pexp_function _ ->
+        (* Lambda literal: its body is a separate function. *)
+        preds
+    | Pexp_apply (_, args) ->
+        let p =
+          List.fold_left (fun p (_, a) -> go p raise_sink a) preds args
+        in
+        let events = classify e in
+        if events = [] then p
+        else if List.mem Raise events then begin
+          let n = fresh ~events e.pexp_loc in
+          link p n;
+          link [ n ] raise_sink;
+          []
+        end
+        else begin
+          let n = fresh ~events e.pexp_loc in
+          link p n;
+          [ n ]
+        end
+    | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) ->
+        go preds raise_sink a
+    | Pexp_tuple es | Pexp_array es ->
+        List.fold_left (fun p x -> go p raise_sink x) preds es
+    | Pexp_record (fields, base) ->
+        let p =
+          match base with Some b -> go preds raise_sink b | None -> preds
+        in
+        List.fold_left (fun p (_, x) -> go p raise_sink x) p fields
+    | Pexp_field (a, _) -> go preds raise_sink a
+    | Pexp_setfield (a, _, b) ->
+        let p = go preds raise_sink a in
+        go p raise_sink b
+    | Pexp_constraint (a, _) | Pexp_coerce (a, _, _) ->
+        go preds raise_sink a
+    | Pexp_open (_, a)
+    | Pexp_letmodule (_, _, a)
+    | Pexp_letexception (_, a)
+    | Pexp_newtype (_, a)
+    | Pexp_lazy a ->
+        go preds raise_sink a
+    | Pexp_assert a ->
+        (* Asserts are benign invariants here, not control flow. *)
+        go preds raise_sink a
+    | Pexp_ident _ | Pexp_constant _ | Pexp_construct (_, None)
+    | Pexp_variant (_, None) ->
+        preds
+    | _ -> preds
+  in
+  let final = go [ entry ] raise_exit body in
+  let exit_ = fresh Location.none in
+  link final exit_;
+  let arr = Array.make !count { id = 0; loc = Location.none; events = []; preds = []; succs = [] } in
+  List.iter (fun n -> arr.(n.id) <- n) !nodes;
+  List.iter
+    (fun (a, b) ->
+      arr.(a).succs <- b :: arr.(a).succs;
+      arr.(b).preds <- a :: arr.(b).preds)
+    !edges;
+  { nodes = arr; entry; exit_; raise_exit }
+
+(* ------------------------------------------------------------------ *)
+(* Dominance: classic iterative bit-set computation.  Unreachable nodes
+   keep the full set; queries gate on reachability. *)
+
+let dominators (g : t) : bool array array =
+  let n = Array.length g.nodes in
+  let full () = Array.make n true in
+  let dom = Array.init n (fun _ -> full ()) in
+  let entry_only = Array.make n false in
+  entry_only.(g.entry) <- true;
+  dom.(g.entry) <- entry_only;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun node ->
+        if node.id <> g.entry && node.preds <> [] then begin
+          let nd = full () in
+          List.iter
+            (fun p ->
+              let dp = dom.(p) in
+              for i = 0 to n - 1 do
+                if not dp.(i) then nd.(i) <- false
+              done)
+            node.preds;
+          nd.(node.id) <- true;
+          if nd <> dom.(node.id) then begin
+            dom.(node.id) <- nd;
+            changed := true
+          end
+        end)
+      g.nodes
+  done;
+  dom
+
+let reachable (g : t) : bool array =
+  let seen = Array.make (Array.length g.nodes) false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit g.nodes.(i).succs
+    end
+  in
+  visit g.entry;
+  seen
+
+(* ------------------------------------------------------------------ *)
+(* R3 balance dataflow: per node, the set of possible open-op depths on
+   entry, as a 3-bit mask over {0, 1, 2+}. *)
+
+type balance_violation =
+  | Stray_end of Location.t  (** end_op reachable at depth 0 *)
+  | Nested_begin of Location.t  (** begin_op reachable at depth >= 1 *)
+  | Open_at_return of Location.t  (** some return path leaves the op open *)
+  | Open_at_raise of Location.t  (** some uncaught raise leaves the op open *)
+
+let bit d = 1 lsl min d 2
+
+let shift_mask mask ~begins ~ends =
+  if begins && ends then mask
+  else if begins then
+    (* depth 0 -> 1, 1 -> 2+, 2+ -> 2+ *)
+    (if mask land 1 <> 0 then 2 else 0)
+    lor if mask land 6 <> 0 then 4 else 0
+  else if ends then
+    (* depth 1 -> 0; 2+ -> 1 or 2+ (unknown, keep both); 0 is a stray
+       end, reported separately, and treated as staying at 0. *)
+    (if mask land 2 <> 0 then 1 else 0)
+    lor (if mask land 4 <> 0 then 6 else 0)
+    lor if mask land 1 <> 0 then 1 else 0
+  else mask
+
+let check_balance (g : t) : balance_violation list =
+  let n = Array.length g.nodes in
+  let in_mask = Array.make n 0 in
+  in_mask.(g.entry) <- bit 0;
+  let work = Queue.create () in
+  Queue.push g.entry work;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    let node = g.nodes.(i) in
+    let out =
+      shift_mask in_mask.(i) ~begins:(has Begins node) ~ends:(has Ends node)
+    in
+    List.iter
+      (fun s ->
+        let m = in_mask.(s) lor out in
+        if m <> in_mask.(s) then begin
+          in_mask.(s) <- m;
+          Queue.push s work
+        end)
+      node.succs
+  done;
+  let viols = ref [] in
+  (* Anchor "left open" reports on a begin with no matching end in the
+     same node (an unbalanced direct begin_op) when one exists; folded
+     balanced calls are less likely culprits. *)
+  let pick p =
+    Array.fold_left
+      (fun acc node ->
+        match acc with Some _ -> acc | None -> if p node then Some node.loc else None)
+      None g.nodes
+  in
+  let first_begin_loc =
+    match pick (fun n -> has Begins n && not (has Ends n)) with
+    | Some _ as l -> l
+    | None -> pick (has Begins)
+  in
+  Array.iter
+    (fun node ->
+      if in_mask.(node.id) <> 0 then begin
+        if has Ends node && (not (has Begins node)) && in_mask.(node.id) land 1 <> 0
+        then viols := Stray_end node.loc :: !viols;
+        if has Begins node && (not (has Ends node)) && in_mask.(node.id) land 6 <> 0
+        then viols := Nested_begin node.loc :: !viols
+      end)
+    g.nodes;
+  let open_loc = match first_begin_loc with Some l -> l | None -> Location.none in
+  if in_mask.(g.exit_) land 6 <> 0 then
+    viols := Open_at_return open_loc :: !viols;
+  if in_mask.(g.raise_exit) land 6 <> 0 then
+    viols := Open_at_raise open_loc :: !viols;
+  List.rev !viols
+
+(* Phase-entry nodes not dominated by any begin node (queried only for
+   functions that contain a begin; unreachable nodes are skipped). *)
+let unguarded_phases (g : t) : Location.t list =
+  let begins =
+    Array.to_list g.nodes
+    |> List.filter (has Begins)
+    |> List.map (fun n -> n.id)
+  in
+  if begins = [] then []
+  else begin
+    let dom = dominators g in
+    let reach = reachable g in
+    Array.to_list g.nodes
+    |> List.filter (fun n ->
+           has Phase n && (not (has Begins n)) && reach.(n.id)
+           && not (List.exists (fun b -> b <> n.id && dom.(n.id).(b)) begins))
+    |> List.map (fun n -> n.loc)
+  end

@@ -1,0 +1,57 @@
+(** Control-flow graphs over [Parsetree] expressions: construction,
+    dominance, and the R3 phase-bracketing depth dataflow
+    (DESIGN.md §16).
+
+    One CFG covers one function body; lambda literals are opaque (each
+    is analyzed as its own function).  Exception edges are modeled from
+    explicit raises only, plus a conservative edge from each [try] entry
+    to its handler. *)
+
+type event =
+  | Begins  (** resolved callee effect includes begin_op *)
+  | Ends  (** resolved callee effect includes end_op *)
+  | Phase  (** callee enters a read/write phase *)
+  | Raise  (** the expression diverges (raise / failwith / ...) *)
+
+type node = {
+  id : int;
+  loc : Location.t;
+  events : event list;
+  mutable preds : int list;
+  mutable succs : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+  raise_exit : int;  (** sink for raises with no enclosing handler *)
+}
+
+val has : event -> node -> bool
+
+val build :
+  classify:(Parsetree.expression -> event list) -> Parsetree.expression -> t
+(** [classify] is consulted on every application; returning events for
+    an expression materializes a node for it. *)
+
+val dominators : t -> bool array array
+(** [dominators g].(n).(d) iff node [d] dominates node [n].  Unreachable
+    nodes report the full set; gate queries on {!reachable}. *)
+
+val reachable : t -> bool array
+
+type balance_violation =
+  | Stray_end of Location.t  (** end_op reachable at depth 0 *)
+  | Nested_begin of Location.t  (** begin_op reachable at depth >= 1 *)
+  | Open_at_return of Location.t  (** some return path leaves the op open *)
+  | Open_at_raise of Location.t  (** some uncaught raise leaves the op open *)
+
+val check_balance : t -> balance_violation list
+(** Fixpoint over per-node sets of possible open-op depths ({0,1,2+}). *)
+
+val unguarded_phases : t -> Location.t list
+(** Phase-entry nodes not dominated by any begin node, in a function
+    that contains at least one begin.  Empty when the function never
+    begins an op (helpers entered from an already-open op are checked
+    at their call sites instead). *)

@@ -1,0 +1,17 @@
+(** Static phase-discipline analysis for the NBR protocol
+    (DESIGN.md §16), exposed as [Nbr.Analysis].
+
+    A compiler-libs dataflow pass over the library sources proving the
+    paper's source-level contract at build time: read phases are pure
+    and restartable, every validated dereference sits under an active
+    guard, begin_op/end_op bracket every exit, and plain field reads
+    stay on locked windows.  Runs as [dune build @lint] via
+    [bin/nbr_lint], alongside the older concurrency-idiom rules. *)
+
+module Findings = Findings
+module Cfg = Cfg
+module Summary = Summary
+module Rules = Rules
+module Idiom = Idiom
+module Sarif = Sarif
+module Driver = Driver

@@ -1,0 +1,36 @@
+(** The R1–R4 phase-discipline rules (DESIGN.md §16):
+
+    - R1 [read-phase-write] — no shared-memory writes between begin_op /
+      the last checkpoint and the protect point (i.e. in Read context);
+    - R2 [unguarded-deref] — every validated accessor call is dominated
+      by an active guard appropriate to the scheme family;
+    - R3 [phase-bracket] — begin_op/end_op balanced on all exits,
+      exception edges included;
+    - R4 [write-phase-read] — plain (unvalidated) field reads only on
+      locked/reserved windows. *)
+
+type phase_ctx = Other | Read | Write
+
+val rule_r1 : string
+val rule_r2 : string
+val rule_r3 : string
+val rule_r4 : string
+val all_rules : string list
+
+type family = Neutralization | Hazard | Epoch | Foil | Unknown_family
+
+val family_of_scheme : string -> family
+(** Guard lattice per scheme family: Neutralization (nbr, nbr+) needs a
+    checkpoint + neutralization poll; Hazard (hp, he, ibr) needs a
+    published reservation/era + liveness validation; Epoch (debra, qsbr,
+    rcu) needs an epoch announcement at begin_op; Foils (none,
+    unsafe-free) are exempt. *)
+
+val check_scheme : Summary.t -> Summary.info -> Findings.t list
+(** Per-scheme-family R2 closure checks for SMR-implementation files. *)
+
+val check :
+  Summary.t -> Summary.info -> Findings.Waivers.t -> Findings.t list
+(** Run all four rules over one file (client rules for structure/service
+    code, scheme checks for SMR implementations), collecting
+    [@nbr.allow] waivers into [waivers] along the way. *)

@@ -1,0 +1,6 @@
+(** SARIF 2.1.0 emission for the static analysis — hand-rolled JSON (the
+    toolchain carries no JSON dependency), accepted by GitHub code
+    scanning (DESIGN.md §16). *)
+
+val to_string : Findings.t list -> string
+val write_file : string -> Findings.t list -> unit

@@ -71,8 +71,12 @@ struct
      through the scheme's own policy instead of routing the descent (or
      deciding membership) by a recycled occupant's fields. *)
   let rsize_of ctx s = min (max (Smr.read_data ctx ~src:s ~field:f_size) 0) b
-  let rkey_at ctx s i = Smr.read_data ctx ~src:s ~field:i
+  [@@nbr.read_phase]
+
+  let rkey_at ctx s i = Smr.read_data ctx ~src:s ~field:i [@@nbr.read_phase]
+
   let ris_leaf ctx s = Smr.peek_ptr ctx ~src:s ~field:0 = P.nil
+  [@@nbr.read_phase]
 
   (* Child index for key [k] at internal node [s]: the largest [i] with
      [i = 0 || key i <= k]. *)
@@ -91,6 +95,7 @@ struct
       if rkey_at ctx s j <= k then i := j
     done;
     !i
+  [@@nbr.read_phase]
 
   (* Position of [k] in leaf [s], or -1. *)
   let leaf_find t s k =
@@ -108,6 +113,7 @@ struct
       if rkey_at ctx s j = k then pos := j
     done;
     !pos
+  [@@nbr.read_phase]
 
   (* ---------------- node construction (write phases only) -------------- *)
 
@@ -158,6 +164,7 @@ struct
       n := Smr.read_ptr ctx ~src:!n ~field:!pdir
     done;
     (!gp, !gdir, !p, !pdir, !n)
+  [@@nbr.read_phase]
 
   let contains t ctx k =
     Smr.begin_op ctx;
@@ -203,6 +210,7 @@ struct
        && !p <> t.anchor
      then v := Prune (!gp, !gdir, !p, !pdir, !n));
     !v
+  [@@nbr.read_phase]
 
   (* Lock [cells] in order; return false (after unlocking) if [valid]
      fails. *)

@@ -64,9 +64,11 @@ struct
   (* Read-phase variants: generation-validated, so a stale handle fails
      through the scheme's own policy instead of routing the descent by a
      recycled occupant's key. *)
-  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
-  let rdir ctx s k = if k < rkey ctx s then 0 else 1
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key [@@nbr.read_phase]
+  let rdir ctx s k = (if k < rkey ctx s then 0 else 1) [@@nbr.read_phase]
+
   let ris_leaf ctx s = Smr.peek_ptr ctx ~src:s ~field:0 = P.nil
+  [@@nbr.read_phase]
 
   (* Φread: descend to the leaf for [k], tracking grandparent and parent.
      Returns (gparent, gdir, parent, pdir, leaf). The root is its own
@@ -84,6 +86,7 @@ struct
       l := Smr.read_ptr ctx ~src:!l ~field:!pdir
     done;
     (!gp, !gdir, !p, !pdir, !l)
+  [@@nbr.read_phase]
 
   let contains t ctx k =
     Smr.begin_op ctx;

@@ -60,7 +60,7 @@ struct
      [record_read]) — but a key compare through a stale handle would
      route the traversal by the recycled occupant's key, so it goes
      through the scheme's validated path. *)
-  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key [@@nbr.read_phase]
 
   (* What a read phase discovers: either the target window, or a marked
      node that must be unlinked first (one auxiliary update per phase). *)
@@ -89,6 +89,7 @@ struct
       end
     done;
     Option.get !result
+  [@@nbr.read_phase]
 
   (* Membership traversal: skips marked nodes without helping (Harris's
      wait-free search; it may walk through unlinked records). *)

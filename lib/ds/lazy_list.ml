@@ -53,8 +53,10 @@ struct
      through the scheme's own policy (NBR restarts via [Neutralized],
      epoch schemes consume-and-count) instead of yielding the recycled
      occupant's fields as if they were [s]'s. *)
-  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key [@@nbr.read_phase]
+
   let rmarked ctx s = Smr.read_data ctx ~src:s ~field:f_marked = 1
+  [@@nbr.read_phase]
 
   (* Φread: locate the window ⟨pred, curr⟩ with key pred < k ≤ key curr. *)
   let search t ctx k =
@@ -65,6 +67,7 @@ struct
       curr := Smr.read_ptr ctx ~src:!curr ~field:f_next
     done;
     (!pred, !curr)
+  [@@nbr.read_phase]
 
   let contains t ctx k =
     Smr.begin_op ctx;

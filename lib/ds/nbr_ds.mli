@@ -1,0 +1,21 @@
+(** Concurrent set data structures, parameterized over runtime and SMR
+    scheme.
+
+    - {!Lazy_list}: lock-based sorted list (single read/write phase).
+    - {!Dgt_bst}: external BST with lock-free searches, lock-based updates
+      (single read/write phase, 3 reservations).
+    - {!Harris_list}: lock-free list traversing marked nodes (k-NBR).
+    - {!Ab_tree}: relaxed (a,b)-tree with copy-on-write nodes (k-NBR).
+    - {!Hash_set}: lock-free hash set of Harris-list buckets (extension).
+    - {!Skip_list}: optimistic skiplist, up to 17 reservations (extension).
+
+    {!Spinlock} (test-and-test-and-set over runtime cells) lives here with
+    its only users, keeping [nbr.sync] free of runtime dependencies. *)
+
+module Spinlock = Spinlock
+module Lazy_list = Lazy_list
+module Dgt_bst = Dgt_bst
+module Harris_list = Harris_list
+module Ab_tree = Ab_tree
+module Hash_set = Hash_set
+module Skip_list = Skip_list

@@ -61,9 +61,12 @@ struct
   (* Read-phase variants: generation-validated, so a stale handle fails
      through the scheme's own policy instead of routing the descent by a
      recycled occupant's key. *)
-  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key
+  let rkey ctx s = Smr.read_data ctx ~src:s ~field:f_key [@@nbr.read_phase]
+
   let rmarked ctx s = Smr.read_data ctx ~src:s ~field:f_marked = 1
-  let rtop ctx s = Smr.read_data ctx ~src:s ~field:f_top
+  [@@nbr.read_phase]
+
+  let rtop ctx s = Smr.read_data ctx ~src:s ~field:f_top [@@nbr.read_phase]
 
   (* Deterministic geometric level: P(level > i) = 2^-i. *)
   let level_of k =
@@ -89,6 +92,7 @@ struct
       preds.(lvl) <- !pred;
       succs.(lvl) <- !curr
     done
+  [@@nbr.read_phase]
 
   let contains t ctx k =
     Smr.begin_op ctx;

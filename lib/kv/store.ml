@@ -204,7 +204,7 @@ module Make (Rt : Nbr_runtime.Runtime_intf.S) = struct
           sh_crash =
             (fun ~tid ->
               (* Die mid-operation: enter but never leave. *)
-              Smr.begin_op ctxs.(tid));
+              (Smr.begin_op ctxs.(tid) [@nbr.allow phase-bracket]));
           sh_hog =
             (fun ~slots ~ns ->
               (* Manufactured pool pressure against this shard: raw

@@ -104,5 +104,13 @@ module Reclaim = Nbr_reclaim.Reclaimer
     schedule certificates).  See DESIGN.md §11. *)
 module Check = Nbr_check
 
+(** Static phase-discipline analysis (DESIGN.md §16): compiler-libs
+    dataflow over per-callee effect summaries, checking the four
+    protocol rules (R1 read-phase purity, R2 guarded dereference, R3
+    phase bracketing, R4 write-phase coverage) plus the concurrency
+    idiom rules, with SARIF output.  Drives [bin/nbr_lint] /
+    [dune build @lint]. *)
+module Analysis = Nbr_analysis
+
 (** SplitMix64 PRNG, the repo-wide randomness source. *)
 module Rng = Nbr_sync.Rng

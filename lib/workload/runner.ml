@@ -188,7 +188,7 @@ struct
                      scheme's in-op state — epoch/interval announcements,
                      the reservations left published by the previous
                      phase, the whole limbo bag — is orphaned forever. *)
-                  Smr.begin_op !ctx;
+                  (Smr.begin_op !ctx [@nbr.allow phase-bracket]);
                   crashed := true
               | Nbr_fault.Fault_plan.Hog { slots; ns; _ }
               | Nbr_fault.Fault_plan.Shard_hog { slots; ns; _ } ->

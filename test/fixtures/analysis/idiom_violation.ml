@@ -1,0 +1,6 @@
+(* Idiom fixture: the ported source-idiom rules on the shared findings
+   engine — a type-system escape and raw cell addressing. *)
+
+let coerce x = Obj.magic x
+
+let sneak pool h = Rt.load (P.ptr_cell pool h 0)

@@ -1,0 +1,14 @@
+(* R1 fixture, clean twin: the same store is legal in the write phase —
+   the thread is non-restartable there, so it runs exactly once. *)
+
+let lookup t ctx k =
+  Smr.begin_op ctx;
+  let hit =
+    Smr.phase ctx
+      ~read:(fun () -> Smr.read_data ctx ~src:k ~field:0)
+      ~write:(fun v ->
+        Rt.store t 1;
+        v)
+  in
+  Smr.end_op ctx;
+  hit

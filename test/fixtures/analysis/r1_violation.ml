@@ -1,0 +1,16 @@
+(* R1 fixture: a shared-memory write inside a restartable read phase.
+   When the reader is neutralized the phase restarts from its
+   checkpoint, so the store would be repeated — or torn against the
+   writer it was racing. *)
+
+let lookup t ctx k =
+  Smr.begin_op ctx;
+  let hit =
+    Smr.phase ctx
+      ~read:(fun () ->
+        Rt.store t 1;
+        Smr.read_data ctx ~src:k ~field:0)
+      ~write:(fun v -> v)
+  in
+  Smr.end_op ctx;
+  hit

@@ -1,0 +1,8 @@
+(* R2 fixture, clean twin: the dereference sits inside a checkpointed
+   read phase of a bracketed operation. *)
+
+let peek t ctx =
+  Smr.begin_op ctx;
+  let p = Smr.read_only ctx (fun () -> Smr.read_ptr ctx ~src:t ~field:0) in
+  Smr.end_op ctx;
+  p

@@ -1,0 +1,6 @@
+(* R2 fixture: a validated dereference with no guard installed — no
+   begin_op, no phase entry.  The accessor's generation check has
+   nothing to validate against: the scheme never learned this thread
+   is reading. *)
+
+let peek t ctx = Smr.read_ptr ctx ~src:t ~field:0

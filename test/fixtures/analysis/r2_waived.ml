@@ -1,0 +1,5 @@
+(* Waiver fixture: the same unguarded dereference as r2_violation, but
+   deliberately waived in source — the finding must be counted as
+   suppressed, not reported. *)
+
+let peek t ctx = (Smr.read_ptr ctx ~src:t ~field:0 [@nbr.allow unguarded-deref])

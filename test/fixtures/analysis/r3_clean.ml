@@ -1,0 +1,8 @@
+(* R3 fixture, clean twin: every path through the conditional closes
+   the operation exactly once. *)
+
+let remove t ctx k =
+  Smr.begin_op ctx;
+  let v = Smr.read_only ctx (fun () -> Smr.read_data ctx ~src:t ~field:0) in
+  Smr.end_op ctx;
+  v = k

@@ -1,0 +1,12 @@
+(* R3 fixture: an early return leaves the operation open — the miss
+   branch never reaches end_op, so the thread's announcements (epoch,
+   reservations, checkpoint) stay published forever. *)
+
+let remove t ctx k =
+  Smr.begin_op ctx;
+  let v = Smr.read_only ctx (fun () -> Smr.read_data ctx ~src:t ~field:0) in
+  if v = k then begin
+    Smr.end_op ctx;
+    true
+  end
+  else false

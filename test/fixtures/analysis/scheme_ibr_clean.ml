@@ -1,0 +1,25 @@
+(* Scheme fixture, clean twin: the ratchet publishes *and* the slot is
+   validated against the pool's liveness record before the handle
+   escapes — a stale read restarts instead of committing. *)
+
+let scheme_name = "ibr"
+
+let begin_op ctx = Rt.store ctx 1
+
+let end_op ctx = Rt.store ctx 0
+
+let phase ctx ~read ~write =
+  Rt.checkpoint ctx;
+  let v = read () in
+  write v;
+  v
+
+let read_only ctx f =
+  Rt.checkpoint ctx;
+  f ()
+
+let read_ptr ctx ~src ~field =
+  ignore field;
+  Rt.faa ctx 1;
+  let p = Rt.load src in
+  if P.live ctx p then p else raise Rt.Neutralized

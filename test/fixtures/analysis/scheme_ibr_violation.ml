@@ -1,0 +1,27 @@
+(* Scheme fixture: the PR 4 IBR bug class, reintroduced.  [read_ptr]
+   ratchets the thread's reservation interval (a shared-memory publish)
+   but never validates the slot against it — the reservation protects
+   records retired *after* the ratchet, while the record just read may
+   already be gone.  R2's Hazard-family closure check requires both the
+   publish and the validation. *)
+
+let scheme_name = "ibr"
+
+let begin_op ctx = Rt.store ctx 1
+
+let end_op ctx = Rt.store ctx 0
+
+let phase ctx ~read ~write =
+  Rt.checkpoint ctx;
+  let v = read () in
+  write v;
+  v
+
+let read_only ctx f =
+  Rt.checkpoint ctx;
+  f ()
+
+let read_ptr ctx ~src ~field =
+  ignore field;
+  Rt.faa ctx 1;
+  Rt.load src

@@ -21,4 +21,5 @@ let () =
       ("kv", Test_kv.suite);
       ("guard", Test_guard.suite);
       ("check", Test_check.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -1,0 +1,249 @@
+(* The static phase analyzer (lib/analysis), end to end: each protocol
+   rule R1–R4 against a violating/clean fixture pair, the ported idiom
+   rules, in-source waivers, allowlist path normalization, SARIF
+   emission — and the cross-validation story: one seeded-violation
+   module ([Broken_ds]) convicted by BOTH the static pass and a
+   DFS-explored dynamic sanitizer run (DESIGN.md §16).
+
+   The rendered findings are asserted byte-for-byte: rule id, file,
+   line and message are all part of the analyzer's contract. *)
+
+module D = Nbr_analysis.Driver
+module F = Nbr_analysis.Findings
+module Sarif = Nbr_analysis.Sarif
+module Sim = Nbr_runtime.Sim_rt
+module Trace = Nbr_obs.Trace
+module Explore = Nbr_check.Explore
+module San = Nbr_check.Sanitizer
+
+(* Under `dune runtest` the cwd is the test directory; under
+   `dune exec test/main.exe` it is the repo root.  Locate the fixtures
+   from either, and build the expected strings from the same prefix so
+   the byte-for-byte assertions hold in both. *)
+let root = if Sys.file_exists "fixtures/analysis" then "" else "test/"
+
+let fix name = root ^ "fixtures/analysis/" ^ name
+
+let exp name line rest = Printf.sprintf "%s:%d: %s" (fix name) line rest
+
+let strings_of (r : D.result) = List.map F.to_string r.D.findings
+
+let analyze ?allowlist names =
+  D.analyze_files ?allowlist ~check_mli:false (List.map fix names)
+
+let check_pair ~violating ~clean ~expected () =
+  let r = analyze [ violating ] in
+  Alcotest.(check (list string)) "violating fixture flagged" expected
+    (strings_of r);
+  let rc = analyze [ clean ] in
+  Alcotest.(check (list string)) "clean twin silent" [] (strings_of rc);
+  Alcotest.(check int) "nothing suppressed" 0 rc.D.suppressed
+
+let test_r1 =
+  check_pair ~violating:"r1_violation.ml" ~clean:"r1_clean.ml"
+    ~expected:
+      [
+        exp "r1_violation.ml" 11
+          "[read-phase-write] Rt.store: shared-write in read phase";
+      ]
+
+let test_r2 =
+  check_pair ~violating:"r2_violation.ml" ~clean:"r2_clean.ml"
+    ~expected:
+      [
+        exp "r2_violation.ml" 6
+          "[unguarded-deref] Smr.read_ptr: validated dereference outside \
+           any phase";
+      ]
+
+let test_r3 =
+  check_pair ~violating:"r3_violation.ml" ~clean:"r3_clean.ml"
+    ~expected:
+      [
+        exp "r3_violation.ml" 6
+          "[phase-bracket] operation can exit without end_op";
+      ]
+
+let test_r4 =
+  check_pair ~violating:"r4_violation.ml" ~clean:"r4_clean.ml"
+    ~expected:
+      [
+        exp "r4_violation.ml" 8
+          "[write-phase-read] P.get_data: plain shared read in read phase \
+           (use a validated accessor)";
+      ]
+
+(* The acceptance criterion from PR 4: an IBR-family read_ptr that
+   ratchets its reservation interval but never validates the slot must
+   be caught statically by R2's scheme-closure check. *)
+let test_scheme_ibr =
+  check_pair ~violating:"scheme_ibr_violation.ml" ~clean:"scheme_ibr_clean.ml"
+    ~expected:
+      [
+        exp "scheme_ibr_violation.ml" 24
+          "[unguarded-deref] scheme ibr: read_ptr publishes without \
+           validating slot liveness";
+      ]
+
+let test_idiom () =
+  let r = analyze [ "idiom_violation.ml" ] in
+  Alcotest.(check (list string))
+    "both idiom rules fire on the shared engine"
+    [
+      exp "idiom_violation.ml" 4
+        "[obj-magic] Obj.magic defeats the type system; find another way";
+      exp "idiom_violation.ml" 6
+        "[pool-raw-index] raw cell addressing bypasses generation \
+         validation: go through the scheme's validated accessors \
+         (read_data / read_ptr / peek_ptr), or grandfather a deliberate \
+         use in the allowlist";
+    ]
+    (strings_of r)
+
+let test_waiver () =
+  let r = analyze [ "r2_waived.ml" ] in
+  Alcotest.(check (list string)) "waived finding not reported" []
+    (strings_of r);
+  Alcotest.(check int) "but counted as suppressed" 1 r.D.suppressed
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist path normalization (the satellite fix): one file cannot
+   hide under two spellings, and duplicate spellings are warned on.    *)
+
+let test_normalize_path () =
+  let n = F.normalize_path in
+  Alcotest.(check string) "double slash" "lib/ds/foo.ml" (n "lib//ds/foo.ml");
+  Alcotest.(check string) "dot segments" "lib/ds/foo.ml" (n "./lib/./ds/foo.ml");
+  Alcotest.(check string) "trailing separator" "lib/ds" (n "lib/ds/");
+  Alcotest.(check string) "absolute path keeps its root" "/tmp/x.ml"
+    (n "//tmp//x.ml");
+  Alcotest.(check string) "root alone" "/" (n "/")
+
+let with_temp_allowlist lines f =
+  let file = Filename.temp_file "nbr_allowlist" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      f (F.Allowlist.load file))
+
+let test_allowlist_normalization () =
+  with_temp_allowlist
+    [
+      "# comment";
+      ("unguarded-deref:" ^ root ^ "fixtures//analysis/./r2_violation.ml");
+      ("unguarded-deref:" ^ root ^ "fixtures/analysis/r2_violation.ml/");
+    ]
+  @@ fun (allowlist, warnings) ->
+  Alcotest.(check int) "second spelling warned as duplicate" 1
+    (List.length warnings);
+  Alcotest.(check bool) "normalized spelling matches" true
+    (F.Allowlist.mem allowlist ~rule:"unguarded-deref"
+       ~file:(fix "r2_violation.ml"));
+  let r = analyze ~allowlist [ "r2_violation.ml" ] in
+  Alcotest.(check (list string)) "allowlisted finding dropped" []
+    (strings_of r);
+  Alcotest.(check int) "and counted as suppressed" 1 r.D.suppressed
+
+let test_sarif () =
+  let r = analyze [ "r1_violation.ml" ] in
+  let s = Sarif.to_string r.D.findings in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "sarif version" true (contains "\"version\": \"2.1.0\"");
+  Alcotest.(check bool) "rule id present" true
+    (contains "\"ruleId\": \"read-phase-write\"");
+  Alcotest.(check bool) "location present" true
+    (contains (fix "r1_violation.ml"));
+  Alcotest.(check bool) "start line present" true (contains "\"startLine\": 11")
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: the same seeded violation, convicted from both
+   ends.  Statically, nbr_lint flags Broken_ds's unguarded dereference
+   (R2) and unclosed bracket (R3).  Dynamically, a DFS-explored
+   simulator run of [Broken_ds.run] with the sanitizer attached
+   convicts unguarded_access and unbalanced_op. *)
+
+let test_broken_ds_static () =
+  let path = root ^ "broken_ds.ml" in
+  let expb line rest = Printf.sprintf "%s:%d: %s" path line rest in
+  let r = D.analyze_files ~check_mli:false [ path ] in
+  Alcotest.(check (list string))
+    "R2 and R3 both fire on the seeded-violation module"
+    [
+      expb 25 "[phase-bracket] operation can exit without end_op";
+      expb 26
+        "[unguarded-deref] Smr.read_root: validated dereference outside \
+         any phase";
+      expb 43 "[phase-bracket] operation can exit without end_op";
+      expb 48
+        "[unguarded-deref] broken_lookup: validated dereference outside \
+         any phase";
+    ]
+    (strings_of r)
+
+let det_config =
+  { Sim.default_config with cores = 2; granularity = 1; jitter = 0; seed = 7 }
+
+let with_clean_globals f =
+  Fun.protect f ~finally:(fun () ->
+      Sim.set_config Sim.default_config;
+      Sim.set_max_events 0;
+      Trace.subscribe None;
+      Trace.set_verbose false;
+      if Trace.enabled () then Trace.disable ())
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let broken_scenario () =
+  Sim.set_config det_config;
+  let san =
+    San.attach { San.family = San.Neutralization; nthreads = 2; garbage_bound = None }
+  in
+  (try Broken_ds.run () with Sim.Stuck _ -> ());
+  San.detach san;
+  if Trace.enabled () then Trace.disable ();
+  match San.violations san with
+  | [] -> None
+  | vs -> Some (String.concat "\n" (List.map San.violation_to_string vs))
+
+let test_broken_ds_dynamic () =
+  with_clean_globals @@ fun () ->
+  let r =
+    Explore.dfs ~preemption_bound:1 ~max_schedules:100 ~nthreads:2
+      ~run:broken_scenario ()
+  in
+  match r.Explore.r_violation with
+  | None ->
+      Alcotest.failf "sanitizer saw nothing in %d schedules of Broken_ds"
+        r.r_schedules
+  | Some (desc, _) ->
+      Alcotest.(check bool) "unguarded access convicted dynamically" true
+        (contains desc "unguarded_access");
+      Alcotest.(check bool) "unbalanced op convicted dynamically" true
+        (contains desc "unbalanced_op")
+
+let suite =
+  [
+    Alcotest.test_case "R1 read-phase write" `Quick test_r1;
+    Alcotest.test_case "R2 unguarded deref" `Quick test_r2;
+    Alcotest.test_case "R3 phase bracket" `Quick test_r3;
+    Alcotest.test_case "R4 write-phase read" `Quick test_r4;
+    Alcotest.test_case "R2 scheme closure (PR 4 IBR bug)" `Quick test_scheme_ibr;
+    Alcotest.test_case "idiom rules on the shared engine" `Quick test_idiom;
+    Alcotest.test_case "in-source waiver" `Quick test_waiver;
+    Alcotest.test_case "path normalization" `Quick test_normalize_path;
+    Alcotest.test_case "allowlist normalization" `Quick
+      test_allowlist_normalization;
+    Alcotest.test_case "sarif emission" `Quick test_sarif;
+    Alcotest.test_case "cross-check: static" `Quick test_broken_ds_static;
+    Alcotest.test_case "cross-check: dynamic" `Quick test_broken_ds_dynamic;
+  ]
